@@ -1,0 +1,86 @@
+//! Eyeriss: the dense DNN-accelerator baseline (Table IV column 1).
+//!
+//! Eyeriss processes SNN layers densely — every element of the spike matrix
+//! costs a MAC regardless of its value. The model is anchored to the paper's
+//! Table IV: 168 PEs at 500 MHz achieving 29.40 GOP/s (an effective array
+//! utilization of 35 % on VGG-16-class layers) and 16.67 GOP/J.
+
+use crate::perf::BaselinePerf;
+use prosperity_models::workload::ModelTrace;
+
+/// Eyeriss configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eyeriss {
+    /// Number of MAC PEs (168 in the paper's comparison).
+    pub pes: usize,
+    /// Clock frequency (500 MHz).
+    pub freq_hz: f64,
+    /// Effective array utilization for dense dataflow.
+    pub utilization: f64,
+    /// Total energy per dense operation, pJ (logic + SRAM + DRAM amortized;
+    /// anchors Table IV's 16.67 GOP/J).
+    pub energy_per_op_pj: f64,
+}
+
+impl Default for Eyeriss {
+    fn default() -> Self {
+        Self {
+            pes: 168,
+            freq_hz: 500e6,
+            utilization: 0.35,
+            energy_per_op_pj: 60.0,
+        }
+    }
+}
+
+impl Eyeriss {
+    /// Simulates one model inference.
+    pub fn simulate(&self, trace: &ModelTrace) -> BaselinePerf {
+        let dense_ops = trace.dense_ops();
+        let rate = self.pes as f64 * self.freq_hz * self.utilization;
+        BaselinePerf {
+            name: "Eyeriss".into(),
+            time_s: dense_ops as f64 / rate,
+            energy_j: dense_ops as f64 * self.energy_per_op_pj * 1e-12,
+            effective_ops: dense_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosperity_models::{Architecture, Dataset, Workload};
+
+    #[test]
+    fn throughput_matches_table4_anchor() {
+        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1)
+            .generate_trace(0.25);
+        let p = Eyeriss::default().simulate(&t);
+        // Dense throughput is utilization-limited peak: 168·0.5 GHz·0.35.
+        assert!((p.throughput_gops() - 29.4).abs() < 0.01, "{}", p.throughput_gops());
+        assert!((p.energy_eff_gopj() - 16.67).abs() < 0.01, "{}", p.energy_eff_gopj());
+    }
+
+    #[test]
+    fn time_scales_with_dense_ops() {
+        let small = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1)
+            .generate_trace(0.25);
+        let big = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1)
+            .generate_trace(0.5);
+        let e = Eyeriss::default();
+        assert!(e.simulate(&big).time_s > e.simulate(&small).time_s);
+    }
+
+    #[test]
+    fn density_does_not_matter_to_dense_hardware() {
+        let sparse = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.05, 0.02, 1)
+            .generate_trace(0.25);
+        let dense = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.6, 0.3, 1)
+            .generate_trace(0.25);
+        let e = Eyeriss::default();
+        let a = e.simulate(&sparse);
+        let b = e.simulate(&dense);
+        assert!((a.time_s - b.time_s).abs() / a.time_s < 1e-9);
+    }
+}

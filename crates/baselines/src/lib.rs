@@ -1,0 +1,33 @@
+//! Baseline accelerator models (paper Sec. VII-A).
+//!
+//! The paper benchmarks Prosperity against six comparators. Each is
+//! reproduced here at the fidelity the paper itself uses:
+//!
+//! * [`eyeriss`] — dense DNN accelerator (168 PEs, processes every element).
+//! * [`ptb`] — Parallel Time Batching: systolic array with *structured* bit
+//!   sparsity; a time window is processed whenever any of its steps spikes.
+//! * [`sato`] — temporal-oriented dataflow: unstructured bit sparsity spread
+//!   over PE groups by bucket sort, limited by workload imbalance.
+//! * [`mint`] — quantized (2-bit) SNN accelerator built on a systolic array.
+//! * [`stellar`] — algorithm/hardware co-design with FS neurons. Like the
+//!   paper, we use Stellar's *reported* statistics (its algorithm is closed
+//!   source) plus an FS-neuron density model for Fig. 11.
+//! * [`a100`] — analytical NVIDIA A100 model (roofline + launch overhead).
+//! * [`loas`] — the LoAS dual-side-sparsity algorithm analysis of Table V.
+//!
+//! All models consume the same [`prosperity_models::workload::ModelTrace`]
+//! as the Prosperity simulator, so every comparison sees identical spikes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod a100;
+pub mod eyeriss;
+pub mod loas;
+pub mod mint;
+pub mod perf;
+pub mod ptb;
+pub mod sato;
+pub mod stellar;
+
+pub use perf::BaselinePerf;

@@ -1,0 +1,143 @@
+//! Stellar (Mao et al., HPCA 2024): FS-neuron algorithm/hardware co-design.
+//!
+//! Stellar's sparsity gain comes from replacing LIF with few-spikes (FS)
+//! neurons — an *algorithmic* change that the paper (and we) cannot re-run:
+//! its modified models are closed source. Like the paper (Sec. VII-A: "we
+//! use the statistics reported in their paper"), this model combines
+//! Stellar's reported Table IV figures with an FS-neuron density model for
+//! the Fig. 11 comparison. Stellar only supports spiking CNNs.
+
+use crate::perf::BaselinePerf;
+use prosperity_models::workload::ModelTrace;
+use prosperity_models::Architecture;
+use prosperity_neuron::{FsNeuron, FsParams};
+
+/// Stellar's reported statistics (Table IV, VGG-16 class workloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stellar {
+    /// PEs (168 — 31 % more than Prosperity's 128).
+    pub pes: usize,
+    /// Clock (500 MHz).
+    pub freq_hz: f64,
+    /// Reported throughput on VGG-16, GOP/s.
+    pub reported_throughput_gops: f64,
+    /// Reported energy efficiency, GOP/J.
+    pub reported_energy_eff_gopj: f64,
+    /// Reported area, mm².
+    pub reported_area_mm2: f64,
+}
+
+impl Default for Stellar {
+    fn default() -> Self {
+        Self {
+            pes: 168,
+            freq_hz: 500e6,
+            reported_throughput_gops: 190.44,
+            reported_energy_eff_gopj: 142.98,
+            reported_area_mm2: 0.768,
+        }
+    }
+}
+
+impl Stellar {
+    /// Simulates via reported throughput/efficiency. Returns `None` for
+    /// spiking transformers, which Stellar does not support.
+    pub fn simulate(&self, trace: &ModelTrace) -> Option<BaselinePerf> {
+        if trace.workload.arch.is_transformer() {
+            return None;
+        }
+        let ops = trace.dense_ops();
+        Some(BaselinePerf {
+            name: "Stellar".into(),
+            time_s: ops as f64 / (self.reported_throughput_gops * 1e9),
+            energy_j: ops as f64 / (self.reported_energy_eff_gopj * 1e9),
+            effective_ops: ops,
+        })
+    }
+
+    /// `true` if Stellar can run this architecture.
+    pub fn supports(&self, arch: Architecture) -> bool {
+        !arch.is_transformer()
+    }
+}
+
+/// FS-neuron activation density model for the Fig. 11 comparison.
+///
+/// SNN activations are bimodal: most neurons are silent, and the active
+/// minority fires at a substantial rate. We model active values as
+/// `Uniform(0.3, 1.0)` and choose the active fraction so that *rate coding*
+/// of the distribution reproduces the measured LIF bit density
+/// (`E[v] · active_fraction = bit_density`). Re-coding the same activations
+/// with an FS neuron caps each active neuron at `max_spikes` per window,
+/// which yields the intermediate density Fig. 11 shows: below bit density
+/// (≈1.6× reduction on average) but well above product density (≈3.2×
+/// higher than ProSparsity).
+pub fn fs_density(bit_density: f64, window: usize, max_spikes: usize) -> f64 {
+    let neuron = FsNeuron::new(FsParams {
+        window,
+        full_scale: 1.0,
+        max_spikes,
+    });
+    let (active_lo, active_hi) = (0.3f64, 1.0f64);
+    let mean_active = 0.5 * (active_lo + active_hi);
+    let active_fraction = (bit_density / mean_active).clamp(0.0, 1.0);
+    // Average FS spikes per *active* neuron over the value range.
+    let samples = 256;
+    let mut fs_spikes = 0.0;
+    for i in 0..samples {
+        let v = active_lo + (active_hi - active_lo) * (i as f64 + 0.5) / samples as f64;
+        fs_spikes += neuron.spike_count(v as f32) as f64;
+    }
+    fs_spikes /= samples as f64;
+    active_fraction * fs_spikes / window as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prosperity_models::{Dataset, Workload};
+
+    #[test]
+    fn transformer_unsupported() {
+        let t = Workload::new(Architecture::SpikeBert, Dataset::Sst2, 0.13, 0.012, 3)
+            .generate_trace(0.05);
+        assert!(Stellar::default().simulate(&t).is_none());
+        assert!(!Stellar::default().supports(Architecture::Spikformer));
+        assert!(Stellar::default().supports(Architecture::Vgg16));
+    }
+
+    #[test]
+    fn cnn_uses_reported_numbers() {
+        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
+            .generate_trace(0.25);
+        let p = Stellar::default().simulate(&t).unwrap();
+        assert!((p.throughput_gops() - 190.44).abs() < 0.01);
+        assert!((p.energy_eff_gopj() - 142.98).abs() < 0.01);
+    }
+
+    #[test]
+    fn fs_density_below_bit_density_above_zero() {
+        for d in [0.1, 0.2, 0.34, 0.48] {
+            let fs = fs_density(d, 4, 2);
+            assert!(fs > 0.0, "bit {d} → fs {fs}");
+            assert!(fs < d, "FS must reduce density: bit {d} → fs {fs}");
+        }
+    }
+
+    #[test]
+    fn fs_density_monotone_in_bit_density() {
+        let lo = fs_density(0.1, 4, 2);
+        let hi = fs_density(0.4, 4, 2);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn max_spike_cap_binds() {
+        // With a looser cap the density can only rise.
+        let tight = fs_density(0.45, 4, 1);
+        let loose = fs_density(0.45, 4, 4);
+        assert!(loose >= tight);
+        // The cap bounds density at max_spikes / window.
+        assert!(tight <= 1.0 / 4.0 + 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Sec. VII-G — quantitative cost trade-off of ProSparsity processing:
+//! TCAM search cost vs saved floating-point additions.
+//!
+//! Paper reference: break-even sparsity increase ΔS* = 4.4 %; at the
+//! measured average ΔS = 13.35 % the benefit-cost ratio is 3.0×.
+
+use prosperity_bench::{header, pct, rule, scale};
+use prosperity_models::Workload;
+use prosperity_sim::cost_model::CostInputs;
+
+fn main() {
+    header("Sec. VII-G", "ProSparsity benefit/cost trade-off");
+    let c = CostInputs::paper_default();
+    println!("tile m={} k={} n={}", c.m, c.k, c.n);
+    println!("break-even dS*      : {}   (paper: 4.4%)", pct(c.break_even_delta_s()));
+    println!(
+        "ratio @ paper dS    : {:.2}x   (paper: 3.0x at dS = 13.35%)",
+        c.benefit_cost_ratio()
+    );
+    println!();
+
+    // Measured ΔS across the Fig. 8 suite (bit density − product density).
+    let s = scale();
+    let mut deltas = Vec::new();
+    println!("{:<24} {:>10} {:>14}", "workload", "dS", "benefit/cost");
+    rule(52);
+    for w in Workload::fig8_suite() {
+        let trace = w.generate_trace(s * 0.5);
+        let mut bit = 0u64;
+        let mut pro = 0u64;
+        let mut dense = 0u64;
+        for l in &trace.layers {
+            let plan = prosperity_core::ProSparsityPlan::build_tiled(
+                &l.spikes,
+                spikemat::TileShape::prosperity_default(),
+            );
+            bit += plan.stats().bit_ops;
+            pro += plan.stats().pro_ops;
+            dense += plan.stats().dense_ops;
+        }
+        let ds = (bit as f64 - pro as f64) / dense as f64;
+        let inputs = CostInputs { delta_s: ds, ..c };
+        println!(
+            "{:<24} {:>10} {:>13.2}x",
+            w.name(),
+            pct(ds),
+            inputs.benefit_cost_ratio()
+        );
+        deltas.push(ds);
+    }
+    rule(52);
+    let mean = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    let mean_inputs = CostInputs { delta_s: mean, ..c };
+    println!(
+        "mean dS {} -> ratio {:.2}x   (paper: 13.35% -> 3.0x)",
+        pct(mean),
+        mean_inputs.benefit_cost_ratio()
+    );
+}

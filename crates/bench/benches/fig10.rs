@@ -1,0 +1,64 @@
+//! Fig. 10 — Prosperity area and power breakdown, evaluated (as in the
+//! paper) on Spikformer / CIFAR-10.
+//!
+//! Paper reference — area (mm²): Detector 0.021, Pruner 0.020, Dispatcher
+//! 0.088, Processor 0.074, Other 0.022, Buffer 0.303; total 0.529.
+//! Power (mW): Detector 268.6, Pruner 3.1, Dispatcher 24.1, Processor 55.0,
+//! Other 16.3, Buffer 80.4, DRAM 467.5; total 915.
+
+use prosperity_bench::{header, rule, scale};
+use prosperity_models::Workload;
+use prosperity_sim::{simulate_model, AreaModel, EnergyModel, ProsperityConfig};
+
+fn main() {
+    header("Fig. 10", "Prosperity area and power breakdown (Spikformer/CIFAR10)");
+    let w = Workload::fig8_suite()[4]; // Spikformer / CIFAR10
+    assert_eq!(w.name(), "Spikformer/CIFAR10");
+    let trace = w.generate_trace(scale());
+    let config = ProsperityConfig::default();
+    let perf = simulate_model(&trace, &config);
+    let energy = EnergyModel::default().energy(&perf.events);
+    let time = perf.time_seconds();
+    let area = AreaModel::default().area(&config);
+
+    println!("{:<12} {:>12} {:>12} {:>14} {:>12}", "component", "area mm2", "paper", "power mW", "paper");
+    rule(68);
+    let mw = |j: f64| 1e3 * j / time;
+    let rows = [
+        ("Detector", area.detector, 0.021, mw(energy.detector), 268.6),
+        ("Pruner", area.pruner, 0.020, mw(energy.pruner), 3.1),
+        ("Dispatcher", area.dispatcher, 0.088, mw(energy.dispatcher), 24.1),
+        ("Processor", area.processor, 0.074, mw(energy.processor), 55.0),
+        ("Other", area.other, 0.022, mw(energy.other), 16.3),
+        ("Buffer", area.buffer, 0.303, mw(energy.buffer), 80.4),
+        ("DRAM", 0.0, 0.0, mw(energy.dram), 467.5),
+    ];
+    for (name, a, pa, p, pp) in rows {
+        let a_str = if name == "DRAM" {
+            ("-".to_string(), "-".to_string())
+        } else {
+            (format!("{a:.3}"), format!("{pa:.3}"))
+        };
+        println!(
+            "{:<12} {:>12} {:>12} {:>14.1} {:>12.1}",
+            name, a_str.0, a_str.1, p, pp
+        );
+    }
+    rule(68);
+    println!(
+        "{:<12} {:>12.3} {:>12} {:>14.1} {:>12}",
+        "total",
+        area.total(),
+        "0.529",
+        mw(energy.total()),
+        "915.0"
+    );
+    println!();
+    println!(
+        "observations: the Dispatcher's product-sparsity table dominates non-buffer"
+    );
+    println!(
+        "area; the Detector's always-on TCAM dominates on-chip power; DRAM dominates"
+    );
+    println!("total power — matching the paper's Fig. 10 narrative.");
+}

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the ProSparsity software kernels: TCAM
+//! detection, pruning, order generation, whole-tile planning, and the
+//! lossless ProSparsity GeMM against the bit-sparse reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prosperity_core::detect::{detect_tile, naive_subsets};
+use prosperity_core::exec::prosparsity_gemm;
+use prosperity_core::order::BitonicSorter;
+use prosperity_core::plan::TileMeta;
+use prosperity_core::prune::prune_tile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spikemat::gemm::{spiking_gemm, WeightMatrix};
+use spikemat::{SpikeMatrix, TileShape};
+
+fn tile(m: usize, k: usize, density: f64, seed: u64) -> SpikeMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SpikeMatrix::random(m, k, density, &mut rng)
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detection");
+    for &m in &[64usize, 256] {
+        let t = tile(m, 16, 0.3, 1);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::new("tcam", m), &t, |b, t| {
+            b.iter(|| detect_tile(t))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", m), &t, |b, t| {
+            b.iter(|| naive_subsets(t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_prune_and_sort(c: &mut Criterion) {
+    let t = tile(256, 16, 0.3, 2);
+    let d = detect_tile(&t);
+    c.bench_function("prune/256x16", |b| b.iter(|| prune_tile(&t, &d)));
+    c.bench_function("bitonic_sort/256", |b| {
+        b.iter(|| BitonicSorter::sort(&d.popcounts))
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let t = tile(256, 16, 0.3, 3);
+    c.bench_function("tile_meta/256x16", |b| {
+        b.iter(|| TileMeta::build(&t, 0, 0))
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    let s = tile(256, 64, 0.3, 4);
+    let w = WeightMatrix::from_fn(64, 128, |r, col| (r * 131 + col * 17) as i64 % 255 - 127);
+    let shape = TileShape::new(256, 16);
+    g.throughput(Throughput::Elements((256 * 64 * 128) as u64));
+    g.bench_function("bit_sparse_reference", |b| b.iter(|| spiking_gemm(&s, &w)));
+    g.bench_function("prosparsity", |b| {
+        b.iter(|| prosparsity_gemm(&s, &w, shape))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_detection, bench_prune_and_sort, bench_plan, bench_gemm
+}
+criterion_main!(benches);

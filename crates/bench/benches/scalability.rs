@@ -1,0 +1,41 @@
+//! Sec. VIII-A — architecture scalability: intra-PPU issue width and
+//! inter-PPU tile parallelism.
+//!
+//! The paper sketches both axes qualitatively; this bench quantifies them on
+//! the reproduction: same-level forest nodes are independent (intra-PPU),
+//! and tiles of a layer are independent up to shared DRAM bandwidth
+//! (inter-PPU).
+
+use prosperity_bench::{header, rule, scale};
+use prosperity_models::Workload;
+use prosperity_sim::scale::inter_ppu_layer_cycles;
+use prosperity_sim::{simulate_model, ProsperityConfig};
+
+fn main() {
+    header("Sec. VIII-A", "Scalability: intra-PPU issue width / inter-PPU tiles");
+    let w = Workload::vgg16_cifar100();
+    let trace = w.generate_trace(scale() * 0.5);
+    let config = ProsperityConfig::default();
+    let base = simulate_model(&trace, &config);
+    println!("baseline (1 PPU): {} cycles\n", base.cycles);
+
+    println!("inter-PPU scaling (shared DRAM):");
+    println!("{:<8} {:>14} {:>10}", "PPUs", "cycles", "speedup");
+    rule(36);
+    for ppus in [1usize, 2, 4, 8, 16] {
+        let cycles: u64 = trace
+            .layers
+            .iter()
+            .map(|l| inter_ppu_layer_cycles(&l.spikes, l.spec.shape.n, &config, ppus).cycles)
+            .sum();
+        println!(
+            "{:<8} {:>14} {:>9.2}x",
+            ppus,
+            cycles,
+            base.cycles as f64 / cycles as f64
+        );
+    }
+    rule(36);
+    println!("speedup saturates when layers become DRAM-bound — the paper's");
+    println!("motivation for pairing inter-PPU scaling with more channels.");
+}

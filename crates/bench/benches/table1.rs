@@ -1,0 +1,60 @@
+//! Table I — comparison with previous work on VGG-16 (CIFAR-100): bit and
+//! product density plus speedup over dense execution for PTB, Stellar and
+//! Prosperity.
+//!
+//! Paper reference: bit density 34.21 %, product density 2.79 %; speedups
+//! over dense 1.86× (PTB), 5.97× (Stellar), 17.55× (Prosperity).
+
+use prosperity_bench::{header, pct, rule, run_ensemble, scale};
+use prosperity_models::Workload;
+
+fn main() {
+    header("Table I", "Comparison with previous work on VGG-16 / CIFAR-100");
+    let w = Workload::vgg16_cifar100();
+    let trace = w.generate_trace(scale());
+    let e = run_ensemble(&w.name(), &trace);
+
+    let bit_density = e.prosperity.stats.bit_density();
+    let pro_density = e.prosperity.stats.pro_density();
+    let dense_t = e.eyeriss.time_s;
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "study", "bit density", "pro density", "speedup vs dense"
+    );
+    rule(60);
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "Dense",
+        "100%",
+        "-",
+        "1.00x"
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "PTB",
+        pct(bit_density),
+        "-",
+        format!("{:.2}x", dense_t / e.ptb.time_s)
+    );
+    if let Some(st) = &e.stellar {
+        println!(
+            "{:<12} {:>14} {:>14} {:>16}",
+            "Stellar",
+            pct(prosperity_baselines::stellar::fs_density(bit_density, 4, 2)),
+            "-",
+            format!("{:.2}x", dense_t / st.time_s)
+        );
+    }
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "Prosperity",
+        pct(bit_density),
+        pct(pro_density),
+        format!("{:.2}x", dense_t / e.prosperity_perf.time_s)
+    );
+    rule(60);
+    println!("paper reference:");
+    println!("  bit density 34.21%   pro density 2.79%");
+    println!("  speedups: PTB 1.86x  Stellar 5.97x  Prosperity 17.55x");
+}

@@ -1,0 +1,41 @@
+//! Table II — preliminary one-prefix vs two-prefix experiment on
+//! SpikingBERT/SST-2 and VGG-16/CIFAR-100.
+//!
+//! Paper reference: SpikingBERT 20.49 % bit → 2.98 % (one prefix) → 2.30 %
+//! (two prefixes), prefix ratios 56 %×1 vs 53 %×1 + 3 %×2; VGG-16 34.21 % →
+//! 2.79 % → 1.97 %, ratios 26 %×1 vs 20 %×1 + 6 %×2. The takeaway the
+//! hardware design rests on: the second prefix buys little extra sparsity.
+
+use prosperity_bench::{header, pct, rule, scale};
+use prosperity_core::multi_prefix::{analyze_matrix, MultiPrefixStats};
+use prosperity_models::Workload;
+use spikemat::TileShape;
+
+fn main() {
+    header("Table II", "One-prefix vs two-prefix ProSparsity");
+    let tile = TileShape::prosperity_default();
+    for w in [Workload::spikingbert_sst2(), Workload::vgg16_cifar100()] {
+        let trace = w.generate_trace(scale());
+        let mut total = MultiPrefixStats::default();
+        for l in &trace.layers {
+            let mut s = analyze_matrix(&l.spikes, tile);
+            total += std::mem::take(&mut s);
+        }
+        println!("{}", w.name());
+        rule(64);
+        println!("  bit density        : {}", pct(total.bit_density()));
+        println!("  one-prefix density : {}", pct(total.one_prefix_density()));
+        println!("  two-prefix density : {}", pct(total.two_prefix_density()));
+        println!(
+            "  prefix ratio       : {} x1  +  {} x2",
+            pct(total.one_prefix_ratio()),
+            pct(total.two_prefix_ratio())
+        );
+        println!();
+    }
+    println!("paper reference:");
+    println!("  SpikingBERT SST-2: 20.49% bit, 2.98% one-prefix, 2.30% two-prefix");
+    println!("                     ratios 56%x1  vs  53%x1 + 3%x2");
+    println!("  VGG-16 CIFAR-100 : 34.21% bit, 2.79% one-prefix, 1.97% two-prefix");
+    println!("                     ratios 26%x1  vs  20%x1 + 6%x2");
+}

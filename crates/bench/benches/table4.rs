@@ -1,0 +1,55 @@
+//! Table IV — accelerator comparison on VGG-16 / CIFAR-100: throughput
+//! (GOP/s), energy efficiency (GOP/J) and area efficiency (GOP/s/mm²).
+//!
+//! Paper reference: Eyeriss 29.40 / 16.67 / 27.53, SATO 33.63 / 49.70 /
+//! 29.76, PTB 41.37 / 34.15, MINT 62.07 / 75.61, Stellar 190.44 / 142.98 /
+//! 247.97, Prosperity 390.10 / 299.80 / 737.17 (areas 1.068, 1.13, –, –,
+//! 0.768, 0.529 mm²).
+
+use prosperity_bench::{header, rule, run_ensemble, scale};
+use prosperity_baselines::BaselinePerf;
+use prosperity_models::Workload;
+use prosperity_sim::{AreaModel, ProsperityConfig};
+
+fn main() {
+    header("Table IV", "Accelerator comparison on VGG-16 / CIFAR-100");
+    let w = Workload::vgg16_cifar100();
+    let trace = w.generate_trace(scale());
+    let e = run_ensemble(&w.name(), &trace);
+
+    let prosperity_area = AreaModel::default().area(&ProsperityConfig::default()).total();
+    let rows: Vec<(&str, &BaselinePerf, Option<f64>)> = vec![
+        ("Eyeriss", &e.eyeriss, Some(1.068)),
+        ("SATO", &e.sato, Some(1.13)),
+        ("PTB", &e.ptb, None),
+        ("MINT", &e.mint, None),
+        (
+            "Stellar",
+            e.stellar.as_ref().expect("VGG-16 is a CNN"),
+            Some(0.768),
+        ),
+        ("Prosperity", &e.prosperity_perf, Some(prosperity_area)),
+    ];
+
+    println!(
+        "{:<12} {:>12} {:>14} {:>12} {:>16}",
+        "accel", "GOP/s", "GOP/J", "area mm2", "GOP/s/mm2"
+    );
+    rule(70);
+    for (name, p, area) in &rows {
+        let area_eff = area.map(|a| p.throughput_gops() / a);
+        println!(
+            "{:<12} {:>12.2} {:>14.2} {:>12} {:>16}",
+            name,
+            p.throughput_gops(),
+            p.energy_eff_gopj(),
+            area.map_or("-".to_string(), |a| format!("{a:.3}")),
+            area_eff.map_or("-".to_string(), |a| format!("{a:.2}")),
+        );
+    }
+    rule(70);
+    println!("paper reference (GOP/s | GOP/J | GOP/s/mm2):");
+    println!("  Eyeriss 29.40 | 16.67 | 27.53      SATO 33.63 | 49.70 | 29.76");
+    println!("  PTB 41.37 | 34.15                  MINT 62.07 | 75.61");
+    println!("  Stellar 190.44 | 142.98 | 247.97   Prosperity 390.10 | 299.80 | 737.17");
+}

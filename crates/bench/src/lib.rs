@@ -1,0 +1,135 @@
+//! Shared harness utilities for the table/figure reproduction benches.
+//!
+//! Every table and figure of the paper's evaluation has a `harness = false`
+//! bench target in `benches/` that prints the paper's reported values next
+//! to the values measured on this reproduction. The helpers here provide the
+//! common plumbing: workload-scale selection, the accelerator ensemble, and
+//! table formatting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use prosperity_baselines::a100::A100;
+use prosperity_baselines::eyeriss::Eyeriss;
+use prosperity_baselines::mint::Mint;
+use prosperity_baselines::ptb::Ptb;
+use prosperity_baselines::sato::Sato;
+use prosperity_baselines::stellar::Stellar;
+use prosperity_baselines::BaselinePerf;
+use prosperity_models::workload::ModelTrace;
+use prosperity_sim::{simulate_model, EnergyModel, ModelPerf, ProsperityConfig};
+
+/// Workload scale factor for trace generation, from `PROSPERITY_SCALE`
+/// (default 0.25: rows are subsampled to keep the full 16-workload suite
+/// to minutes; set `PROSPERITY_SCALE=1.0` for paper-size runs).
+pub fn scale() -> f64 {
+    std::env::var("PROSPERITY_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Results of running one workload across the whole accelerator ensemble.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    /// Workload display name.
+    pub name: String,
+    /// Prosperity (full mode) simulation result.
+    pub prosperity: ModelPerf,
+    /// Prosperity latency/energy as a [`BaselinePerf`] for uniform math.
+    pub prosperity_perf: BaselinePerf,
+    /// Dense baseline.
+    pub eyeriss: BaselinePerf,
+    /// Structured bit sparsity.
+    pub ptb: BaselinePerf,
+    /// Bucket-sorted bit sparsity.
+    pub sato: BaselinePerf,
+    /// Quantized bit sparsity.
+    pub mint: BaselinePerf,
+    /// FS-neuron co-design (CNNs only).
+    pub stellar: Option<BaselinePerf>,
+    /// GPU baseline.
+    pub a100: BaselinePerf,
+}
+
+/// Runs one trace across Prosperity and every baseline.
+pub fn run_ensemble(name: &str, trace: &ModelTrace) -> Ensemble {
+    let config = ProsperityConfig::default();
+    let perf = simulate_model(trace, &config);
+    let energy = EnergyModel::default().energy(&perf.events);
+    let prosperity_perf = BaselinePerf {
+        name: "Prosperity".into(),
+        time_s: perf.time_seconds(),
+        energy_j: energy.total(),
+        effective_ops: perf.effective_ops,
+    };
+    Ensemble {
+        name: name.to_string(),
+        prosperity: perf,
+        prosperity_perf,
+        eyeriss: Eyeriss::default().simulate(trace),
+        ptb: Ptb::default().simulate(trace),
+        sato: Sato::default().simulate(trace),
+        mint: Mint::default().simulate(trace),
+        stellar: Stellar::default().simulate(trace),
+        a100: A100::default().simulate(trace),
+    }
+}
+
+/// Geometric mean of a non-empty slice (1.0 for an empty one).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Prints a horizontal rule sized for the bench tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints the standard bench header with paper context.
+pub fn header(id: &str, title: &str) {
+    rule(78);
+    println!("{id}: {title}");
+    println!("(scale = {} — set PROSPERITY_SCALE=1.0 for paper-size runs)", scale());
+    rule(78);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn geomean_mixes_multiplicatively() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.3421), "34.21%");
+    }
+
+    #[test]
+    fn ensemble_runs_all_accelerators() {
+        use prosperity_models::{Architecture, Dataset, Workload};
+        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
+            .generate_trace(0.25);
+        let e = run_ensemble("LN5/MNIST", &t);
+        assert!(e.prosperity_perf.time_s > 0.0);
+        assert!(e.eyeriss.time_s > e.prosperity_perf.time_s);
+        assert!(e.stellar.is_some()); // CNN → supported
+    }
+}

@@ -1,0 +1,203 @@
+//! Spatial/temporal relationship detection (the PPU **Detector**, Sec. V-B).
+//!
+//! The hardware detector pre-loads an `m × k` spike tile into a ternary CAM.
+//! Querying the TCAM with a spike row whose 1-bits are masked to "don't care"
+//! returns, in a single cycle, the *Subset Index* (SI) vector: every stored
+//! entry whose spikes are a subset of the query row. Popcount units produce
+//! the *Number of Ones* (NO) vector used as preliminary temporal information.
+//!
+//! [`TcamDetector`] is the cycle-faithful software model of that memory;
+//! [`detect_tile`] runs the whole detection stage for a tile, and
+//! [`naive_subsets`] is the O(m²) pairwise reference the TCAM model is
+//! property-tested against.
+
+use crate::relation::{classify, Relation};
+use spikemat::{BitRow, SpikeMatrix};
+
+/// Software model of the Detector's ternary CAM.
+///
+/// Stored entries are the rows of one spike tile. [`TcamDetector::query`]
+/// models the single-cycle parallel search: entry `e` matches query `q` iff
+/// `e ⊆ q` (the query's 1-bits are wildcards, its 0-bits demand 0).
+#[derive(Debug, Clone)]
+pub struct TcamDetector {
+    entries: Vec<BitRow>,
+    width: usize,
+}
+
+impl TcamDetector {
+    /// Pre-loads a spike tile into the TCAM (pipeline Step 0).
+    pub fn load(tile: &SpikeMatrix) -> Self {
+        Self {
+            entries: tile.row_slice().to_vec(),
+            width: tile.cols(),
+        }
+    }
+
+    /// Number of stored entries (`m`).
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Entry width in bits (`k`).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Single-cycle subset search: returns the SI match vector, one bool per
+    /// stored entry, where `true` means the entry is a subset of `query`.
+    ///
+    /// Note the raw hardware match vector includes the query row itself and
+    /// all-zero entries; filtering those is the Pruner's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` width differs from the loaded tile width.
+    pub fn query(&self, query: &BitRow) -> Vec<bool> {
+        assert_eq!(query.len(), self.width, "TCAM query width mismatch");
+        self.entries.iter().map(|e| e.is_subset_of(query)).collect()
+    }
+
+    /// Number of TCAM bit-comparisons performed by one query (`m × k`),
+    /// the unit of the paper's cost model (Sec. VII-G).
+    pub fn bitops_per_query(&self) -> u64 {
+        (self.entries.len() * self.width) as u64
+    }
+}
+
+/// Output of the detection stage for one tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectedTile {
+    /// For each row `i`: indices `j ≠ i` with `S_j ⊆ S_i` and `S_j ≠ ∅`.
+    ///
+    /// This is the SI vector after removing the trivial matches (self and
+    /// zero rows) but **before** the Pruner's partial-ordering filter.
+    pub subset_candidates: Vec<Vec<usize>>,
+    /// NO vector: spike count of each row.
+    pub popcounts: Vec<usize>,
+}
+
+impl DetectedTile {
+    /// Number of rows in the detected tile.
+    pub fn rows(&self) -> usize {
+        self.popcounts.len()
+    }
+}
+
+/// Runs the full detection stage on one tile using the TCAM model.
+pub fn detect_tile(tile: &SpikeMatrix) -> DetectedTile {
+    let tcam = TcamDetector::load(tile);
+    let popcounts: Vec<usize> = tile.row_slice().iter().map(BitRow::popcount).collect();
+    let subset_candidates = (0..tile.rows())
+        .map(|i| {
+            tcam.query(tile.row(i))
+                .into_iter()
+                .enumerate()
+                .filter(|&(j, matched)| matched && j != i && popcounts[j] > 0)
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    DetectedTile {
+        subset_candidates,
+        popcounts,
+    }
+}
+
+/// O(m²) pairwise reference detector built on [`classify`].
+///
+/// Produces the same result as [`detect_tile`]; used to validate the TCAM
+/// query semantics.
+#[allow(clippy::needless_range_loop)] // i/j index three parallel arrays
+pub fn naive_subsets(tile: &SpikeMatrix) -> DetectedTile {
+    let m = tile.rows();
+    let popcounts: Vec<usize> = tile.row_slice().iter().map(BitRow::popcount).collect();
+    let mut subset_candidates = vec![Vec::new(); m];
+    for i in 0..m {
+        for j in 0..m {
+            if i == j || popcounts[j] == 0 {
+                continue;
+            }
+            match classify(tile.row(j), tile.row(i)) {
+                Relation::ExactMatch | Relation::SubsetOfSecond => {
+                    subset_candidates[i].push(j);
+                }
+                _ => {}
+            }
+        }
+    }
+    DetectedTile {
+        subset_candidates,
+        popcounts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_tile() -> SpikeMatrix {
+        // Fig. 3 (a) spike matrix.
+        SpikeMatrix::from_rows_of_bits(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 0, 1, 0],
+            &[1, 0, 1, 1],
+            &[1, 1, 0, 1],
+        ])
+    }
+
+    #[test]
+    fn tcam_query_is_subset_search() {
+        let tile = fig3_tile();
+        let tcam = TcamDetector::load(&tile);
+        // Query Row 2 = 1011 (mask to X0XX): matches rows whose bits ⊆ 1011.
+        let si = tcam.query(tile.row(2));
+        assert_eq!(si, vec![true, true, true, true, true, false]);
+        assert_eq!(tcam.bitops_per_query(), 24);
+    }
+
+    #[test]
+    fn detect_filters_self_and_zero_rows() {
+        let tile = SpikeMatrix::from_rows_of_bits(&[
+            &[0, 0, 0, 0],
+            &[1, 0, 0, 0],
+            &[1, 0, 0, 1],
+        ]);
+        let d = detect_tile(&tile);
+        assert!(d.subset_candidates[0].is_empty());
+        assert!(d.subset_candidates[1].is_empty()); // only zero row ⊆ it
+        assert_eq!(d.subset_candidates[2], vec![1]);
+        assert_eq!(d.popcounts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tcam_matches_naive_on_fig3() {
+        let tile = fig3_tile();
+        assert_eq!(detect_tile(&tile), naive_subsets(&tile));
+    }
+
+    #[test]
+    fn exact_match_rows_see_each_other() {
+        let tile = fig3_tile();
+        let d = detect_tile(&tile);
+        // Rows 2 and 4 are identical (1011): each lists the other.
+        assert!(d.subset_candidates[2].contains(&4));
+        assert!(d.subset_candidates[4].contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn query_width_mismatch_panics() {
+        let tcam = TcamDetector::load(&SpikeMatrix::zeros(2, 4));
+        let _ = tcam.query(&BitRow::zeros(5));
+    }
+
+    #[test]
+    fn detector_accessors() {
+        let tcam = TcamDetector::load(&SpikeMatrix::zeros(7, 16));
+        assert_eq!(tcam.entries(), 7);
+        assert_eq!(tcam.width(), 16);
+    }
+}

@@ -1,0 +1,159 @@
+//! Lossless execution of a ProSparsity plan (the **Processor**'s row-wise
+//! dataflow, Sec. V-E, as a software kernel).
+//!
+//! For every tile, rows are processed in the Dispatcher's order. A row with a
+//! prefix starts from the prefix's *tile-local* partial result (Step 9 of the
+//! pipeline: "load Prefix"), then accumulates the weight rows selected by the
+//! 1-bits of its ProSparsity pattern (Steps 10–11, address decoding by
+//! bit-scan-forward), and finally adds its tile-local result into the global
+//! output row (Step 12, the cross-`k`-tile partial-sum accumulation).
+//!
+//! With integer weights the result is bit-for-bit equal to the reference
+//! [`spikemat::gemm::spiking_gemm`]; this is the paper's losslessness claim
+//! and is enforced by property tests.
+
+use crate::plan::ProSparsityPlan;
+use spikemat::gemm::{OutputMatrix, WeightMatrix};
+use spikemat::{SpikeMatrix, TileShape};
+use std::ops::AddAssign;
+
+/// Executes a spiking GeMM under product sparsity with tile shape `shape`.
+///
+/// Plans each tile (Detector → Pruner → Dispatcher) and replays the meta
+/// information on the weight matrix. See [`execute_plan`] to reuse an
+/// existing plan.
+///
+/// # Panics
+///
+/// Panics if `spikes.cols() != weights.rows()`.
+pub fn prosparsity_gemm<T: Copy + Default + AddAssign>(
+    spikes: &SpikeMatrix,
+    weights: &WeightMatrix<T>,
+    shape: TileShape,
+) -> OutputMatrix<T> {
+    let plan = ProSparsityPlan::build_tiled(spikes, shape);
+    execute_plan(&plan, weights)
+}
+
+/// Replays a previously built plan against a weight matrix.
+///
+/// # Panics
+///
+/// Panics if the plan's source column count differs from `weights.rows()`.
+pub fn execute_plan<T: Copy + Default + AddAssign>(
+    plan: &ProSparsityPlan,
+    weights: &WeightMatrix<T>,
+) -> OutputMatrix<T> {
+    let (m, k) = plan.source_dims();
+    assert_eq!(
+        k,
+        weights.rows(),
+        "plan K={k} does not match weight rows {}",
+        weights.rows()
+    );
+    let n = weights.cols();
+    let mut out = OutputMatrix::zeros(m, n);
+    for tile in plan.tiles() {
+        // Tile-local partial results, one row of width n per tile row.
+        let tile_rows = tile.rows.len();
+        let mut local: Vec<Vec<T>> = vec![vec![T::default(); n]; tile_rows];
+        for &r in &tile.order {
+            let meta = &tile.rows[r];
+            let mut acc = match meta.prefix {
+                Some(p) => local[p].clone(),
+                None => vec![T::default(); n],
+            };
+            for bit in meta.pattern.ones() {
+                let wk = tile.col_start + bit;
+                if wk >= weights.rows() {
+                    continue; // zero-padded tile column
+                }
+                for (a, &w) in acc.iter_mut().zip(weights.row(wk)) {
+                    *a += w;
+                }
+            }
+            local[r] = acc;
+        }
+        // Fold tile-local partials into the global output (k-tile partial sums).
+        #[allow(clippy::needless_range_loop)] // r maps tile-local to global rows
+        for r in 0..tile.valid_rows {
+            out.accumulate_row(tile.row_start + r, &local[r]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikemat::gemm::spiking_gemm;
+
+    fn fig1_matrix() -> SpikeMatrix {
+        SpikeMatrix::from_rows_of_bits(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 0, 1, 0],
+            &[1, 1, 0, 1],
+            &[1, 1, 0, 1],
+        ])
+    }
+
+    #[test]
+    fn matches_reference_single_tile() {
+        let s = fig1_matrix();
+        let w = WeightMatrix::from_fn(4, 3, |r, c| (r * 3 + c) as i64 - 5);
+        let got = prosparsity_gemm(&s, &w, TileShape::new(6, 4));
+        assert_eq!(got, spiking_gemm(&s, &w));
+    }
+
+    #[test]
+    fn matches_reference_under_every_tiling() {
+        let s = fig1_matrix();
+        let w = WeightMatrix::from_fn(4, 2, |r, c| (r as i64 + 1) * (c as i64 + 2));
+        let reference = spiking_gemm(&s, &w);
+        for m in 1..=7 {
+            for k in 1..=5 {
+                let got = prosparsity_gemm(&s, &w, TileShape::new(m, k));
+                assert_eq!(got, reference, "tile {m}x{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_rows_get_identical_outputs() {
+        let s = fig1_matrix();
+        let w = WeightMatrix::from_fn(4, 3, |r, c| (r * r + c) as i64);
+        let out = prosparsity_gemm(&s, &w, TileShape::new(6, 4));
+        assert_eq!(out.row(4), out.row(5));
+    }
+
+    #[test]
+    fn random_matrices_are_lossless() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..10 {
+            let m = rng.gen_range(1..40);
+            let k = rng.gen_range(1..30);
+            let n = rng.gen_range(1..10);
+            let density = rng.gen_range(0.05..0.6);
+            let s = SpikeMatrix::random(m, k, density, &mut rng);
+            let w = WeightMatrix::from_fn(k, n, |_, _| rng.gen_range(-100i64..100));
+            let shape = TileShape::new(rng.gen_range(1..=m.max(1)), rng.gen_range(1..=k.max(1)));
+            assert_eq!(
+                prosparsity_gemm(&s, &w, shape),
+                spiking_gemm(&s, &w),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match weight rows")]
+    fn weight_shape_mismatch_panics() {
+        let s = fig1_matrix();
+        let w = WeightMatrix::from_fn(5, 2, |_, _| 0i32);
+        let _ = prosparsity_gemm(&s, &w, TileShape::new(6, 4));
+    }
+}

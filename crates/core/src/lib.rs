@@ -1,0 +1,59 @@
+//! Product Sparsity (ProSparsity) — the primary contribution of the paper
+//! *Prosperity: Accelerating Spiking Neural Networks via Product Sparsity*
+//! (HPCA 2025).
+//!
+//! Bit sparsity skips the zero bits of a binary spike matrix. Product
+//! sparsity goes further: when spike row `S_j` is a subset of spike row `S_i`
+//! (*Partial Match*) or equal to it (*Exact Match*), the inner-product result
+//! of `S_j` can be **reused** as the starting partial sum of `S_i`, leaving
+//! only the difference bits `S_i ⊕ S_j` to accumulate. Across a tile this
+//! collapses the redundant combinatorial structure of SNN activations — e.g.
+//! SpikeBERT drops from 13.19 % bit density to 1.23 % product density.
+//!
+//! Pipeline of this crate, mirroring the hardware stages of the PPU:
+//!
+//! 1. [`detect`] — find all subset candidates for each row (the Detector's
+//!    TCAM search) and each row's popcount (temporal information).
+//! 2. [`prune`] — apply the paper's pruning rules to select exactly one
+//!    prefix per row and emit the XOR ProSparsity pattern (the Pruner).
+//! 3. [`forest`] — the resulting one-prefix structure as a ProSparsity
+//!    forest, with validation and depth statistics.
+//! 4. [`order`] — temporal-information generation: the overhead-free stable
+//!    sort by popcount, and the slow forest-walk order used as the ablation
+//!    baseline (the Dispatcher).
+//! 5. [`plan`] / [`exec`] — tile-level meta information for a whole spiking
+//!    GeMM and a lossless executor that replays it.
+//! 6. [`multi_prefix`] — the two-prefix design-space variant of Table II.
+//! 7. [`attention`] — spiking attention (`Q·Kᵀ`, `attn·V`) lowered onto the
+//!    same ProSparsity pipeline (transformer support, Sec. IV).
+//! 8. [`policy`] — prefix-selection policy ablation (largest-subset vs
+//!    cheaper alternatives; EM-only / PM-only contribution split).
+//!
+//! # Losslessness
+//!
+//! ProSparsity is algorithm-agnostic and exact: for integer weights,
+//! [`exec::prosparsity_gemm`] returns bit-for-bit the same output as
+//! [`spikemat::gemm::spiking_gemm`]. This invariant is property-tested.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attention;
+pub mod detect;
+pub mod exec;
+pub mod forest;
+pub mod multi_prefix;
+pub mod order;
+pub mod plan;
+pub mod policy;
+pub mod prune;
+pub mod relation;
+pub mod stats;
+
+pub use detect::{DetectedTile, TcamDetector};
+pub use forest::ProSparsityForest;
+pub use order::{forest_walk_order, sorted_order};
+pub use plan::{ProSparsityPlan, RowMeta, TileMeta};
+pub use prune::{prune_tile, MatchKind};
+pub use relation::{classify, Relation};
+pub use stats::ProStats;

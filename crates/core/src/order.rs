@@ -1,0 +1,215 @@
+//! Temporal-information generation (the PPU **Dispatcher**, Sec. V-D).
+//!
+//! The execution order must place every prefix before its suffixes. The
+//! paper's key observation decouples this from the forest structure:
+//!
+//! * Partial Match ⇒ `pc(prefix) < pc(suffix)`;
+//! * Exact Match ⇒ equal popcount and `prefix index < suffix index`.
+//!
+//! Hence a **stable sort by popcount ascending** is a valid topological order
+//! of the ProSparsity forest — computable in hardware by a bitonic sorting
+//! network in O(log² m) stages, fully overlapped with detection. The
+//! alternative the paper ablates against ("high-overhead dispatch", Fig. 9)
+//! walks the forest explicitly; [`forest_walk_order`] models it.
+
+use crate::forest::ProSparsityForest;
+use std::collections::VecDeque;
+
+/// Overhead-free temporal-information generation: indices of all rows,
+/// stably sorted by popcount ascending.
+///
+/// # Examples
+///
+/// ```
+/// use prosperity_core::sorted_order;
+///
+/// // popcounts of Fig. 3: [2, 2, 3, 1, 3, 3]
+/// assert_eq!(sorted_order(&[2, 2, 3, 1, 3, 3]), vec![3, 0, 1, 2, 4, 5]);
+/// ```
+pub fn sorted_order(popcounts: &[usize]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..popcounts.len()).collect();
+    idx.sort_by_key(|&i| popcounts[i]); // sort_by_key is stable
+    idx
+}
+
+/// Breadth-first forest walk: the "high-overhead" dispatch order used by the
+/// Fig. 9 ablation. Roots in index order, then level by level.
+pub fn forest_walk_order(forest: &ProSparsityForest) -> Vec<usize> {
+    let mut order = Vec::with_capacity(forest.len());
+    let mut queue: VecDeque<usize> = forest.roots().collect();
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        queue.extend(forest.children(i).iter().copied());
+    }
+    order
+}
+
+/// Checks that `order` is a permutation of `0..forest.len()` in which every
+/// prefix appears before all of its suffixes.
+pub fn is_valid_order(forest: &ProSparsityForest, order: &[usize]) -> bool {
+    if order.len() != forest.len() {
+        return false;
+    }
+    let mut position = vec![usize::MAX; forest.len()];
+    for (pos, &row) in order.iter().enumerate() {
+        if row >= forest.len() || position[row] != usize::MAX {
+            return false;
+        }
+        position[row] = pos;
+    }
+    (0..forest.len()).all(|i| match forest.parent(i) {
+        Some(p) => position[p] < position[i],
+        None => true,
+    })
+}
+
+/// A software model of the Dispatcher's parallel bitonic sorting network.
+///
+/// Sorts `(popcount, index)` pairs lexicographically, which is equivalent to
+/// a *stable* sort by popcount. Exposes the comparator-stage count so the
+/// cycle-accurate simulator can charge the paper's O(log² m) latency.
+#[derive(Debug, Clone)]
+pub struct BitonicSorter {
+    stages: usize,
+    comparators: u64,
+}
+
+impl BitonicSorter {
+    /// Sorts and returns `(order, sorter)` where `order` equals
+    /// [`sorted_order`] and `sorter` carries the network statistics.
+    pub fn sort(popcounts: &[usize]) -> (Vec<usize>, Self) {
+        let m = popcounts.len();
+        let padded = m.next_power_of_two().max(1);
+        // Sentinel (MAX, MAX) keys sink to the end.
+        let mut keys: Vec<(usize, usize)> = (0..padded)
+            .map(|i| {
+                if i < m {
+                    (popcounts[i], i)
+                } else {
+                    (usize::MAX, usize::MAX)
+                }
+            })
+            .collect();
+        let mut stages = 0usize;
+        let mut comparators = 0u64;
+        let n = padded;
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j > 0 {
+                stages += 1;
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        comparators += 1;
+                        let ascending = i & k == 0;
+                        if (keys[i] > keys[l]) == ascending {
+                            keys.swap(i, l);
+                        }
+                    }
+                }
+                j /= 2;
+            }
+            k *= 2;
+        }
+        let order = keys
+            .into_iter()
+            .filter(|&(_, i)| i != usize::MAX)
+            .map(|(_, i)| i)
+            .collect();
+        (
+            order,
+            Self {
+                stages,
+                comparators,
+            },
+        )
+    }
+
+    /// Number of comparator stages — the network latency in cycles, which is
+    /// `log₂(m)·(log₂(m)+1)/2` for a power-of-two `m`.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Total comparator evaluations (for the energy model).
+    pub fn comparators(&self) -> u64 {
+        self.comparators
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_tile;
+    use crate::prune::prune_tile;
+    use spikemat::SpikeMatrix;
+
+    fn fig3() -> (SpikeMatrix, ProSparsityForest) {
+        let tile = SpikeMatrix::from_rows_of_bits(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 0, 1, 0],
+            &[1, 0, 1, 1],
+            &[1, 1, 0, 1],
+        ]);
+        let f = ProSparsityForest::from_pruned(&prune_tile(&tile, &detect_tile(&tile)));
+        (tile, f)
+    }
+
+    #[test]
+    fn sorted_order_matches_paper_fig3d() {
+        // Fig. 3 (d) temporal info: 3, 0, 1, 2, 4, 5.
+        let (tile, _) = fig3();
+        let pc: Vec<usize> = (0..6).map(|i| tile.row(i).popcount()).collect();
+        assert_eq!(sorted_order(&pc), vec![3, 0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn sorted_order_is_valid_topological_order() {
+        let (tile, f) = fig3();
+        let pc: Vec<usize> = (0..6).map(|i| tile.row(i).popcount()).collect();
+        assert!(is_valid_order(&f, &sorted_order(&pc)));
+    }
+
+    #[test]
+    fn forest_walk_is_valid_too() {
+        let (_, f) = fig3();
+        let order = forest_walk_order(&f);
+        assert_eq!(order.len(), f.len());
+        assert!(is_valid_order(&f, &order));
+    }
+
+    #[test]
+    fn identity_order_is_invalid_for_fig3() {
+        // Row 0's prefix is row 3, so top-to-bottom order breaks reuse.
+        let (_, f) = fig3();
+        assert!(!is_valid_order(&f, &[0, 1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn bitonic_sorter_equals_stable_sort() {
+        for m in [0usize, 1, 2, 3, 6, 7, 16, 33, 100] {
+            let pc: Vec<usize> = (0..m).map(|i| (i * 7 + 3) % 5).collect();
+            let (order, _) = BitonicSorter::sort(&pc);
+            assert_eq!(order, sorted_order(&pc), "m={m}");
+        }
+    }
+
+    #[test]
+    fn bitonic_stage_count_is_log_squared() {
+        let (_, s) = BitonicSorter::sort(&vec![0usize; 256]);
+        // log2(256) = 8 → 8*9/2 = 36 stages.
+        assert_eq!(s.stages(), 36);
+        assert!(s.comparators() > 0);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let (_, f) = fig3();
+        assert!(!is_valid_order(&f, &[0, 0, 1, 2, 3, 4]));
+        assert!(!is_valid_order(&f, &[0, 1, 2]));
+        assert!(!is_valid_order(&f, &[0, 1, 2, 3, 4, 9]));
+    }
+}

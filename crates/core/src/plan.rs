@@ -1,0 +1,258 @@
+//! Whole-GeMM ProSparsity planning: meta information per tile
+//! (paper Fig. 3 (d) and Sec. V).
+//!
+//! A [`ProSparsityPlan`] runs Detector → Pruner → Dispatcher over every
+//! `m × k` tile of a spike matrix and records the *meta information* the
+//! hardware would hold in its product-sparsity table: per row the prefix
+//! index and ProSparsity pattern (spatial info), plus the sorted execution
+//! order (temporal info).
+
+use crate::detect::detect_tile;
+use crate::forest::ProSparsityForest;
+use crate::order::{sorted_order, BitonicSorter};
+use crate::prune::{prune_tile, MatchKind, PrunedRow};
+use crate::stats::ProStats;
+use spikemat::{BitRow, SpikeMatrix, TileShape};
+
+/// Spatial meta information for one row of a tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMeta {
+    /// Prefix row index *within the tile*, if any.
+    pub prefix: Option<usize>,
+    /// Relationship to the prefix.
+    pub kind: MatchKind,
+    /// ProSparsity pattern: the bits still to accumulate.
+    pub pattern: BitRow,
+}
+
+impl RowMeta {
+    /// Accumulations this row performs per output column.
+    pub fn ops(&self) -> usize {
+        self.pattern.popcount()
+    }
+}
+
+/// Meta information for one `m × k` tile.
+#[derive(Debug, Clone)]
+pub struct TileMeta {
+    /// First source row covered by the tile.
+    pub row_start: usize,
+    /// First source column covered by the tile.
+    pub col_start: usize,
+    /// Valid (non-padding) rows in the tile.
+    pub valid_rows: usize,
+    /// Valid (non-padding) columns in the tile.
+    pub valid_cols: usize,
+    /// Per-row spatial info, indexed by tile-local row.
+    pub rows: Vec<RowMeta>,
+    /// Temporal info: tile-local row indices in execution order.
+    pub order: Vec<usize>,
+    /// Latency of the bitonic sorting network that produced `order`, in
+    /// comparator stages.
+    pub sorter_stages: usize,
+}
+
+impl TileMeta {
+    /// Builds meta information for one padded tile.
+    pub fn build(tile: &SpikeMatrix, row_start: usize, col_start: usize) -> Self {
+        let detected = detect_tile(tile);
+        let pruned = prune_tile(tile, &detected);
+        let (order, sorter) = BitonicSorter::sort(&detected.popcounts);
+        debug_assert_eq!(order, sorted_order(&detected.popcounts));
+        Self {
+            row_start,
+            col_start,
+            valid_rows: tile.rows(),
+            valid_cols: tile.cols(),
+            rows: pruned
+                .into_iter()
+                .map(|PrunedRow { prefix, kind, pattern }| RowMeta {
+                    prefix,
+                    kind,
+                    pattern,
+                })
+                .collect(),
+            order,
+            sorter_stages: sorter.stages(),
+        }
+    }
+
+    /// The ProSparsity forest induced by this tile's prefixes.
+    pub fn forest(&self) -> ProSparsityForest {
+        let pruned: Vec<PrunedRow> = self
+            .rows
+            .iter()
+            .map(|r| PrunedRow {
+                prefix: r.prefix,
+                kind: r.kind,
+                pattern: r.pattern.clone(),
+            })
+            .collect();
+        ProSparsityForest::from_pruned(&pruned)
+    }
+
+    /// Statistics for this tile, counting only valid (non-padding) cells.
+    pub fn stats(&self, spike_bits: u64) -> ProStats {
+        let mut s = ProStats {
+            dense_ops: (self.valid_rows * self.valid_cols) as u64,
+            bit_ops: spike_bits,
+            ..ProStats::default()
+        };
+        for (i, r) in self.rows.iter().enumerate() {
+            // Padding rows are all-zero: no prefix, no pattern bits. They are
+            // excluded from row counts but harmless in op counts.
+            if i >= self.valid_rows {
+                continue;
+            }
+            s.rows += 1;
+            s.pro_ops += r.ops() as u64;
+            match r.kind {
+                MatchKind::None => s.root_rows += 1,
+                MatchKind::Partial => s.pm_rows += 1,
+                MatchKind::Exact => s.em_rows += 1,
+            }
+        }
+        s
+    }
+}
+
+/// The complete ProSparsity meta information for one spiking GeMM.
+#[derive(Debug, Clone)]
+pub struct ProSparsityPlan {
+    shape: TileShape,
+    source_rows: usize,
+    source_cols: usize,
+    tiles: Vec<TileMeta>,
+    stats: ProStats,
+}
+
+impl ProSparsityPlan {
+    /// Plans the whole matrix as a single tile (no tiling); convenient for
+    /// algorithm studies where hardware geometry is irrelevant.
+    pub fn build(spikes: &SpikeMatrix) -> Self {
+        let shape = TileShape::new(spikes.rows().max(1), spikes.cols().max(1));
+        Self::build_tiled(spikes, shape)
+    }
+
+    /// Plans the matrix under the accelerator tile geometry `shape`.
+    pub fn build_tiled(spikes: &SpikeMatrix, shape: TileShape) -> Self {
+        let mut tiles = Vec::new();
+        let mut stats = ProStats::default();
+        for t in spikes.tiles(shape) {
+            let spike_bits = (0..t.valid_rows)
+                .map(|r| t.data.row(r).popcount() as u64)
+                .sum();
+            let mut meta = TileMeta::build(&t.data, t.row_start, t.col_start);
+            meta.valid_rows = t.valid_rows;
+            meta.valid_cols = t.valid_cols;
+            stats += meta.stats(spike_bits);
+            tiles.push(meta);
+        }
+        Self {
+            shape,
+            source_rows: spikes.rows(),
+            source_cols: spikes.cols(),
+            tiles,
+            stats,
+        }
+    }
+
+    /// The tile geometry used.
+    pub fn shape(&self) -> TileShape {
+        self.shape
+    }
+
+    /// Source matrix dimensions `(M, K)`.
+    pub fn source_dims(&self) -> (usize, usize) {
+        (self.source_rows, self.source_cols)
+    }
+
+    /// Per-tile meta information in row-major tile order.
+    pub fn tiles(&self) -> &[TileMeta] {
+        &self.tiles
+    }
+
+    /// Aggregated statistics over all tiles.
+    pub fn stats(&self) -> &ProStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_matrix() -> SpikeMatrix {
+        SpikeMatrix::from_rows_of_bits(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 0, 1, 0],
+            &[1, 1, 0, 1],
+            &[1, 1, 0, 1],
+        ])
+    }
+
+    #[test]
+    fn single_tile_plan_matches_fig1() {
+        let plan = ProSparsityPlan::build(&fig1_matrix());
+        let s = plan.stats();
+        assert_eq!(s.dense_ops, 24);
+        assert_eq!(s.bit_ops, 14);
+        assert_eq!(s.pro_ops, 6); // Fig. 1 (d): 6 OPs, 4× speedup over dense
+        assert_eq!(s.em_rows, 1);
+        assert_eq!(plan.tiles().len(), 1);
+    }
+
+    #[test]
+    fn tiled_plan_covers_all_cells() {
+        let m = fig1_matrix();
+        let plan = ProSparsityPlan::build_tiled(&m, TileShape::new(4, 2));
+        assert_eq!(plan.tiles().len(), 2 * 2);
+        let s = plan.stats();
+        assert_eq!(s.dense_ops, 24);
+        assert_eq!(s.bit_ops, 14);
+        // Smaller tiles can only keep or lose reuse, never create ops beyond
+        // bit sparsity.
+        assert!(s.pro_ops >= 6);
+        assert!(s.pro_ops <= s.bit_ops);
+        assert_eq!(s.rows, 6 * 2); // each row appears once per k-tile
+    }
+
+    #[test]
+    fn tiny_tiles_degenerate_to_bit_sparsity() {
+        // With m = 1 there is never a prefix candidate.
+        let m = fig1_matrix();
+        let plan = ProSparsityPlan::build_tiled(&m, TileShape::new(1, 4));
+        assert_eq!(plan.stats().pro_ops, plan.stats().bit_ops);
+        assert_eq!(plan.stats().root_rows, plan.stats().rows);
+    }
+
+    #[test]
+    fn order_is_topologically_valid_per_tile() {
+        use crate::order::is_valid_order;
+        let m = fig1_matrix();
+        for shape in [TileShape::new(6, 4), TileShape::new(3, 2), TileShape::new(4, 4)] {
+            let plan = ProSparsityPlan::build_tiled(&m, shape);
+            for t in plan.tiles() {
+                assert!(is_valid_order(&t.forest(), &t.order));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_row_counts_exclude_padding() {
+        let m = fig1_matrix();
+        let plan = ProSparsityPlan::build_tiled(&m, TileShape::new(4, 4));
+        // Two row-tiles: 4 valid rows + 2 valid rows.
+        assert_eq!(plan.stats().rows, 6);
+    }
+
+    #[test]
+    fn empty_matrix_plan() {
+        let m = SpikeMatrix::zeros(0, 0);
+        let plan = ProSparsityPlan::build(&m);
+        assert_eq!(plan.stats().dense_ops, 0);
+        assert_eq!(plan.tiles().len(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Classification of the spatial relationship between two spike rows
+//! (paper Sec. III-B).
+
+use spikemat::BitRow;
+
+/// The spatial relationship between two spike rows `(S_i, S_j)` as defined by
+/// the intersection `A = S_i ∩ S_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `A = ∅`: the rows share no spikes. Not exploitable.
+    Disjoint,
+    /// `A = S_i = S_j`: the rows are identical (*Exact Match*). The full
+    /// result of the prefix row can be reused with zero accumulations.
+    ExactMatch,
+    /// `A = S_j ≠ S_i`: `S_j` is a proper subset of `S_i` (*Partial Match*,
+    /// with `S_j` the potential prefix of `S_i`).
+    SubsetOfFirst,
+    /// `A = S_i ≠ S_j`: `S_i` is a proper subset of `S_j` (*Partial Match*,
+    /// with `S_i` the potential prefix of `S_j`).
+    SubsetOfSecond,
+    /// `A ≠ ∅, A ≠ S_i, A ≠ S_j`: a nontrivial intersection. Exploiting it
+    /// would require materializing a new row `A`; Prosperity deliberately
+    /// leaves this case on the table (Sec. III-B).
+    Intersection,
+}
+
+/// Classifies the spatial relationship between `a` (row `i`) and `b` (row `j`).
+///
+/// # Panics
+///
+/// Panics if the rows have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use prosperity_core::{classify, Relation};
+/// use spikemat::BitRow;
+///
+/// let row1 = BitRow::from_bits(&[1, 0, 0, 1]);
+/// let row4 = BitRow::from_bits(&[1, 1, 0, 1]);
+/// assert_eq!(classify(&row1, &row4), Relation::SubsetOfSecond);
+/// assert_eq!(classify(&row4, &row4), Relation::ExactMatch);
+/// ```
+pub fn classify(a: &BitRow, b: &BitRow) -> Relation {
+    let inter = a.and(b);
+    if inter.is_zero() {
+        return Relation::Disjoint;
+    }
+    match (&inter == a, &inter == b) {
+        (true, true) => Relation::ExactMatch,
+        (true, false) => Relation::SubsetOfSecond,
+        (false, true) => Relation::SubsetOfFirst,
+        (false, false) => Relation::Intersection,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(bits: &[u8]) -> BitRow {
+        BitRow::from_bits(bits)
+    }
+
+    #[test]
+    fn disjoint_rows() {
+        assert_eq!(
+            classify(&r(&[1, 0, 1, 0]), &r(&[0, 1, 0, 1])),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn zero_row_is_disjoint_from_everything() {
+        // The empty intersection dominates: a zero row is *not* treated as a
+        // usable subset because reusing an empty prefix saves nothing.
+        assert_eq!(
+            classify(&r(&[0, 0, 0, 0]), &r(&[1, 1, 0, 1])),
+            Relation::Disjoint
+        );
+        assert_eq!(
+            classify(&r(&[0, 0, 0, 0]), &r(&[0, 0, 0, 0])),
+            Relation::Disjoint
+        );
+    }
+
+    #[test]
+    fn exact_match() {
+        assert_eq!(
+            classify(&r(&[1, 1, 0, 1]), &r(&[1, 1, 0, 1])),
+            Relation::ExactMatch
+        );
+    }
+
+    #[test]
+    fn proper_subsets_both_directions() {
+        let small = r(&[1, 0, 0, 1]);
+        let big = r(&[1, 1, 0, 1]);
+        assert_eq!(classify(&small, &big), Relation::SubsetOfSecond);
+        assert_eq!(classify(&big, &small), Relation::SubsetOfFirst);
+    }
+
+    #[test]
+    fn nontrivial_intersection() {
+        assert_eq!(
+            classify(&r(&[1, 1, 0, 0]), &r(&[0, 1, 1, 0])),
+            Relation::Intersection
+        );
+    }
+
+    #[test]
+    fn paper_fig1_row0_row3() {
+        // Row 0 = 1010, Row 3 = 0010: Row 3 ⊂ Row 0.
+        assert_eq!(
+            classify(&r(&[1, 0, 1, 0]), &r(&[0, 0, 1, 0])),
+            Relation::SubsetOfFirst
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! SNN model zoo and calibrated activation-trace generation.
+//!
+//! The paper evaluates Prosperity on spiking CNNs (VGG-16, VGG-9, LeNet-5,
+//! ResNet-18) and spiking transformers (Spikformer, Spike-driven Transformer,
+//! SpikeBERT, SpikingBERT) across CV and NLP datasets, extracting activation
+//! traces from PyTorch runs. We cannot ship trained PyTorch models, so this
+//! crate substitutes a **calibrated synthetic trace generator**
+//! ([`tracegen`]): spike matrices whose bit density matches the paper's
+//! reported per-workload densities and whose inter-row combinatorial
+//! similarity is tuned so product density lands in the paper's reported band
+//! (see DESIGN.md §4 for the substitution argument).
+//!
+//! Contents:
+//!
+//! * [`dataset`] — dataset descriptors (input geometry, sequence length).
+//! * [`layer`] — per-layer spiking-GeMM shape descriptors.
+//! * [`zoo`] — architecture definitions lowering every model to its list of
+//!   spiking GeMMs (convolutions via im2col shape arithmetic).
+//! * [`tracegen`] — the synthetic spike-matrix generator and its calibrator.
+//! * [`trace_io`] — compact binary (de)serialization of generated traces.
+//! * [`workload`] — the paper's model × dataset evaluation suite with
+//!   per-workload paper-reference densities.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod layer;
+pub mod trace_io;
+pub mod tracegen;
+pub mod workload;
+pub mod zoo;
+
+pub use dataset::Dataset;
+pub use layer::{GemmShape, LayerKind, LayerSpec};
+pub use tracegen::{TraceGen, TraceGenParams};
+pub use workload::{PaperRef, Workload};
+pub use zoo::Architecture;

@@ -1,0 +1,144 @@
+//! Spiking neuron models and the Spiking Neuron Array.
+//!
+//! Prosperity's PPU produces the raw input currents of an SNN layer; the
+//! *Spiking Neuron Array* (Fig. 4) then integrates those currents into each
+//! neuron's membrane potential and fires binary spikes for the next layer.
+//! This crate provides:
+//!
+//! * [`LifNeuron`] / [`LifParams`] — the leaky integrate-and-fire model the
+//!   paper adopts (the most widely used neuron, Sec. II-A), with hard or
+//!   soft reset.
+//! * [`FsNeuron`] — a simplified few-spikes neuron in the spirit of Stellar's
+//!   FS model (Stöckl & Maass), used only for the Fig. 11 density
+//!   comparison; it trades accuracy for fewer spikes.
+//! * [`NeuronArray`] — a batch of neurons applied to a layer's output
+//!   currents across time steps, producing the next layer's spike matrix.
+//! * [`IzhikevichNeuron`] — the two-variable Izhikevich model, one of the
+//!   standard neuron models the paper cites; Prosperity is neuron-agnostic.
+//! * [`encode`] — input spike encoders (rate/direct coding).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod encode;
+mod fs;
+mod izhikevich;
+mod lif;
+
+pub use fs::{FsNeuron, FsParams};
+pub use izhikevich::{IzhikevichNeuron, IzhikevichParams};
+pub use lif::{LifNeuron, LifParams, ResetMode};
+
+use spikemat::SpikeMatrix;
+
+/// A layer-wide array of LIF neurons.
+///
+/// The array holds one membrane potential per output feature. Feeding it the
+/// layer's input currents for successive time steps yields the binary spike
+/// rows that form the next layer's (time-unrolled) spike matrix.
+#[derive(Debug, Clone)]
+pub struct NeuronArray {
+    neurons: Vec<LifNeuron>,
+}
+
+impl NeuronArray {
+    /// Creates `width` neurons with identical parameters.
+    pub fn new(width: usize, params: LifParams) -> Self {
+        Self {
+            neurons: vec![LifNeuron::new(params); width],
+        }
+    }
+
+    /// Number of neurons (layer output width).
+    pub fn width(&self) -> usize {
+        self.neurons.len()
+    }
+
+    /// Advances every neuron by one time step with the given input currents
+    /// and returns the fired spikes as 0/1 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len() != self.width()`.
+    pub fn step(&mut self, currents: &[f32]) -> Vec<u8> {
+        assert_eq!(currents.len(), self.width(), "current width mismatch");
+        self.neurons
+            .iter_mut()
+            .zip(currents)
+            .map(|(n, &c)| u8::from(n.step(c)))
+            .collect()
+    }
+
+    /// Runs `time_steps` rows of currents (row-major `T × width`) and packs
+    /// the resulting spikes into a `T × width` [`SpikeMatrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents.len() != time_steps * self.width()`.
+    pub fn run(&mut self, currents: &[f32], time_steps: usize) -> SpikeMatrix {
+        assert_eq!(
+            currents.len(),
+            time_steps * self.width(),
+            "current buffer size mismatch"
+        );
+        let mut out = SpikeMatrix::zeros(time_steps, self.width());
+        for t in 0..time_steps {
+            let row = self.step(&currents[t * self.width()..(t + 1) * self.width()]);
+            for (j, &s) in row.iter().enumerate() {
+                if s != 0 {
+                    out.set(t, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Resets all membrane potentials (between inference samples).
+    pub fn reset(&mut self) {
+        for n in &mut self.neurons {
+            n.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_runs_time_steps() {
+        let params = LifParams {
+            threshold: 1.0,
+            leak: 0.5,
+            reset: ResetMode::Hard(0.0),
+        };
+        let mut arr = NeuronArray::new(2, params);
+        // Neuron 0 gets constant strong input; neuron 1 gets none.
+        let currents = [1.5f32, 0.0, 1.5, 0.0, 1.5, 0.0];
+        let spikes = arr.run(&currents, 3);
+        assert_eq!(spikes.rows(), 3);
+        for t in 0..3 {
+            assert!(spikes.get(t, 0), "neuron 0 should fire at t={t}");
+            assert!(!spikes.get(t, 1), "neuron 1 should stay silent at t={t}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let params = LifParams::default();
+        let mut arr = NeuronArray::new(1, params);
+        // Accumulate sub-threshold potential.
+        arr.step(&[0.6]);
+        arr.reset();
+        // After reset, the same sub-threshold input must not fire.
+        let fired = arr.step(&[0.6]);
+        assert_eq!(fired, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "current width mismatch")]
+    fn width_mismatch_panics() {
+        let mut arr = NeuronArray::new(2, LifParams::default());
+        let _ = arr.step(&[1.0]);
+    }
+}

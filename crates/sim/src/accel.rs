@@ -1,0 +1,56 @@
+//! Whole-model simulation.
+
+use crate::config::ProsperityConfig;
+use crate::ppu::simulate_layer;
+use crate::report::{LayerPerf, ModelPerf};
+use prosperity_models::workload::ModelTrace;
+
+/// Simulates a full model inference (layer by layer, Sec. IV) on Prosperity.
+pub fn simulate_model(trace: &ModelTrace, config: &ProsperityConfig) -> ModelPerf {
+    let layers: Vec<LayerPerf> = trace
+        .layers
+        .iter()
+        .map(|l| simulate_layer(&l.spikes, l.spec.shape.n, config))
+        .collect();
+    ModelPerf::from_layers(*config, layers, trace.dense_ops())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimMode;
+    use prosperity_models::{Architecture, Dataset, Workload};
+
+    fn small_trace() -> ModelTrace {
+        Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 5).generate_trace(0.25)
+    }
+
+    #[test]
+    fn full_mode_beats_bit_only_on_cycles() {
+        let trace = small_trace();
+        let full = simulate_model(&trace, &ProsperityConfig::default());
+        let bit = simulate_model(&trace, &ProsperityConfig::with_mode(SimMode::BitSparsityOnly));
+        assert!(full.cycles <= bit.cycles, "{} vs {}", full.cycles, bit.cycles);
+        assert!(full.stats.pro_ops < bit.stats.pro_ops);
+    }
+
+    #[test]
+    fn layer_count_matches_trace() {
+        let trace = small_trace();
+        let perf = simulate_model(&trace, &ProsperityConfig::default());
+        assert_eq!(perf.layers.len(), trace.layers.len());
+        assert_eq!(perf.effective_ops, trace.dense_ops());
+        assert!(perf.throughput_gops() > 0.0);
+    }
+
+    #[test]
+    fn slow_dispatch_between_bit_only_and_full() {
+        let trace = small_trace();
+        let full = simulate_model(&trace, &ProsperityConfig::default());
+        let slow = simulate_model(
+            &trace,
+            &ProsperityConfig::with_mode(SimMode::ProSparsitySlowDispatch),
+        );
+        assert!(slow.cycles >= full.cycles);
+    }
+}

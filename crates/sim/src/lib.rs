@@ -1,0 +1,43 @@
+//! Cycle-accurate performance, energy and area simulation of the Prosperity
+//! accelerator (paper Secs. IV–VI, evaluated in Sec. VII).
+//!
+//! The simulator mirrors the hardware organisation:
+//!
+//! * [`config`] — the Table III architecture setup (tile geometry, PE count,
+//!   buffer sizes, DRAM bandwidth, clock).
+//! * [`events`] — micro-architectural event counters (TCAM bit-ops, PE
+//!   accumulations, buffer/DRAM traffic) that drive the energy model.
+//! * [`pipeline`] — the two-level pipeline timing model: the 5-stage
+//!   intra-phase pipeline (`m + 4` cycles per ProSparsity phase) and the
+//!   inter-phase overlap of ProSparsity processing with computation.
+//! * [`ppu`] — per-layer simulation of the ProSparsity Processing Unit,
+//!   including the Fig. 9 ablation modes.
+//! * [`energy`] — event-cost energy model and component area model anchored
+//!   to the paper's published breakdown (Fig. 10, Table IV).
+//! * [`accel`] — whole-model simulation producing a [`report::ModelPerf`].
+//! * [`dse`] — the Fig. 7 tile-size design-space exploration.
+//! * [`cost_model`] — the closed-form benefit/cost analysis of Sec. VII-G.
+//! * [`sfu`] — the Special Function Unit for spiking-transformer support
+//!   (softmax / layer norm, Sec. IV).
+//! * [`scale`] — intra-/inter-PPU scalability models (Sec. VIII-A).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accel;
+pub mod config;
+pub mod cost_model;
+pub mod dse;
+pub mod energy;
+pub mod events;
+pub mod pipeline;
+pub mod ppu;
+pub mod report;
+pub mod scale;
+pub mod sfu;
+
+pub use accel::simulate_model;
+pub use config::{ProsperityConfig, SimMode};
+pub use energy::{AreaModel, EnergyBreakdown, EnergyModel};
+pub use events::EventCounts;
+pub use report::{LayerPerf, ModelPerf};

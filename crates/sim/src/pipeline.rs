@@ -1,0 +1,207 @@
+//! Pipeline timing model (paper Sec. VI, Fig. 6).
+//!
+//! **Intra-phase**: Detector → Pruner → Dispatcher form a five-stage pipeline
+//! with a throughput of one spike row per cycle, so the ProSparsity
+//! processing phase of an `m`-row tile takes `m + 4` cycles. The bitonic
+//! sorter (O(log² m) stages) and the TCAM pre-load (double-buffered) run
+//! concurrently and are never the bottleneck.
+//!
+//! **Computation phase**: the Processor issues one accumulate per cycle per
+//! PE row; a spike row with `p` pattern bits takes `max(1, p)` cycles (an
+//! Exact Match row still takes its single issue/writeback slot), plus a
+//! four-stage fill, hence `Σ max(1, p_r) + 4 ≥ m + 4` cycles per tile pass.
+//!
+//! **Inter-phase**: the ProSparsity phase of tile `t+1` overlaps the
+//! computation phase of tile `t`; only the first tile's ProSparsity phase is
+//! exposed. [`overlap_tiles`] folds a tile sequence accordingly.
+
+/// Pipeline depth of the Detector→Pruner→Dispatcher path (stages 2–6).
+pub const PRO_PIPELINE_FILL: u64 = 4;
+
+/// Pipeline depth of the Processor (issue/decode/execute/writeback).
+pub const COMPUTE_PIPELINE_FILL: u64 = 4;
+
+/// Timing of one spike tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileTiming {
+    /// Cycles of the ProSparsity processing phase (Detector+Pruner+Dispatcher).
+    pub pro_phase: u64,
+    /// Cycles of the computation phase (all `n`-tile passes included).
+    pub compute: u64,
+}
+
+/// ProSparsity-phase cycles for a tile of `rows` spike rows.
+///
+/// `extra_dispatch` models the Fig. 9 "high-overhead" Dispatcher: the
+/// forest-walk order generation costs O(m·d) additional cycles that cannot
+/// be hidden (pass 0 for the overhead-free design).
+pub fn prosparsity_phase_cycles(rows: usize, extra_dispatch: u64) -> u64 {
+    rows as u64 + PRO_PIPELINE_FILL + extra_dispatch
+}
+
+/// Computation-phase cycles for one pass over a tile, given each valid row's
+/// ProSparsity-pattern popcount.
+///
+/// Every row costs `max(1, popcount)` issue slots: rows fully covered by an
+/// Exact Match still spend one cycle (the paper notes this as the gap to the
+/// theoretical sparsity limit, Sec. VII-F).
+pub fn compute_phase_cycles(pattern_popcounts: impl IntoIterator<Item = usize>) -> u64 {
+    let issue: u64 = pattern_popcounts
+        .into_iter()
+        .map(|p| p.max(1) as u64)
+        .sum();
+    issue + COMPUTE_PIPELINE_FILL
+}
+
+/// Writeback-to-prefix-load latency: a suffix row reading its prefix's
+/// partial sum cannot start until the prefix row's final accumulation has
+/// produced it (a read-after-write hazard through the output buffer).
+/// Because Exact/Partial-Match rows sort *adjacent* to their prefixes
+/// (equal or near-equal popcounts), these stalls are a first-order cost of
+/// deep reuse chains; a forwarding path from the execute stage bounds the
+/// penalty at one bubble.
+pub const WRITEBACK_LATENCY: u64 = 1;
+
+/// Computation-phase cycles for one pass over a tile under prefix
+/// dependencies.
+///
+/// Rows issue in `order`; row `r` occupies `costs[r]` issue slots, and if it
+/// has a prefix it cannot *start* before the prefix's finish time plus
+/// [`WRITEBACK_LATENCY`]. Returns the cycle at which the last row drains,
+/// plus the pipeline fill.
+///
+/// # Panics
+///
+/// Panics if an order entry or prefix index is out of range of `costs`.
+pub fn compute_phase_cycles_with_deps(
+    order: &[usize],
+    prefixes: &[Option<usize>],
+    costs: &[usize],
+) -> u64 {
+    let mut finish = vec![0u64; costs.len()];
+    let mut cur = 0u64;
+    for &r in order {
+        let mut start = cur;
+        if let Some(p) = prefixes[r] {
+            start = start.max(finish[p] + WRITEBACK_LATENCY);
+        }
+        let end = start + costs[r].max(1) as u64;
+        finish[r] = end;
+        cur = end;
+    }
+    cur + COMPUTE_PIPELINE_FILL
+}
+
+/// Folds a sequence of tile timings under the inter-phase pipeline: the
+/// ProSparsity phase of tile `t+1` overlaps the computation of tile `t`, so
+/// the total is `pro(0) + Σ_t max(compute(t), pro(t+1))` (with `pro` of the
+/// one-past-last tile = 0).
+pub fn overlap_tiles(tiles: &[TileTiming]) -> u64 {
+    match tiles.first() {
+        None => 0,
+        Some(first) => {
+            let mut total = first.pro_phase;
+            for (i, t) in tiles.iter().enumerate() {
+                let next_pro = tiles.get(i + 1).map_or(0, |n| n.pro_phase);
+                total += t.compute.max(next_pro);
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pro_phase_is_m_plus_4() {
+        assert_eq!(prosparsity_phase_cycles(256, 0), 260);
+        assert_eq!(prosparsity_phase_cycles(0, 0), 4);
+        assert_eq!(prosparsity_phase_cycles(256, 100), 360);
+    }
+
+    #[test]
+    fn compute_phase_counts_em_rows_as_one_cycle() {
+        // Rows with popcounts [0 (EM), 3, 1]: 1 + 3 + 1 + fill.
+        assert_eq!(compute_phase_cycles([0, 3, 1]), 5 + 4);
+        assert_eq!(compute_phase_cycles(std::iter::empty::<usize>()), 4);
+    }
+
+    #[test]
+    fn compute_phase_at_least_rows_plus_fill() {
+        let rows = vec![0usize; 256];
+        assert_eq!(compute_phase_cycles(rows), 256 + 4);
+    }
+
+    #[test]
+    fn deps_stall_adjacent_chains() {
+        // Three-row EM chain 0 → 1 → 2, each cost 1, issued back to back:
+        // row 0 ends at 1; row 1 starts at max(1, 1+1)=2, ends 3; row 2
+        // starts at 4, ends 5. Total = 5 + fill.
+        let order = [0, 1, 2];
+        let prefixes = [None, Some(0), Some(1)];
+        let costs = [1, 1, 1];
+        assert_eq!(
+            compute_phase_cycles_with_deps(&order, &prefixes, &costs),
+            5 + COMPUTE_PIPELINE_FILL
+        );
+    }
+
+    #[test]
+    fn deps_hidden_by_intervening_work() {
+        // Independent rows between prefix and suffix hide the hazard.
+        let order = [0, 1, 2, 3, 4];
+        let prefixes = [None, None, None, None, Some(0)];
+        let costs = [1, 2, 2, 2, 1];
+        // Row 0 ends at 1; rows 1-3 end at 7; row 4 starts at max(7, 1+1)=7.
+        assert_eq!(
+            compute_phase_cycles_with_deps(&order, &prefixes, &costs),
+            8 + COMPUTE_PIPELINE_FILL
+        );
+    }
+
+    #[test]
+    fn deps_reduce_to_plain_sum_without_prefixes() {
+        let order = [2, 0, 1];
+        let prefixes = [None, None, None];
+        let costs = [3, 1, 2];
+        assert_eq!(
+            compute_phase_cycles_with_deps(&order, &prefixes, &costs),
+            compute_phase_cycles(costs)
+        );
+    }
+
+    #[test]
+    fn overlap_hides_all_but_first_pro_phase() {
+        // Equal tiles where compute dominates: total = pro + Σ compute.
+        let t = TileTiming {
+            pro_phase: 260,
+            compute: 400,
+        };
+        let tiles = vec![t; 4];
+        assert_eq!(overlap_tiles(&tiles), 260 + 4 * 400);
+    }
+
+    #[test]
+    fn overlap_exposes_slow_dispatch() {
+        // When the pro phase exceeds compute it becomes the bottleneck.
+        let t = TileTiming {
+            pro_phase: 500,
+            compute: 300,
+        };
+        let tiles = vec![t; 3];
+        // 500 + max(300,500) + max(300,500) + max(300,0)
+        assert_eq!(overlap_tiles(&tiles), 500 + 500 + 500 + 300);
+    }
+
+    #[test]
+    fn empty_and_single_tile() {
+        assert_eq!(overlap_tiles(&[]), 0);
+        let t = TileTiming {
+            pro_phase: 10,
+            compute: 20,
+        };
+        assert_eq!(overlap_tiles(&[t]), 30);
+    }
+}

@@ -1,0 +1,143 @@
+//! Architecture scalability (paper Sec. VIII-A).
+//!
+//! The paper sketches two scaling axes:
+//!
+//! * **Intra-PPU**: nodes at the same level of the ProSparsity forest have
+//!   no dependencies, so the Processor can issue several rows per cycle
+//!   ([`intra_ppu_compute_cycles`] models a `w`-wide issue window that still
+//!   honours prefix dependencies).
+//! * **Inter-PPU**: multiple PPUs each process one spike tile at a time;
+//!   tiles of a layer are independent except for shared DRAM bandwidth
+//!   ([`inter_ppu_layer_cycles`]).
+
+use crate::config::ProsperityConfig;
+use crate::pipeline::{COMPUTE_PIPELINE_FILL, WRITEBACK_LATENCY};
+use crate::ppu::simulate_layer;
+use crate::report::LayerPerf;
+use spikemat::SpikeMatrix;
+
+/// Computation-phase cycles with an issue width of `width` rows per cycle.
+///
+/// Rows are taken in `order`; a row may start only after its prefix's finish
+/// time plus the forwarding latency. Up to `width` rows occupy issue slots
+/// concurrently (a row of cost `c` holds its slot for `c` cycles), modelling
+/// the paper's observation that same-level forest nodes are independent.
+pub fn intra_ppu_compute_cycles(
+    order: &[usize],
+    prefixes: &[Option<usize>],
+    costs: &[usize],
+    width: usize,
+) -> u64 {
+    assert!(width > 0, "issue width must be positive");
+    let mut finish = vec![0u64; costs.len()];
+    // Earliest-free time per issue slot.
+    let mut slots = vec![0u64; width];
+    for &r in order {
+        // Pick the earliest-available slot.
+        let slot = (0..width)
+            .min_by_key(|&s| slots[s])
+            .expect("width > 0 guarantees a slot");
+        let mut start = slots[slot];
+        if let Some(p) = prefixes[r] {
+            start = start.max(finish[p] + WRITEBACK_LATENCY);
+        }
+        let end = start + costs[r].max(1) as u64;
+        finish[r] = end;
+        slots[slot] = end;
+    }
+    slots.into_iter().max().unwrap_or(0) + COMPUTE_PIPELINE_FILL
+}
+
+/// Layer cycles with `ppus` PPUs working on the layer's tiles in parallel.
+///
+/// Each PPU owns a share of the tiles (compute parallelizes); all PPUs share
+/// the DRAM channels, so the memory side does not speed up.
+pub fn inter_ppu_layer_cycles(
+    spikes: &SpikeMatrix,
+    n_cols: usize,
+    config: &ProsperityConfig,
+    ppus: usize,
+) -> LayerPerf {
+    assert!(ppus > 0, "need at least one PPU");
+    let single = simulate_layer(spikes, n_cols, config);
+    // Compute side divides across PPUs (tiles are independent); the first
+    // tile's ProSparsity phase is paid once per PPU pipeline, a negligible
+    // constant already inside the per-tile accounting.
+    let compute = single.compute_cycles.div_ceil(ppus as u64);
+    let cycles = compute.max(single.dram_cycles);
+    LayerPerf {
+        cycles,
+        compute_cycles: compute,
+        dram_cycles: single.dram_cycles,
+        events: single.events,
+        stats: single.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProsperityConfig;
+    use spikemat::TileShape;
+
+    #[test]
+    fn wider_issue_never_slower() {
+        let order = [0, 1, 2, 3, 4, 5];
+        let prefixes = [None, None, Some(0), Some(1), None, Some(4)];
+        let costs = [3, 2, 1, 1, 2, 1];
+        let w1 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 1);
+        let w2 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 2);
+        let w4 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 4);
+        assert!(w2 <= w1);
+        assert!(w4 <= w2);
+    }
+
+    #[test]
+    fn independent_rows_scale_linearly() {
+        let order: Vec<usize> = (0..8).collect();
+        let prefixes = vec![None; 8];
+        let costs = vec![4usize; 8];
+        let w1 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 1);
+        let w4 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 4);
+        assert_eq!(w1 - COMPUTE_PIPELINE_FILL, 32);
+        assert_eq!(w4 - COMPUTE_PIPELINE_FILL, 8);
+    }
+
+    #[test]
+    fn dependency_chains_limit_intra_ppu_scaling() {
+        // A pure chain cannot be parallelized at all.
+        let order: Vec<usize> = (0..6).collect();
+        let prefixes: Vec<Option<usize>> =
+            (0..6).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let costs = vec![1usize; 6];
+        let w1 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 1);
+        let w8 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 8);
+        assert_eq!(w1, w8, "a chain has no same-level parallelism");
+    }
+
+    #[test]
+    fn inter_ppu_splits_compute_but_not_dram() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = SpikeMatrix::random(512, 64, 0.3, &mut rng);
+        let c = ProsperityConfig {
+            tile: TileShape::new(64, 16),
+            ..ProsperityConfig::default()
+        };
+        let one = inter_ppu_layer_cycles(&s, 128, &c, 1);
+        let four = inter_ppu_layer_cycles(&s, 128, &c, 4);
+        assert!(four.compute_cycles <= one.compute_cycles.div_ceil(4) + 1);
+        assert_eq!(four.dram_cycles, one.dram_cycles);
+        assert!(four.cycles <= one.cycles);
+        // With enough PPUs the layer becomes DRAM bound.
+        let many = inter_ppu_layer_cycles(&s, 128, &c, 64);
+        assert_eq!(many.cycles, many.dram_cycles.max(many.compute_cycles));
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width must be positive")]
+    fn zero_width_panics() {
+        let _ = intra_ppu_compute_cycles(&[], &[], &[], 0);
+    }
+}

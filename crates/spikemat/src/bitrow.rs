@@ -1,0 +1,386 @@
+//! Bit-packed spike rows.
+
+use crate::LIMB_BITS;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bit-packed binary spike row of fixed length.
+///
+/// A `BitRow` models one row of the binary spike matrix: bit `j` is 1 iff the
+/// neuron at column `j` fired. In the paper's set notation a row `i` is the
+/// spike set `S_i = { j | M[i, j] = 1 }`; subset and equality tests on
+/// `BitRow`s are exactly the set relations used to define Partial Match and
+/// Exact Match product sparsity.
+///
+/// Bits are stored LSB-first in `u64` limbs, so all set operations run in
+/// O(len / 64) words.
+///
+/// # Examples
+///
+/// ```
+/// use spikemat::BitRow;
+///
+/// let prefix = BitRow::from_bits(&[1, 0, 0, 1]);
+/// let row = BitRow::from_bits(&[1, 1, 0, 1]);
+/// assert!(prefix.is_subset_of(&row));
+/// let pattern = row.xor(&prefix); // bits still to accumulate
+/// assert_eq!(pattern.ones().collect::<Vec<_>>(), vec![1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitRow {
+    limbs: Vec<u64>,
+    len: usize,
+}
+
+impl BitRow {
+    /// Creates an all-zero row of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        let words = len.div_ceil(LIMB_BITS);
+        Self {
+            limbs: vec![0; words],
+            len,
+        }
+    }
+
+    /// Creates a row from a slice of 0/1 values.
+    ///
+    /// Any nonzero byte is treated as a spike.
+    pub fn from_bits(bits: &[u8]) -> Self {
+        let mut row = Self::zeros(bits.len());
+        for (j, &b) in bits.iter().enumerate() {
+            if b != 0 {
+                row.set(j, true);
+            }
+        }
+        row
+    }
+
+    /// Creates a row of `len` bits with spikes at the given column indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_ones(len: usize, ones: &[usize]) -> Self {
+        let mut row = Self::zeros(len);
+        for &j in ones {
+            assert!(j < len, "spike index {j} out of range for row of len {len}");
+            row.set(j, true);
+        }
+        row
+    }
+
+    /// Number of bit positions in the row.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the row has zero bit positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    pub fn get(&self, j: usize) -> bool {
+        assert!(j < self.len, "bit index {j} out of range ({})", self.len);
+        (self.limbs[j / LIMB_BITS] >> (j % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()`.
+    pub fn set(&mut self, j: usize, value: bool) {
+        assert!(j < self.len, "bit index {j} out of range ({})", self.len);
+        let mask = 1u64 << (j % LIMB_BITS);
+        if value {
+            self.limbs[j / LIMB_BITS] |= mask;
+        } else {
+            self.limbs[j / LIMB_BITS] &= !mask;
+        }
+    }
+
+    /// Number of spikes in the row (the paper's "Number of Ones", NO).
+    ///
+    /// This is the popcount computed by the Detector's popcount units and
+    /// used as the sort key for temporal-information generation.
+    pub fn popcount(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the row contains no spikes.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Set-inclusion test: `true` iff every spike of `self` is also in `other`.
+    ///
+    /// This is the semantic model of the TCAM search in the Detector: querying
+    /// the TCAM with `other` (1-bits masked to "don't care") returns exactly
+    /// the stored entries `e` with `e.is_subset_of(other)`.
+    ///
+    /// Note that equality counts as inclusion (an Exact Match), and the empty
+    /// row is a subset of every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.check_len(other);
+        self.limbs
+            .iter()
+            .zip(&other.limbs)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Returns `true` if the rows are a *proper* subset pair (Partial Match).
+    pub fn is_proper_subset_of(&self, other: &Self) -> bool {
+        self.is_subset_of(other) && self != other
+    }
+
+    /// Bitwise XOR, producing the ProSparsity pattern `S_q − S_p` when
+    /// `self` is the query row and `prefix ⊆ self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor(&self, other: &Self) -> Self {
+        self.check_len(other);
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&other.limbs)
+                .map(|(&a, &b)| a ^ b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise AND (set intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and(&self, other: &Self) -> Self {
+        self.check_len(other);
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&other.limbs)
+                .map(|(&a, &b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR (set union).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or(&self, other: &Self) -> Self {
+        self.check_len(other);
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&other.limbs)
+                .map(|(&a, &b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Iterates over the column indices of 1-bits in ascending order.
+    ///
+    /// The ascending order matches the Processor's address decoder, which
+    /// repeatedly applies bit-scan-forward and clears the found bit.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            row: self,
+            word: 0,
+            bits: self.limbs.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Extracts the sub-row covering columns `[start, start + len)`.
+    ///
+    /// Columns past the end of the row read as 0, so a tile on the ragged
+    /// right edge of a matrix is implicitly zero-padded.
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        let mut out = Self::zeros(len);
+        for j in 0..len {
+            let src = start + j;
+            if src < self.len && self.get(src) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Raw limb view (LSB-first), for hashing and fast comparisons.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    fn check_len(&self, other: &Self) {
+        assert_eq!(
+            self.len, other.len,
+            "bit-row length mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+impl fmt::Debug for BitRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitRow(\"")?;
+        for j in 0..self.len {
+            write!(f, "{}", u8::from(self.get(j)))?;
+        }
+        write!(f, "\")")
+    }
+}
+
+/// Iterator over the 1-bit column indices of a [`BitRow`].
+///
+/// Created by [`BitRow::ones`].
+#[derive(Debug)]
+pub struct Ones<'a> {
+    row: &'a BitRow,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1; // clear lowest set bit
+                return Some(self.word * LIMB_BITS + tz);
+            }
+            self.word += 1;
+            if self.word >= self.row.limbs.len() {
+                return None;
+            }
+            self.bits = self.row.limbs[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_spikes() {
+        let r = BitRow::zeros(100);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.popcount(), 0);
+        assert!(r.is_zero());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_limb_boundary() {
+        let mut r = BitRow::zeros(130);
+        for j in [0, 1, 63, 64, 65, 127, 128, 129] {
+            r.set(j, true);
+            assert!(r.get(j), "bit {j} should be set");
+        }
+        assert_eq!(r.popcount(), 8);
+        r.set(64, false);
+        assert!(!r.get(64));
+        assert_eq!(r.popcount(), 7);
+    }
+
+    #[test]
+    fn from_bits_matches_manual_set() {
+        let r = BitRow::from_bits(&[1, 0, 1, 1]);
+        assert_eq!(r, BitRow::from_ones(4, &[0, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_ones_rejects_out_of_range() {
+        let _ = BitRow::from_ones(4, &[4]);
+    }
+
+    #[test]
+    fn subset_relations_match_paper_example() {
+        // Fig. 2: Row 1 = 1001 is a proper subset of Row 4 = 1101.
+        let row1 = BitRow::from_bits(&[1, 0, 0, 1]);
+        let row4 = BitRow::from_bits(&[1, 1, 0, 1]);
+        let row5 = row4.clone();
+        assert!(row1.is_subset_of(&row4));
+        assert!(row1.is_proper_subset_of(&row4));
+        assert!(row4.is_subset_of(&row5)); // exact match
+        assert!(!row4.is_proper_subset_of(&row5));
+        assert!(!row4.is_subset_of(&row1));
+    }
+
+    #[test]
+    fn empty_set_is_subset_of_everything() {
+        let zero = BitRow::zeros(8);
+        let any = BitRow::from_bits(&[0, 1, 0, 1, 1, 0, 0, 0]);
+        assert!(zero.is_subset_of(&any));
+        assert!(zero.is_subset_of(&zero));
+    }
+
+    #[test]
+    fn xor_yields_prosparsity_pattern() {
+        // Paper Sec. V-C: 1011 XOR 1001 = 0010.
+        let query = BitRow::from_bits(&[1, 0, 1, 1]);
+        let prefix = BitRow::from_bits(&[1, 0, 0, 1]);
+        assert_eq!(query.xor(&prefix), BitRow::from_bits(&[0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn ones_iterates_ascending() {
+        let r = BitRow::from_ones(200, &[5, 63, 64, 150, 199]);
+        assert_eq!(r.ones().collect::<Vec<_>>(), vec![5, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    fn ones_on_zero_row_is_empty() {
+        assert_eq!(BitRow::zeros(77).ones().count(), 0);
+    }
+
+    #[test]
+    fn slice_zero_pads_past_end() {
+        let r = BitRow::from_ones(10, &[8, 9]);
+        let s = r.slice(8, 4);
+        assert_eq!(s, BitRow::from_bits(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn and_or_behave_as_set_ops() {
+        let a = BitRow::from_bits(&[1, 1, 0, 0]);
+        let b = BitRow::from_bits(&[0, 1, 1, 0]);
+        assert_eq!(a.and(&b), BitRow::from_bits(&[0, 1, 0, 0]));
+        assert_eq!(a.or(&b), BitRow::from_bits(&[1, 1, 1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let a = BitRow::zeros(4);
+        let b = BitRow::zeros(5);
+        let _ = a.is_subset_of(&b);
+    }
+
+    #[test]
+    fn debug_renders_bits() {
+        let r = BitRow::from_bits(&[1, 0, 1]);
+        assert_eq!(format!("{r:?}"), "BitRow(\"101\")");
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types.
+
+use std::fmt;
+
+/// Error raised when matrix shapes are incompatible for an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ShapeError::new("K mismatch: 4 vs 8");
+        assert_eq!(e.to_string(), "shape error: K mismatch: 4 vs 8");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ShapeError::new("x"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Reference spiking-GeMM kernels and operation counting.
+//!
+//! All sparsity schemes in this repository (bit sparsity, product sparsity,
+//! the baselines' structured variants) must produce output identical to
+//! [`spiking_gemm`]; these kernels are the ground truth used by the property
+//! tests.
+
+use crate::matrix::SpikeMatrix;
+use std::ops::AddAssign;
+
+/// A dense `K × N` weight matrix in row-major storage.
+///
+/// Row `k` of the weight matrix is the vector "selected" by a spike in column
+/// `k` of the spike matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightMatrix<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Copy> WeightMatrix<T> {
+    /// Builds a weight matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "weight data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows `K`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `N`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `k` as a slice of length `N`.
+    pub fn row(&self, k: usize) -> &[T] {
+        &self.data[k * self.cols..(k + 1) * self.cols]
+    }
+
+    /// Element at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.data[row * self.cols + col]
+    }
+}
+
+/// Dense row-major output accumulator of shape `M × N`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputMatrix<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Copy + Default + AddAssign> OutputMatrix<T> {
+    /// Creates a zeroed output of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![T::default(); rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows `M`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `N`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice of length `N`.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        self.data[row * self.cols + col]
+    }
+
+    /// Accumulates weight row `w` into output row `i` element-wise.
+    pub fn accumulate_row(&mut self, i: usize, w: &[T]) {
+        let row = self.row_mut(i);
+        assert_eq!(row.len(), w.len(), "accumulate width mismatch");
+        for (o, &x) in row.iter_mut().zip(w) {
+            *o += x;
+        }
+    }
+}
+
+/// Computes the reference spiking GeMM `spikes × weights`.
+///
+/// For each spike `(i, k)` the weight row `k` is accumulated into output row
+/// `i` — the bit-sparse formulation of Sec. II-A. This *is* bit sparsity:
+/// zero bits are skipped entirely.
+///
+/// # Panics
+///
+/// Panics if `spikes.cols() != weights.rows()`.
+pub fn spiking_gemm<T: Copy + Default + AddAssign>(
+    spikes: &SpikeMatrix,
+    weights: &WeightMatrix<T>,
+) -> OutputMatrix<T> {
+    assert_eq!(
+        spikes.cols(),
+        weights.rows(),
+        "inner dimension mismatch: K={} vs {}",
+        spikes.cols(),
+        weights.rows()
+    );
+    let mut out = OutputMatrix::zeros(spikes.rows(), weights.cols());
+    for i in 0..spikes.rows() {
+        for k in spikes.row(i).ones() {
+            out.accumulate_row(i, weights.row(k));
+        }
+    }
+    out
+}
+
+/// Operation counts for one spiking GeMM under different execution schemes.
+///
+/// "Operation" means one scalar accumulation of a weight element, matching
+/// the paper's OP accounting (Fig. 1 counts 24 OPs for the dense 6×4×? case
+/// per output column group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// `M × K × N`: every element processed (dense DNN-style execution).
+    pub dense: u64,
+    /// `nnz(S) × N`: only 1-bits processed (bit sparsity).
+    pub bit_sparse: u64,
+}
+
+/// Counts dense and bit-sparse operations for `spikes × (K × n_cols)`.
+pub fn op_counts(spikes: &SpikeMatrix, n_cols: usize) -> OpCounts {
+    OpCounts {
+        dense: (spikes.rows() * spikes.cols() * n_cols) as u64,
+        bit_sparse: (spikes.total_spikes() * n_cols) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_spikes() -> SpikeMatrix {
+        SpikeMatrix::from_rows_of_bits(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 0, 1, 0],
+            &[1, 1, 0, 1],
+            &[1, 1, 0, 1],
+        ])
+    }
+
+    /// Weight column from Fig. 2 (b): K=4, N=1 with values 0.3, -0.1, 0.5, -0.1.
+    fn fig2_weights() -> WeightMatrix<f64> {
+        WeightMatrix::from_vec(4, 1, vec![0.3, -0.1, 0.5, -0.1])
+    }
+
+    #[test]
+    fn paper_fig2_inner_products() {
+        let out = spiking_gemm(&fig2_spikes(), &fig2_weights());
+        let expect = [0.8, 0.2, 0.7, 0.5, 0.1, 0.1];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!(
+                (out.get(i, 0) - e).abs() < 1e-9,
+                "row {i}: got {} expected {e}",
+                out.get(i, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_integer() {
+        let s = fig2_spikes();
+        let w = WeightMatrix::from_fn(4, 3, |r, c| (r * 3 + c) as i64 + 1);
+        let out = spiking_gemm(&s, &w);
+        for i in 0..s.rows() {
+            for j in 0..3 {
+                let mut acc = 0i64;
+                for k in 0..4 {
+                    if s.get(i, k) {
+                        acc += w.get(k, j);
+                    }
+                }
+                assert_eq!(out.get(i, j), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_spike_matrix_gives_zero_output() {
+        let s = SpikeMatrix::zeros(5, 8);
+        let w = WeightMatrix::from_fn(8, 4, |r, c| (r + c) as i32);
+        let out = spiking_gemm(&s, &w);
+        for i in 0..5 {
+            assert!(out.row(i).iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn op_counts_fig1() {
+        // Fig. 1: 6×4 spike matrix, dense = 24 OPs/column, bit sparse = 14.
+        let s = fig2_spikes();
+        let c = op_counts(&s, 1);
+        assert_eq!(c.dense, 24);
+        assert_eq!(c.bit_sparse, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let s = SpikeMatrix::zeros(2, 3);
+        let w = WeightMatrix::from_fn(4, 2, |_, _| 0i32);
+        let _ = spiking_gemm(&s, &w);
+    }
+
+    #[test]
+    fn weight_matrix_accessors() {
+        let w = WeightMatrix::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(w.rows(), 2);
+        assert_eq!(w.cols(), 3);
+        assert_eq!(w.row(1), &[4, 5, 6]);
+        assert_eq!(w.get(0, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight data length")]
+    fn weight_matrix_rejects_bad_len() {
+        let _ = WeightMatrix::from_vec(2, 3, vec![1]);
+    }
+
+    #[test]
+    fn output_accumulate_row_adds() {
+        let mut o = OutputMatrix::<i32>::zeros(2, 3);
+        o.accumulate_row(1, &[1, 2, 3]);
+        o.accumulate_row(1, &[10, 20, 30]);
+        assert_eq!(o.row(1), &[11, 22, 33]);
+        assert_eq!(o.row(0), &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The binary spike matrix.
+
+use crate::bitrow::BitRow;
+use crate::tile::{TileIter, TileShape};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An `M × K` binary spike matrix.
+///
+/// In an SNN layer, the activations across all `T` time steps are unrolled and
+/// concatenated into a single binary matrix (paper Sec. II-A), so `M` is
+/// typically `T × L` (transformers) or `T × OH × OW` (convolutions after
+/// im2col) and `K` is the input feature dimension.
+///
+/// # Examples
+///
+/// ```
+/// use spikemat::SpikeMatrix;
+///
+/// let m = SpikeMatrix::from_rows_of_bits(&[
+///     &[1, 0, 1, 0],
+///     &[1, 0, 0, 1],
+/// ]);
+/// assert_eq!((m.rows(), m.cols()), (2, 4));
+/// assert_eq!(m.total_spikes(), 4);
+/// assert!((m.density() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeMatrix {
+    rows: Vec<BitRow>,
+    cols: usize,
+}
+
+impl SpikeMatrix {
+    /// Creates an all-zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows: vec![BitRow::zeros(cols); rows],
+            cols,
+        }
+    }
+
+    /// Builds a matrix from pre-constructed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: Vec<BitRow>) -> Self {
+        let cols = rows.first().map_or(0, BitRow::len);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
+        }
+        Self { rows, cols }
+    }
+
+    /// Builds a matrix from slices of 0/1 bytes, one per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have differing lengths.
+    pub fn from_rows_of_bits(rows: &[&[u8]]) -> Self {
+        Self::from_rows(rows.iter().map(|r| BitRow::from_bits(r)).collect())
+    }
+
+    /// Samples a matrix where each bit is 1 with probability `density`.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, density: f64, rng: &mut R) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows `M`.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns `K`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the row at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &BitRow {
+        &self.rows[i]
+    }
+
+    /// All rows in order.
+    pub fn row_slice(&self) -> &[BitRow] {
+        &self.rows
+    }
+
+    /// Reads bit `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i].get(j)
+    }
+
+    /// Writes bit `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        self.rows[i].set(j, value);
+    }
+
+    /// Total number of 1-bits in the matrix.
+    pub fn total_spikes(&self) -> usize {
+        self.rows.iter().map(BitRow::popcount).sum()
+    }
+
+    /// Fraction of 1-bits: the paper's *bit density* (1 − bit sparsity).
+    ///
+    /// Returns 0 for an empty matrix.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows() * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.total_spikes() as f64 / cells as f64
+        }
+    }
+
+    /// Extracts the sub-matrix at `(row_start, col_start)` of shape
+    /// `(n_rows, n_cols)`, zero-padding past the matrix edge.
+    pub fn submatrix(
+        &self,
+        row_start: usize,
+        col_start: usize,
+        n_rows: usize,
+        n_cols: usize,
+    ) -> Self {
+        let rows = (0..n_rows)
+            .map(|r| {
+                if row_start + r < self.rows() {
+                    self.rows[row_start + r].slice(col_start, n_cols)
+                } else {
+                    BitRow::zeros(n_cols)
+                }
+            })
+            .collect();
+        Self {
+            rows,
+            cols: n_cols,
+        }
+    }
+
+    /// Iterates over `m × k` tiles in row-major tile order.
+    ///
+    /// Edge tiles are zero-padded to the full tile shape, matching the
+    /// accelerator's fixed-geometry spike buffer and TCAM.
+    pub fn tiles(&self, shape: TileShape) -> TileIter<'_> {
+        TileIter::new(self, shape)
+    }
+
+    /// Returns the transpose (`K × M`) of this matrix.
+    ///
+    /// Used to lower `Q·Kᵀ` spiking attention onto spiking GeMM.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows());
+        for i in 0..self.rows() {
+            for j in self.rows[i].ones() {
+                t.set(j, i, true);
+            }
+        }
+        t
+    }
+
+    /// Vertically concatenates matrices (e.g. unrolling time steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ or `parts` is empty.
+    pub fn vconcat(parts: &[Self]) -> Self {
+        assert!(!parts.is_empty(), "vconcat of zero matrices");
+        let cols = parts[0].cols;
+        let mut rows = Vec::with_capacity(parts.iter().map(Self::rows).sum());
+        for p in parts {
+            assert_eq!(p.cols, cols, "vconcat column mismatch");
+            rows.extend(p.rows.iter().cloned());
+        }
+        Self { rows, cols }
+    }
+}
+
+impl std::fmt::Debug for SpikeMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "SpikeMatrix {}x{} [", self.rows(), self.cols)?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_matrix() -> SpikeMatrix {
+        // Fig. 1 (b) / Fig. 2 (a) spike matrix.
+        SpikeMatrix::from_rows_of_bits(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 0, 1],
+            &[1, 0, 1, 1],
+            &[0, 0, 1, 0],
+            &[1, 1, 0, 1],
+            &[1, 1, 0, 1],
+        ])
+    }
+
+    #[test]
+    fn shape_and_density() {
+        let m = paper_matrix();
+        assert_eq!(m.rows(), 6);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.total_spikes(), 14);
+        assert!((m.density() - 14.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_density_is_zero() {
+        assert_eq!(SpikeMatrix::zeros(3, 5).density(), 0.0);
+        assert_eq!(SpikeMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn submatrix_extracts_and_pads() {
+        let m = paper_matrix();
+        let s = m.submatrix(4, 2, 3, 3);
+        // rows 4,5 cols 2..5 (col 4 padded), row 6 padded.
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.row(0), &BitRow::from_bits(&[0, 1, 0]));
+        assert_eq!(s.row(1), &BitRow::from_bits(&[0, 1, 0]));
+        assert!(s.row(2).is_zero());
+    }
+
+    #[test]
+    fn random_density_is_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = SpikeMatrix::random(200, 200, 0.2, &mut rng);
+        assert!((m.density() - 0.2).abs() < 0.02, "got {}", m.density());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = paper_matrix();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 6);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                assert_eq!(m.get(i, j), t.get(j, i));
+            }
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn vconcat_stacks_time_steps() {
+        let a = paper_matrix();
+        let b = paper_matrix();
+        let c = SpikeMatrix::vconcat(&[a.clone(), b]);
+        assert_eq!(c.rows(), 12);
+        assert_eq!(c.row(6), a.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn vconcat_rejects_mismatched_cols() {
+        let a = SpikeMatrix::zeros(1, 3);
+        let b = SpikeMatrix::zeros(1, 4);
+        let _ = SpikeMatrix::vconcat(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_rejects_ragged() {
+        let _ = SpikeMatrix::from_rows(vec![BitRow::zeros(3), BitRow::zeros(4)]);
+    }
+}

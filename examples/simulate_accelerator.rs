@@ -1,0 +1,72 @@
+//! Simulate a full SNN workload on the Prosperity accelerator and every
+//! baseline, printing a Table IV-style comparison.
+//!
+//! Run with `cargo run --release --example simulate_accelerator [scale]`
+//! where `scale` (default 0.25) subsamples layer rows for speed.
+
+use prosperity::baselines::a100::A100;
+use prosperity::baselines::eyeriss::Eyeriss;
+use prosperity::baselines::mint::Mint;
+use prosperity::baselines::ptb::Ptb;
+use prosperity::baselines::sato::Sato;
+use prosperity::baselines::stellar::Stellar;
+use prosperity::models::Workload;
+use prosperity::sim::{simulate_model, AreaModel, EnergyModel, ProsperityConfig};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let workload = Workload::vgg16_cifar100();
+    println!("workload: {} (scale {scale})", workload.name());
+    println!("generating calibrated activation trace...");
+    let trace = workload.generate_trace(scale);
+    println!(
+        "  {} layers, {:.2} GOP dense, bit density {:.2}%\n",
+        trace.layers.len(),
+        trace.dense_ops() as f64 / 1e9,
+        100.0 * trace.bit_density()
+    );
+
+    let config = ProsperityConfig::default();
+    let perf = simulate_model(&trace, &config);
+    let energy = EnergyModel::default().energy(&perf.events);
+    let area = AreaModel::default().area(&config);
+
+    println!("Prosperity (m={} k={} n={}):", config.tile.m, config.tile.k, config.n_tile);
+    println!("  cycles          : {}", perf.cycles);
+    println!("  latency         : {:.3} ms", 1e3 * perf.time_seconds());
+    println!("  throughput      : {:.1} GOP/s", perf.throughput_gops());
+    println!("  energy          : {:.3} mJ ({:.1}% DRAM)", 1e3 * energy.total(),
+        100.0 * energy.dram / energy.total());
+    println!("  area            : {:.3} mm2", area.total());
+    println!("  bit density     : {:.2}%", 100.0 * perf.stats.bit_density());
+    println!("  product density : {:.2}%\n", 100.0 * perf.stats.pro_density());
+
+    println!("{:<12} {:>12} {:>14} {:>10}", "baseline", "latency ms", "energy mJ", "speedup");
+    let mine = perf.time_seconds();
+    let report = |name: &str, time_s: f64, energy_j: f64| {
+        println!(
+            "{:<12} {:>12.3} {:>14.3} {:>9.2}x",
+            name,
+            1e3 * time_s,
+            1e3 * energy_j,
+            time_s / mine
+        );
+    };
+    let e = Eyeriss::default().simulate(&trace);
+    report("Eyeriss", e.time_s, e.energy_j);
+    let p = Ptb::default().simulate(&trace);
+    report("PTB", p.time_s, p.energy_j);
+    let s = Sato::default().simulate(&trace);
+    report("SATO", s.time_s, s.energy_j);
+    let m = Mint::default().simulate(&trace);
+    report("MINT", m.time_s, m.energy_j);
+    if let Some(st) = Stellar::default().simulate(&trace) {
+        report("Stellar", st.time_s, st.energy_j);
+    }
+    let g = A100::default().simulate(&trace);
+    report("A100", g.time_s, g.energy_j);
+    println!("\n(speedup = baseline latency / Prosperity latency)");
+}

@@ -1,0 +1,69 @@
+//! Per-layer ProSparsity analysis of a spiking transformer (SpikeBERT):
+//! which layers exhibit the most product sparsity, how Exact/Partial Match
+//! split, and what a second prefix would add (the Table II question).
+//!
+//! Run with `cargo run --release --example transformer_trace_analysis`.
+
+use prosperity::core::multi_prefix::analyze_matrix;
+use prosperity::core::ProSparsityPlan;
+use prosperity::models::{LayerKind, Workload};
+use prosperity::spikemat::TileShape;
+
+fn main() {
+    let workload = Workload::fig8_suite()
+        .into_iter()
+        .find(|w| w.name() == "SpikeBERT/SST-2")
+        .expect("suite contains SpikeBERT/SST-2");
+    println!("workload: {} — generating trace...\n", workload.name());
+    let trace = workload.generate_trace(0.25);
+    let tile = TileShape::prosperity_default();
+
+    println!(
+        "{:<26} {:>6} {:>9} {:>9} {:>7} {:>7} {:>8}",
+        "layer (block 0 + cls)", "kind", "bit", "product", "EM%", "PM%", "2nd pfx"
+    );
+    println!("{}", "-".repeat(80));
+    for l in trace.layers.iter().filter(|l| {
+        l.spec.name.contains("block0") || l.spec.name.contains("classifier")
+    }) {
+        let plan = ProSparsityPlan::build_tiled(&l.spikes, tile);
+        let s = plan.stats();
+        let two = analyze_matrix(&l.spikes, tile);
+        let kind = match l.spec.kind {
+            LayerKind::Conv => "conv",
+            LayerKind::Linear => "lin",
+            LayerKind::Attention => "attn",
+        };
+        println!(
+            "{:<26} {:>6} {:>8.2}% {:>8.2}% {:>6.1}% {:>6.1}% {:>7.2}%",
+            l.spec.name.trim_start_matches("spikebert."),
+            kind,
+            100.0 * s.bit_density(),
+            100.0 * s.pro_density(),
+            100.0 * s.em_rows as f64 / s.rows.max(1) as f64,
+            100.0 * s.pm_rows as f64 / s.rows.max(1) as f64,
+            100.0 * two.two_prefix_ratio(),
+        );
+    }
+
+    // Whole-model aggregate.
+    let mut agg = prosperity::core::ProStats::default();
+    for l in &trace.layers {
+        agg += *ProSparsityPlan::build_tiled(&l.spikes, tile).stats();
+    }
+    println!("{}", "-".repeat(80));
+    println!(
+        "whole model: bit {:.2}% -> product {:.2}%  ({:.1}x computation reduction)",
+        100.0 * agg.bit_density(),
+        100.0 * agg.pro_density(),
+        agg.reduction()
+    );
+    println!(
+        "prefix ratio {:.1}% (EM {:.1}%, PM {:.1}%)",
+        100.0 * agg.prefix_ratio(),
+        100.0 * agg.em_rows as f64 / agg.rows.max(1) as f64,
+        100.0 * agg.pm_rows as f64 / agg.rows.max(1) as f64
+    );
+    println!("\nThe attention GeMMs are the layers prior SNN ASICs cannot run;");
+    println!("Prosperity processes them with the same PPU + SFU (paper Sec. IV).");
+}

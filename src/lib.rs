@@ -1,0 +1,37 @@
+//! Prosperity reproduction — umbrella crate.
+//!
+//! Re-exports the public API of every sub-crate so examples and downstream
+//! users can depend on a single package:
+//!
+//! * [`spikemat`] — bit-packed spike matrices, tiling, reference GeMM.
+//! * [`core`] — the Product Sparsity algorithm (the paper's contribution).
+//! * [`neuron`] — LIF/FS spiking neuron models.
+//! * [`models`] — SNN model zoo and calibrated activation-trace generation.
+//! * [`sim`] — cycle-accurate Prosperity simulator and energy model.
+//! * [`baselines`] — Eyeriss / PTB / SATO / MINT / Stellar / LoAS / A100.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use prosperity::core::ProSparsityPlan;
+//! use prosperity::spikemat::{SpikeMatrix, TileShape};
+//!
+//! let spikes = SpikeMatrix::from_rows_of_bits(&[
+//!     &[1, 0, 1, 0],
+//!     &[1, 0, 0, 1],
+//!     &[1, 0, 1, 1],
+//!     &[0, 0, 1, 0],
+//!     &[1, 1, 0, 1],
+//!     &[1, 1, 0, 1],
+//! ]);
+//! let plan = ProSparsityPlan::build(&spikes);
+//! // Product sparsity reduces the 14 bit-sparse ops of this matrix to 6.
+//! assert!(plan.stats().pro_ops < plan.stats().bit_ops);
+//! ```
+
+pub use prosperity_baselines as baselines;
+pub use prosperity_core as core;
+pub use prosperity_models as models;
+pub use prosperity_neuron as neuron;
+pub use prosperity_sim as sim;
+pub use spikemat;

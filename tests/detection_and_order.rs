@@ -1,0 +1,117 @@
+//! Property tests of the PPU front end: TCAM detection equivalence, pruning
+//! invariants, forest structure, and temporal-order validity.
+
+use proptest::prelude::*;
+use prosperity::core::detect::{detect_tile, naive_subsets, TcamDetector};
+use prosperity::core::order::{forest_walk_order, is_valid_order, sorted_order, BitonicSorter};
+use prosperity::core::plan::TileMeta;
+use prosperity::core::prune::prune_tile;
+use prosperity::core::{MatchKind, ProSparsityForest};
+use prosperity::spikemat::SpikeMatrix;
+
+fn arb_tile(max_m: usize, max_k: usize) -> impl Strategy<Value = SpikeMatrix> {
+    (1..=max_m, 1..=max_k).prop_flat_map(|(m, k)| {
+        proptest::collection::vec(proptest::collection::vec(0u8..2, k), m).prop_map(|rows| {
+            SpikeMatrix::from_rows_of_bits(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tcam_equals_naive_pairwise_search(tile in arb_tile(40, 24)) {
+        prop_assert_eq!(detect_tile(&tile), naive_subsets(&tile));
+    }
+
+    #[test]
+    fn tcam_match_vector_is_subset_semantics(tile in arb_tile(24, 16), q in 0usize..24) {
+        let q = q % tile.rows();
+        let tcam = TcamDetector::load(&tile);
+        let si = tcam.query(tile.row(q));
+        for (j, &matched) in si.iter().enumerate() {
+            prop_assert_eq!(matched, tile.row(j).is_subset_of(tile.row(q)));
+        }
+    }
+
+    #[test]
+    fn pruner_invariants(tile in arb_tile(40, 20)) {
+        let detected = detect_tile(&tile);
+        let pruned = prune_tile(&tile, &detected);
+        for (i, row) in pruned.iter().enumerate() {
+            match row.prefix {
+                Some(p) => {
+                    // Prefix is a nonzero subset respecting the partial order.
+                    prop_assert!(tile.row(p).is_subset_of(tile.row(i)));
+                    prop_assert!(tile.row(p).popcount() > 0);
+                    let (pp, pi) = (tile.row(p).popcount(), tile.row(i).popcount());
+                    prop_assert!(pp < pi || (pp == pi && p < i));
+                    // Pattern = set difference; kind consistent.
+                    prop_assert_eq!(&row.pattern, &tile.row(i).xor(tile.row(p)));
+                    match row.kind {
+                        MatchKind::Exact => prop_assert!(row.pattern.is_zero()),
+                        MatchKind::Partial => prop_assert!(!row.pattern.is_zero()),
+                        MatchKind::None => prop_assert!(false, "prefix with kind None"),
+                    }
+                }
+                None => {
+                    prop_assert_eq!(row.kind, MatchKind::None);
+                    prop_assert_eq!(&row.pattern, tile.row(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_is_acyclic_and_orders_are_valid(tile in arb_tile(48, 16)) {
+        let detected = detect_tile(&tile);
+        let pruned = prune_tile(&tile, &detected);
+        let forest = ProSparsityForest::from_pruned(&pruned);
+        prop_assert!(forest.validate());
+        prop_assert!(forest.max_depth() < forest.len().max(1));
+        // Both dispatch strategies produce valid topological orders.
+        prop_assert!(is_valid_order(&forest, &sorted_order(&detected.popcounts)));
+        prop_assert!(is_valid_order(&forest, &forest_walk_order(&forest)));
+    }
+
+    #[test]
+    fn bitonic_sorter_matches_stable_sort(pcs in proptest::collection::vec(0usize..32, 0..300)) {
+        let (order, sorter) = BitonicSorter::sort(&pcs);
+        prop_assert_eq!(order, sorted_order(&pcs));
+        if pcs.len() > 1 {
+            prop_assert!(sorter.stages() > 0);
+        }
+    }
+
+    #[test]
+    fn tile_meta_consistency(tile in arb_tile(32, 16)) {
+        let meta = TileMeta::build(&tile, 0, 0);
+        // Order is a permutation.
+        let mut seen = vec![false; tile.rows()];
+        for &r in &meta.order {
+            prop_assert!(!seen[r]);
+            seen[r] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        // Stats bit ops equal actual spikes.
+        let s = meta.stats(tile.total_spikes() as u64);
+        prop_assert_eq!(s.rows as usize, tile.rows());
+        prop_assert!(s.pro_ops <= s.bit_ops);
+    }
+}
+
+#[test]
+fn identical_rows_chain_by_index() {
+    // All-equal tiles form a single EM chain 0 <- 1 <- 2 ... via the
+    // largest-index tie-break, except row 0 (root).
+    let row: &[u8] = &[1, 0, 1];
+    let tile = SpikeMatrix::from_rows_of_bits(&[row; 5]);
+    let pruned = prune_tile(&tile, &detect_tile(&tile));
+    assert_eq!(pruned[0].prefix, None);
+    #[allow(clippy::needless_range_loop)]
+    for i in 1..5 {
+        assert_eq!(pruned[i].prefix, Some(i - 1), "row {i}");
+        assert_eq!(pruned[i].kind, MatchKind::Exact);
+    }
+}

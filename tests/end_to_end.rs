@@ -1,0 +1,138 @@
+//! End-to-end reproduction sanity: the headline relationships of the paper's
+//! evaluation must hold on freshly generated calibrated traces.
+
+use prosperity::baselines::a100::A100;
+use prosperity::baselines::eyeriss::Eyeriss;
+use prosperity::baselines::loas::{evaluate, table5_models};
+use prosperity::baselines::mint::Mint;
+use prosperity::baselines::ptb::Ptb;
+use prosperity::baselines::sato::Sato;
+use prosperity::baselines::stellar::{fs_density, Stellar};
+use prosperity::core::ProSparsityPlan;
+use prosperity::models::Workload;
+use prosperity::sim::{simulate_model, EnergyModel, ProsperityConfig};
+use prosperity::spikemat::TileShape;
+
+/// VGG-16/CIFAR-100 at small scale: the Table I relationships.
+#[test]
+fn table1_relationships_hold() {
+    let w = Workload::vgg16_cifar100();
+    let trace = w.generate_trace(0.12);
+    let config = ProsperityConfig::default();
+    let perf = simulate_model(&trace, &config);
+
+    // Densities: product far below bit, bit in the calibrated band.
+    let bit = perf.stats.bit_density();
+    let pro = perf.stats.pro_density();
+    assert!((bit - 0.3421).abs() < 0.05, "bit density {bit}");
+    assert!(pro < 0.08, "product density {pro}");
+    assert!(bit / pro > 4.0, "reduction {}", bit / pro);
+
+    // Speedups: Prosperity > PTB > dense.
+    let dense = Eyeriss::default().simulate(&trace);
+    let ptb = Ptb::default().simulate(&trace);
+    let mine = perf.time_seconds();
+    assert!(ptb.time_s < dense.time_s);
+    assert!(mine < ptb.time_s);
+    let speedup = dense.time_s / mine;
+    assert!(
+        speedup > 8.0 && speedup < 30.0,
+        "dense speedup {speedup} out of the paper's band (17.55x)"
+    );
+}
+
+/// Fig. 8 ordering on one CNN and one transformer workload.
+#[test]
+fn fig8_ordering_holds() {
+    for w in [&Workload::fig8_suite()[2], &Workload::fig8_suite()[13]] {
+        let trace = w.generate_trace(0.12);
+        let config = ProsperityConfig::default();
+        let perf = simulate_model(&trace, &config);
+        let energy = EnergyModel::default().energy(&perf.events);
+
+        let eyeriss = Eyeriss::default().simulate(&trace);
+        let ptb = Ptb::default().simulate(&trace);
+        let sato = Sato::default().simulate(&trace);
+        let mint = Mint::default().simulate(&trace);
+        let a100 = A100::default().simulate(&trace);
+
+        // Prosperity is the fastest accelerator on every workload.
+        for other in [&eyeriss, &ptb, &sato, &mint, &a100] {
+            assert!(
+                perf.time_seconds() < other.time_s,
+                "{}: Prosperity must beat {}",
+                w.name(),
+                other.name
+            );
+        }
+        // And by far the most energy-efficient vs the GPU.
+        assert!(
+            a100.energy_j / energy.total() > 20.0,
+            "{}: A100 energy gap too small",
+            w.name()
+        );
+        // Stellar supports CNNs only.
+        assert_eq!(
+            Stellar::default().simulate(&trace).is_some(),
+            !w.arch.is_transformer()
+        );
+    }
+}
+
+/// Fig. 11: bit > FS > product for every evaluated density regime.
+#[test]
+fn fig11_density_ordering() {
+    for w in Workload::fig11_suite().iter().step_by(4) {
+        let trace = w.generate_trace(0.1);
+        let mut bit = 0u64;
+        let mut pro = 0u64;
+        let mut dense = 0u64;
+        for l in &trace.layers {
+            let plan = ProSparsityPlan::build_tiled(&l.spikes, TileShape::prosperity_default());
+            bit += plan.stats().bit_ops;
+            pro += plan.stats().pro_ops;
+            dense += plan.stats().dense_ops;
+        }
+        let bit_d = bit as f64 / dense as f64;
+        let pro_d = pro as f64 / dense as f64;
+        let fs_d = fs_density(bit_d, 4, 2);
+        assert!(pro_d < fs_d, "{}: product {pro_d} !< FS {fs_d}", w.name());
+        assert!(fs_d < bit_d, "{}: FS {fs_d} !< bit {bit_d}", w.name());
+    }
+}
+
+/// Table V: ProSparsity composes with LoAS weight pruning.
+#[test]
+fn table5_ratios_hold() {
+    let mut model = table5_models()[1]; // VGG-16
+    model.layer_m = 512;
+    model.layer_k = 512;
+    let r = evaluate(&model, 1234);
+    assert!(r.ratio() > 2.0, "reduction {}", r.ratio());
+    assert!((r.weight_density - 0.018).abs() < 1e-12, "pruning untouched");
+}
+
+/// Sec. VII-G: the measured ΔS of calibrated workloads clears the 4.4 %
+/// break-even threshold.
+#[test]
+fn cost_model_break_even_cleared() {
+    use prosperity::sim::cost_model::CostInputs;
+    let w = Workload::vgg16_cifar100();
+    let trace = w.generate_trace(0.1);
+    let mut bit = 0u64;
+    let mut pro = 0u64;
+    let mut dense = 0u64;
+    for l in &trace.layers {
+        let plan = ProSparsityPlan::build_tiled(&l.spikes, TileShape::prosperity_default());
+        bit += plan.stats().bit_ops;
+        pro += plan.stats().pro_ops;
+        dense += plan.stats().dense_ops;
+    }
+    let delta_s = (bit - pro) as f64 / dense as f64;
+    let inputs = CostInputs {
+        delta_s,
+        ..CostInputs::paper_default()
+    };
+    assert!(delta_s > inputs.break_even_delta_s(), "dS {delta_s}");
+    assert!(inputs.benefit_cost_ratio() > 1.0);
+}

@@ -1,0 +1,139 @@
+//! Property tests on the substrates: im2col/convolution equivalence, LIF
+//! dynamics, encoders, and the trace generator's statistical contracts.
+
+use proptest::prelude::*;
+use prosperity::models::{TraceGen, TraceGenParams};
+use prosperity::neuron::encode::{direct_code, rate_code};
+use prosperity::neuron::{FsNeuron, FsParams, LifNeuron, LifParams, ResetMode};
+use prosperity::spikemat::gemm::WeightMatrix;
+use prosperity::spikemat::im2col::{im2col_equals_direct, Conv2dParams, SpikeFeatureMap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn im2col_equals_direct_convolution(
+        c in 1usize..4,
+        cout in 1usize..5,
+        size in 3usize..9,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        wseed in any::<i32>(),
+    ) {
+        prop_assume!(size + 2 * padding >= kernel);
+        let params = Conv2dParams::square(c, cout, size, kernel, stride, padding);
+        let mut input = SpikeFeatureMap::zeros(c, size, size);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                let idx = i % (c * size * size);
+                input.set(idx / (size * size), (idx / size) % size, idx % size, true);
+            }
+        }
+        let k = c * kernel * kernel;
+        let w = WeightMatrix::from_fn(k, cout, |r, col| {
+            i64::from(wseed).wrapping_mul(17) + (r * cout + col) as i64 * 13 - 50
+        });
+        prop_assert!(im2col_equals_direct(&input, &w, &params));
+    }
+
+    #[test]
+    fn lif_spikes_only_at_threshold(
+        currents in proptest::collection::vec(-2.0f32..2.0, 1..50),
+        threshold in 0.5f32..2.0,
+        leak in 0.0f32..1.0,
+    ) {
+        let mut n = LifNeuron::new(LifParams {
+            threshold,
+            leak,
+            reset: ResetMode::Hard(0.0),
+        });
+        for &c in &currents {
+            let before = n.potential();
+            let fired = n.step(c);
+            let integrated = leak * before + c;
+            prop_assert_eq!(fired, integrated >= threshold);
+            if fired {
+                prop_assert_eq!(n.potential(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fs_neuron_spike_cap_and_monotone_decode(
+        v in 0.0f32..2.0,
+        max_spikes in 1usize..5,
+    ) {
+        let n = FsNeuron::new(FsParams {
+            window: 8,
+            full_scale: 2.0,
+            max_spikes,
+        });
+        let spikes = n.encode(v);
+        prop_assert!(spikes.iter().map(|&s| s as usize).sum::<usize>() <= max_spikes);
+        // Decoded value never exceeds the encoded one (greedy underestimates).
+        prop_assert!(n.decode(&spikes) <= v + 1e-6);
+    }
+
+    #[test]
+    fn tracegen_density_contract(
+        density in 0.05f64..0.6,
+        reuse in 0.0f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let g = TraceGen::new(TraceGenParams {
+            bit_density: density,
+            reuse,
+            em_fraction: 0.3,
+            extra_bits: 2.0,
+            window: 32,
+            max_chain: 6,
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = g.generate(512, 64, &mut rng);
+        prop_assert!((m.density() - density).abs() < 0.08,
+            "target {} got {}", density, m.density());
+    }
+}
+
+#[test]
+fn rate_code_empirical_density() {
+    let mut rng = StdRng::seed_from_u64(5);
+    use rand::Rng;
+    let m = rate_code(&[0.25; 256], 16, || rng.gen());
+    assert!((m.density() - 0.25).abs() < 0.03, "density {}", m.density());
+}
+
+#[test]
+fn direct_code_is_deterministic() {
+    let a = direct_code(&[0.7, 0.2, 1.4], 6, LifParams::default());
+    let b = direct_code(&[0.7, 0.2, 1.4], 6, LifParams::default());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tracegen_reuse_creates_prefix_structure() {
+    use prosperity::core::ProSparsityPlan;
+    use prosperity::spikemat::TileShape;
+    let mut rng = StdRng::seed_from_u64(9);
+    let correlated = TraceGen::new(TraceGenParams {
+        bit_density: 0.3,
+        reuse: 0.8,
+        em_fraction: 0.4,
+        extra_bits: 2.0,
+        window: 32,
+        max_chain: 6,
+    })
+    .generate(512, 64, &mut rng);
+    let random = TraceGen::new(TraceGenParams::uncorrelated(0.3)).generate(512, 64, &mut rng);
+    let tile = TileShape::new(256, 16);
+    let d_corr = ProSparsityPlan::build_tiled(&correlated, tile).stats().pro_density();
+    let d_rand = ProSparsityPlan::build_tiled(&random, tile).stats().pro_density();
+    assert!(
+        d_corr < d_rand,
+        "correlation must increase product sparsity: {d_corr} vs {d_rand}"
+    );
+}
