@@ -98,19 +98,22 @@ mod tests {
     #[test]
     fn overhead_dominates_tiny_models() {
         let g = A100::default();
-        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
-            .generate_trace(0.25);
+        let t =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3).generate_trace(0.25);
         let p = g.simulate(&t);
         let overhead = g.layer_overhead_s * t.layers.len() as f64;
         assert!(p.time_s >= overhead);
-        assert!(p.time_s < 2.0 * overhead, "tiny model should be launch-bound");
+        assert!(
+            p.time_s < 2.0 * overhead,
+            "tiny model should be launch-bound"
+        );
     }
 
     #[test]
     fn energy_is_power_times_time() {
         let g = A100::default();
-        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
-            .generate_trace(0.25);
+        let t =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3).generate_trace(0.25);
         let p = g.simulate(&t);
         assert!((p.energy_j - p.time_s * 100.0).abs() < 1e-12);
     }
@@ -118,8 +121,8 @@ mod tests {
     #[test]
     fn large_models_run_proportionally_faster_per_op() {
         let g = A100::default();
-        let small = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
-            .generate_trace(0.5);
+        let small =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3).generate_trace(0.5);
         let large = Workload::new(Architecture::SpikeBert, Dataset::Sst2, 0.13, 0.012, 3)
             .generate_trace(0.5);
         let ps = g.simulate(&small);

@@ -54,30 +54,38 @@ mod tests {
 
     #[test]
     fn throughput_matches_table4_anchor() {
-        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1)
-            .generate_trace(0.25);
+        let t =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1).generate_trace(0.25);
         let p = Eyeriss::default().simulate(&t);
         // Dense throughput is utilization-limited peak: 168·0.5 GHz·0.35.
-        assert!((p.throughput_gops() - 29.4).abs() < 0.01, "{}", p.throughput_gops());
-        assert!((p.energy_eff_gopj() - 16.67).abs() < 0.01, "{}", p.energy_eff_gopj());
+        assert!(
+            (p.throughput_gops() - 29.4).abs() < 0.01,
+            "{}",
+            p.throughput_gops()
+        );
+        assert!(
+            (p.energy_eff_gopj() - 16.67).abs() < 0.01,
+            "{}",
+            p.energy_eff_gopj()
+        );
     }
 
     #[test]
     fn time_scales_with_dense_ops() {
-        let small = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1)
-            .generate_trace(0.25);
-        let big = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1)
-            .generate_trace(0.5);
+        let small =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1).generate_trace(0.25);
+        let big =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1).generate_trace(0.5);
         let e = Eyeriss::default();
         assert!(e.simulate(&big).time_s > e.simulate(&small).time_s);
     }
 
     #[test]
     fn density_does_not_matter_to_dense_hardware() {
-        let sparse = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.05, 0.02, 1)
-            .generate_trace(0.25);
-        let dense = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.6, 0.3, 1)
-            .generate_trace(0.25);
+        let sparse =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.05, 0.02, 1).generate_trace(0.25);
+        let dense =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.6, 0.3, 1).generate_trace(0.25);
         let e = Eyeriss::default();
         let a = e.simulate(&sparse);
         let b = e.simulate(&dense);

@@ -18,7 +18,7 @@ pub struct Mint {
     /// Clock (500 MHz).
     pub freq_hz: f64,
     /// Systolic utilization on bit-sparse work.
-    pub utilization: 	f64,
+    pub utilization: f64,
     /// Energy per (2-bit) accumulation, pJ — cheaper than 8-bit baselines.
     pub energy_per_op_pj: f64,
     /// Weight precision in bits (2).
@@ -87,10 +87,10 @@ mod tests {
 
     #[test]
     fn time_scales_with_density() {
-        let sparse = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.1, 0.05, 2)
-            .generate_trace(0.25);
-        let dense = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.5, 0.2, 2)
-            .generate_trace(0.25);
+        let sparse =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.1, 0.05, 2).generate_trace(0.25);
+        let dense =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.5, 0.2, 2).generate_trace(0.25);
         let m = Mint::default();
         assert!(m.simulate(&dense).time_s > m.simulate(&sparse).time_s);
     }

@@ -57,7 +57,10 @@ impl Ptb {
         let stride = m.div_ceil(window);
         let mut processed = 0u64;
         for p in 0..stride {
-            let members: Vec<usize> = (0..window).map(|t| p + t * stride).filter(|&r| r < m).collect();
+            let members: Vec<usize> = (0..window)
+                .map(|t| p + t * stride)
+                .filter(|&r| r < m)
+                .collect();
             if members.is_empty() {
                 continue;
             }
@@ -126,13 +129,7 @@ mod tests {
     #[test]
     fn ragged_rows_fall_into_strided_windows() {
         // M = 5, T = 4 → stride 2: windows {0,2,4} and {1,3}.
-        let s = SpikeMatrix::from_rows_of_bits(&[
-            &[1, 0],
-            &[0, 0],
-            &[0, 0],
-            &[0, 0],
-            &[0, 1],
-        ]);
+        let s = SpikeMatrix::from_rows_of_bits(&[&[1, 0], &[0, 0], &[0, 0], &[0, 0], &[0, 1]]);
         let ptb = Ptb::default();
         // Window {0,2,4}: union 11 → 2 cols × 3 steps; window {1,3}: silent.
         assert_eq!(ptb.structured_ops(&s, 1), 6);
@@ -154,8 +151,8 @@ mod tests {
     #[test]
     fn skips_attention_layers() {
         use prosperity_models::{Architecture, Dataset, Workload};
-        let trace = Workload::new(Architecture::Sdt, Dataset::Cifar10, 0.2, 0.05, 3)
-            .generate_trace(0.1);
+        let trace =
+            Workload::new(Architecture::Sdt, Dataset::Cifar10, 0.2, 0.05, 3).generate_trace(0.1);
         let ptb = Ptb::default();
         let perf = ptb.simulate(&trace);
         // Rebuild ops counting all layers: must exceed the supported-only sum.

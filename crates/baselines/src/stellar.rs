@@ -108,8 +108,8 @@ mod tests {
 
     #[test]
     fn cnn_uses_reported_numbers() {
-        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
-            .generate_trace(0.25);
+        let t =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3).generate_trace(0.25);
         let p = Stellar::default().simulate(&t).unwrap();
         assert!((p.throughput_gops() - 190.44).abs() < 0.01);
         assert!((p.energy_eff_gopj() - 142.98).abs() < 0.01);

@@ -12,7 +12,10 @@ fn main() {
     header("Sec. VII-G", "ProSparsity benefit/cost trade-off");
     let c = CostInputs::paper_default();
     println!("tile m={} k={} n={}", c.m, c.k, c.n);
-    println!("break-even dS*      : {}   (paper: 4.4%)", pct(c.break_even_delta_s()));
+    println!(
+        "break-even dS*      : {}   (paper: 4.4%)",
+        pct(c.break_even_delta_s())
+    );
     println!(
         "ratio @ paper dS    : {:.2}x   (paper: 3.0x at dS = 13.35%)",
         c.benefit_cost_ratio()

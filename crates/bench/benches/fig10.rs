@@ -11,7 +11,10 @@ use prosperity_models::Workload;
 use prosperity_sim::{simulate_model, AreaModel, EnergyModel, ProsperityConfig};
 
 fn main() {
-    header("Fig. 10", "Prosperity area and power breakdown (Spikformer/CIFAR10)");
+    header(
+        "Fig. 10",
+        "Prosperity area and power breakdown (Spikformer/CIFAR10)",
+    );
     let w = Workload::fig8_suite()[4]; // Spikformer / CIFAR10
     assert_eq!(w.name(), "Spikformer/CIFAR10");
     let trace = w.generate_trace(scale());
@@ -21,14 +24,29 @@ fn main() {
     let time = perf.time_seconds();
     let area = AreaModel::default().area(&config);
 
-    println!("{:<12} {:>12} {:>12} {:>14} {:>12}", "component", "area mm2", "paper", "power mW", "paper");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>12}",
+        "component", "area mm2", "paper", "power mW", "paper"
+    );
     rule(68);
     let mw = |j: f64| 1e3 * j / time;
     let rows = [
         ("Detector", area.detector, 0.021, mw(energy.detector), 268.6),
         ("Pruner", area.pruner, 0.020, mw(energy.pruner), 3.1),
-        ("Dispatcher", area.dispatcher, 0.088, mw(energy.dispatcher), 24.1),
-        ("Processor", area.processor, 0.074, mw(energy.processor), 55.0),
+        (
+            "Dispatcher",
+            area.dispatcher,
+            0.088,
+            mw(energy.dispatcher),
+            24.1,
+        ),
+        (
+            "Processor",
+            area.processor,
+            0.074,
+            mw(energy.processor),
+            55.0,
+        ),
         ("Other", area.other, 0.022, mw(energy.other), 16.3),
         ("Buffer", area.buffer, 0.303, mw(energy.buffer), 80.4),
         ("DRAM", 0.0, 0.0, mw(energy.dram), 467.5),
@@ -54,11 +72,7 @@ fn main() {
         "915.0"
     );
     println!();
-    println!(
-        "observations: the Dispatcher's product-sparsity table dominates non-buffer"
-    );
-    println!(
-        "area; the Detector's always-on TCAM dominates on-chip power; DRAM dominates"
-    );
+    println!("observations: the Dispatcher's product-sparsity table dominates non-buffer");
+    println!("area; the Detector's always-on TCAM dominates on-chip power; DRAM dominates");
     println!("total power — matching the paper's Fig. 10 narrative.");
 }

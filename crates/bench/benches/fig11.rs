@@ -70,8 +70,6 @@ fn main() {
     let mean_red = reductions.iter().sum::<f64>() / reductions.len() as f64;
     let max_red = reductions.iter().cloned().fold(0.0f64, f64::max);
     let mean_fs = fs_ratios.iter().sum::<f64>() / fs_ratios.len() as f64;
-    println!(
-        "bit/product: mean {mean_red:.1}x (paper 5.0x), max {max_red:.1}x (paper 19.7x)"
-    );
+    println!("bit/product: mean {mean_red:.1}x (paper 5.0x), max {max_red:.1}x (paper 19.7x)");
     println!("FS/product : mean {mean_fs:.1}x (paper 3.2x)");
 }

@@ -20,7 +20,10 @@ fn traces(s: f64) -> Vec<ModelTrace> {
 }
 
 fn main() {
-    header("Fig. 7", "Tile-size exploration (latency, density, area, power)");
+    header(
+        "Fig. 7",
+        "Tile-size exploration (latency, density, area, power)",
+    );
     let t = traces(scale());
 
     println!("sweep of m (k = 16):");

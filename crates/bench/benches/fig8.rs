@@ -9,7 +9,10 @@ use prosperity_bench::{geomean, header, rule, run_ensemble, scale, Ensemble};
 use prosperity_models::Workload;
 
 fn main() {
-    header("Fig. 8", "End-to-end speedup & energy efficiency (norm. to Eyeriss)");
+    header(
+        "Fig. 8",
+        "End-to-end speedup & energy efficiency (norm. to Eyeriss)",
+    );
     let workloads = Workload::fig8_suite();
     let s = scale();
 

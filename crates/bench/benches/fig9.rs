@@ -15,7 +15,10 @@ use prosperity_models::Workload;
 use prosperity_sim::{simulate_model, ProsperityConfig, SimMode};
 
 fn main() {
-    header("Fig. 9", "Ablation: bit sparsity -> ProSparsity -> fast dispatch");
+    header(
+        "Fig. 9",
+        "Ablation: bit sparsity -> ProSparsity -> fast dispatch",
+    );
     let s = scale();
     let workloads = Workload::fig8_suite();
 
@@ -51,7 +54,10 @@ fn main() {
     .expect("crossbeam scope");
 
     let g: Vec<f64> = vs_dense.iter().map(|v| geomean(v)).collect();
-    println!("{:<46} {:>10} {:>10}", "configuration", "vs dense", "step gain");
+    println!(
+        "{:<46} {:>10} {:>10}",
+        "configuration", "vs dense", "step gain"
+    );
     rule(70);
     let labels = [
         "PTB (structured bit sparsity)",

@@ -1,73 +1,374 @@
-//! Criterion micro-benchmarks of the ProSparsity software kernels: TCAM
-//! detection, pruning, order generation, whole-tile planning, and the
-//! lossless ProSparsity GeMM against the bit-sparse reference.
+//! Micro-benchmark of the ProSparsity software kernels: whole-GeMM planning
+//! (Detector → Pruner → Dispatcher) and lossless plan execution, measured
+//! against the **pre-optimization** implementation that shipped before the
+//! word-parallel / zero-allocation rewrite.
+//!
+//! The legacy kernels are embedded here verbatim-in-structure so the
+//! before/after comparison stays honest as the library evolves:
+//!
+//! * bit-by-bit tile extraction (one `get`/`set` pair per bit),
+//! * staged detection that materializes a `Vec<bool>` SI vector per query
+//!   and a candidate list per row,
+//! * a `Vec<Vec<T>>` tile-local accumulator with a `.clone()` per prefix
+//!   load.
+//!
+//! Results are printed as a table and written to `BENCH_kernels.json`
+//! (override the path with `BENCH_KERNELS_OUT`); the file is regenerated
+//! per run and checked in, so the perf trajectory lives in its git
+//! history. Run with:
+//!
+//! ```text
+//! cargo bench -p prosperity-bench --bench kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use prosperity_core::detect::{detect_tile, naive_subsets};
-use prosperity_core::exec::prosparsity_gemm;
-use prosperity_core::order::BitonicSorter;
-use prosperity_core::plan::TileMeta;
-use prosperity_core::prune::prune_tile;
+use prosperity_core::exec::{execute_plan, execute_plan_serial};
+use prosperity_core::plan::ProSparsityPlan;
+use prosperity_core::ProStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spikemat::gemm::{spiking_gemm, WeightMatrix};
 use spikemat::{SpikeMatrix, TileShape};
+use std::time::Instant;
 
-fn tile(m: usize, k: usize, density: f64, seed: u64) -> SpikeMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    SpikeMatrix::random(m, k, density, &mut rng)
-}
+/// The pre-optimization (seed) kernels, kept as the benchmark baseline.
+mod legacy {
+    use prosperity_core::detect::{DetectedTile, TcamDetector};
+    use prosperity_core::order::BitonicSorter;
+    use prosperity_core::plan::{RowMeta, TileMeta};
+    use prosperity_core::prune::{prune_tile, PrunedRow};
+    use spikemat::gemm::{OutputMatrix, WeightMatrix};
+    use spikemat::{BitRow, SpikeMatrix, TileShape};
+    use std::ops::AddAssign;
 
-fn bench_detection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("detection");
-    for &m in &[64usize, 256] {
-        let t = tile(m, 16, 0.3, 1);
-        g.throughput(Throughput::Elements(m as u64));
-        g.bench_with_input(BenchmarkId::new("tcam", m), &t, |b, t| {
-            b.iter(|| detect_tile(t))
-        });
-        g.bench_with_input(BenchmarkId::new("naive", m), &t, |b, t| {
-            b.iter(|| naive_subsets(t))
-        });
+    /// Bit-by-bit zero-padded tile extraction (the original
+    /// `BitRow::slice`-based path: one get/set pair per bit).
+    fn submatrix_bitwise(
+        src: &SpikeMatrix,
+        row_start: usize,
+        col_start: usize,
+        n_rows: usize,
+        n_cols: usize,
+    ) -> SpikeMatrix {
+        let mut out = SpikeMatrix::zeros(n_rows, n_cols);
+        for r in 0..n_rows {
+            if row_start + r >= src.rows() {
+                continue;
+            }
+            for c in 0..n_cols {
+                if col_start + c < src.cols() && src.get(row_start + r, col_start + c) {
+                    out.set(r, c, true);
+                }
+            }
+        }
+        out
     }
-    g.finish();
+
+    /// Staged detection allocating one SI `Vec<bool>` per query row.
+    fn detect_tile_staged(tile: &SpikeMatrix) -> DetectedTile {
+        let tcam = TcamDetector::load(tile);
+        let popcounts: Vec<usize> = tile.row_slice().iter().map(BitRow::popcount).collect();
+        let subset_candidates = (0..tile.rows())
+            .map(|i| {
+                tcam.query(tile.row(i))
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(j, matched)| matched && j != i && popcounts[j] > 0)
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        DetectedTile {
+            subset_candidates,
+            popcounts,
+        }
+    }
+
+    /// The original serial planner: staged detect → prune → sort per tile,
+    /// fresh allocations throughout.
+    pub fn build_tiled(spikes: &SpikeMatrix, shape: TileShape) -> Vec<TileMeta> {
+        let (gm, gk) = shape.grid(spikes.rows(), spikes.cols());
+        let mut tiles = Vec::new();
+        for ti in 0..gm {
+            for tj in 0..gk {
+                let row_start = ti * shape.m;
+                let col_start = tj * shape.k;
+                let data = submatrix_bitwise(spikes, row_start, col_start, shape.m, shape.k);
+                let detected = detect_tile_staged(&data);
+                let pruned = prune_tile(&data, &detected);
+                let (order, sorter) = BitonicSorter::sort(&detected.popcounts);
+                let rows: Vec<RowMeta> = pruned
+                    .into_iter()
+                    .map(
+                        |PrunedRow {
+                             prefix,
+                             kind,
+                             pattern,
+                         }| RowMeta {
+                            prefix,
+                            kind,
+                            pattern,
+                        },
+                    )
+                    .collect();
+                // Packed patterns did not exist pre-optimization; populate
+                // the (required) field outside any measured behavior the
+                // legacy executor exercises.
+                let pattern_limbs = rows
+                    .iter()
+                    .flat_map(|r| r.pattern.limbs().iter().copied())
+                    .collect();
+                tiles.push(TileMeta {
+                    row_start,
+                    col_start,
+                    valid_rows: (spikes.rows() - row_start).min(shape.m),
+                    valid_cols: (spikes.cols() - col_start).min(shape.k),
+                    rows,
+                    pattern_limbs,
+                    order,
+                    sorter_stages: sorter.stages(),
+                });
+            }
+        }
+        tiles
+    }
+
+    /// The original executor: one heap row per tile row plus a `.clone()`
+    /// per prefix load.
+    pub fn execute<T: Copy + Default + AddAssign>(
+        tiles: &[TileMeta],
+        m: usize,
+        weights: &WeightMatrix<T>,
+    ) -> OutputMatrix<T> {
+        let n = weights.cols();
+        let mut out = OutputMatrix::zeros(m, n);
+        for tile in tiles {
+            let tile_rows = tile.rows.len();
+            let mut local: Vec<Vec<T>> = vec![vec![T::default(); n]; tile_rows];
+            for &r in &tile.order {
+                let meta = &tile.rows[r];
+                let mut acc = match meta.prefix {
+                    Some(p) => local[p].clone(),
+                    None => vec![T::default(); n],
+                };
+                for bit in meta.pattern.ones() {
+                    let wk = tile.col_start + bit;
+                    if wk >= weights.rows() {
+                        continue;
+                    }
+                    for (a, &w) in acc.iter_mut().zip(weights.row(wk)) {
+                        *a += w;
+                    }
+                }
+                local[r] = acc;
+            }
+            #[allow(clippy::needless_range_loop)]
+            for r in 0..tile.valid_rows {
+                out.accumulate_row(tile.row_start + r, &local[r]);
+            }
+        }
+        out
+    }
 }
 
-fn bench_prune_and_sort(c: &mut Criterion) {
-    let t = tile(256, 16, 0.3, 2);
-    let d = detect_tile(&t);
-    c.bench_function("prune/256x16", |b| b.iter(|| prune_tile(&t, &d)));
-    c.bench_function("bitonic_sort/256", |b| {
-        b.iter(|| BitonicSorter::sort(&d.popcounts))
+/// One benchmark configuration.
+struct Scenario {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    density: f64,
+    tile: TileShape,
+    reps: usize,
+}
+
+/// Measured milliseconds for one kernel variant.
+struct Measurement {
+    plan_ms: f64,
+    exec_ms: f64,
+}
+
+impl Measurement {
+    fn total_ms(&self) -> f64 {
+        self.plan_ms + self.exec_ms
+    }
+}
+
+/// Results of one scenario across all variants.
+struct ScenarioResult {
+    scenario: Scenario,
+    legacy: Measurement,
+    optimized: Measurement,
+    optimized_serial: Measurement,
+    stats: ProStats,
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(r);
+        best = best.min(dt);
+    }
+    best
+}
+
+fn run_scenario(scenario: Scenario) -> ScenarioResult {
+    let mut rng = StdRng::seed_from_u64(0x5EED ^ scenario.m as u64 ^ scenario.k as u64);
+    let spikes = SpikeMatrix::random(scenario.m, scenario.k, scenario.density, &mut rng);
+    let weights = WeightMatrix::from_fn(scenario.k, scenario.n, |r, c| {
+        (r * 131 + c * 17) as i32 % 255 - 127
     });
+    let reps = scenario.reps;
+    let shape = scenario.tile;
+
+    // Correctness gate before timing anything: every variant must be
+    // bit-identical to the bit-sparse reference.
+    let reference = spiking_gemm(&spikes, &weights);
+    let legacy_tiles = legacy::build_tiled(&spikes, shape);
+    let legacy_out = legacy::execute(&legacy_tiles, spikes.rows(), &weights);
+    let plan = ProSparsityPlan::build_tiled(&spikes, shape);
+    assert_eq!(legacy_out, reference, "legacy kernel lost bits");
+    assert_eq!(execute_plan(&plan, &weights), reference, "kernel lost bits");
+    assert_eq!(
+        execute_plan_serial(&plan, &weights),
+        reference,
+        "serial kernel lost bits"
+    );
+
+    let legacy = Measurement {
+        plan_ms: time_ms(reps, || legacy::build_tiled(&spikes, shape)),
+        exec_ms: time_ms(reps, || {
+            legacy::execute(&legacy_tiles, spikes.rows(), &weights)
+        }),
+    };
+    let optimized = Measurement {
+        plan_ms: time_ms(reps, || ProSparsityPlan::build_tiled(&spikes, shape)),
+        exec_ms: time_ms(reps, || execute_plan(&plan, &weights)),
+    };
+    let optimized_serial = Measurement {
+        plan_ms: time_ms(reps, || ProSparsityPlan::build_tiled_serial(&spikes, shape)),
+        exec_ms: time_ms(reps, || execute_plan_serial(&plan, &weights)),
+    };
+    let stats = *plan.stats();
+    ScenarioResult {
+        scenario,
+        legacy,
+        optimized,
+        optimized_serial,
+        stats,
+    }
 }
 
-fn bench_plan(c: &mut Criterion) {
-    let t = tile(256, 16, 0.3, 3);
-    c.bench_function("tile_meta/256x16", |b| {
-        b.iter(|| TileMeta::build(&t, 0, 0))
+fn json_scenario(r: &ScenarioResult) -> String {
+    let s = &r.scenario;
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, ",
+            "\"density\": {}, \"tile_m\": {}, \"tile_k\": {}, ",
+            "\"bit_density\": {:.5}, \"pro_density\": {:.5}, ",
+            "\"legacy_plan_ms\": {:.3}, \"legacy_exec_ms\": {:.3}, ",
+            "\"legacy_total_ms\": {:.3}, ",
+            "\"opt_plan_ms\": {:.3}, \"opt_exec_ms\": {:.3}, ",
+            "\"opt_total_ms\": {:.3}, ",
+            "\"opt_serial_plan_ms\": {:.3}, \"opt_serial_exec_ms\": {:.3}, ",
+            "\"opt_serial_total_ms\": {:.3}, ",
+            "\"speedup_plan\": {:.2}, \"speedup_exec\": {:.2}, ",
+            "\"speedup_total\": {:.2}, \"speedup_total_serial\": {:.2}}}"
+        ),
+        s.name,
+        s.m,
+        s.k,
+        s.n,
+        s.density,
+        s.tile.m,
+        s.tile.k,
+        r.stats.bit_density(),
+        r.stats.pro_density(),
+        r.legacy.plan_ms,
+        r.legacy.exec_ms,
+        r.legacy.total_ms(),
+        r.optimized.plan_ms,
+        r.optimized.exec_ms,
+        r.optimized.total_ms(),
+        r.optimized_serial.plan_ms,
+        r.optimized_serial.exec_ms,
+        r.optimized_serial.total_ms(),
+        r.legacy.plan_ms / r.optimized.plan_ms,
+        r.legacy.exec_ms / r.optimized.exec_ms,
+        r.legacy.total_ms() / r.optimized.total_ms(),
+        r.legacy.total_ms() / r.optimized_serial.total_ms(),
+    )
+}
+
+fn main() {
+    let scenarios = vec![
+        Scenario {
+            name: "tile_default_256x16",
+            m: 1024,
+            k: 128,
+            n: 64,
+            density: 0.30,
+            tile: TileShape::prosperity_default(),
+            reps: 5,
+        },
+        Scenario {
+            name: "mid_1024x256",
+            m: 1024,
+            k: 256,
+            n: 64,
+            density: 0.15,
+            tile: TileShape::new(128, 16),
+            reps: 5,
+        },
+        Scenario {
+            name: "acceptance_4096x1024",
+            m: 4096,
+            k: 1024,
+            n: 16,
+            density: 0.10,
+            tile: TileShape::new(128, 128),
+            reps: 6,
+        },
+    ];
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("ProSparsity kernel micro-benchmark (best-of-N wall time, {threads} HW threads)");
+    println!(
+        "{:<24} {:>13} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "scenario", "legacy ms", "opt ms", "opt-ser ms", "legacy/opt", "plan x", "exec x"
+    );
+    let mut results = Vec::new();
+    for scenario in scenarios {
+        let r = run_scenario(scenario);
+        println!(
+            "{:<24} {:>13.2} {:>13.2} {:>13.2} {:>12.2}x {:>8.2}x {:>8.2}x",
+            r.scenario.name,
+            r.legacy.total_ms(),
+            r.optimized.total_ms(),
+            r.optimized_serial.total_ms(),
+            r.legacy.total_ms() / r.optimized.total_ms(),
+            r.legacy.plan_ms / r.optimized.plan_ms,
+            r.legacy.exec_ms / r.optimized.exec_ms,
+        );
+        results.push(r);
+    }
+
+    // Default to the workspace root regardless of the bench's working dir.
+    let out_path = std::env::var("BENCH_KERNELS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
     });
+    let body: Vec<String> = results.iter().map(json_scenario).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"unit\": \"ms\",\n  \"timing\": \
+         \"best_of_reps\",\n  \"threads\": {},\n  \"parallel_feature\": {},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        threads,
+        prosperity_core::parallel_enabled(),
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
 }
-
-fn bench_gemm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gemm");
-    let s = tile(256, 64, 0.3, 4);
-    let w = WeightMatrix::from_fn(64, 128, |r, col| (r * 131 + col * 17) as i64 % 255 - 127);
-    let shape = TileShape::new(256, 16);
-    g.throughput(Throughput::Elements((256 * 64 * 128) as u64));
-    g.bench_function("bit_sparse_reference", |b| b.iter(|| spiking_gemm(&s, &w)));
-    g.bench_function("prosparsity", |b| {
-        b.iter(|| prosparsity_gemm(&s, &w, shape))
-    });
-    g.finish();
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_detection, bench_prune_and_sort, bench_plan, bench_gemm
-}
-criterion_main!(benches);

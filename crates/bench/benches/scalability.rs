@@ -12,7 +12,10 @@ use prosperity_sim::scale::inter_ppu_layer_cycles;
 use prosperity_sim::{simulate_model, ProsperityConfig};
 
 fn main() {
-    header("Sec. VIII-A", "Scalability: intra-PPU issue width / inter-PPU tiles");
+    header(
+        "Sec. VIII-A",
+        "Scalability: intra-PPU issue width / inter-PPU tiles",
+    );
     let w = Workload::vgg16_cifar100();
     let trace = w.generate_trace(scale() * 0.5);
     let config = ProsperityConfig::default();

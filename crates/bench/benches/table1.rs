@@ -9,7 +9,10 @@ use prosperity_bench::{header, pct, rule, run_ensemble, scale};
 use prosperity_models::Workload;
 
 fn main() {
-    header("Table I", "Comparison with previous work on VGG-16 / CIFAR-100");
+    header(
+        "Table I",
+        "Comparison with previous work on VGG-16 / CIFAR-100",
+    );
     let w = Workload::vgg16_cifar100();
     let trace = w.generate_trace(scale());
     let e = run_ensemble(&w.name(), &trace);
@@ -23,13 +26,7 @@ fn main() {
         "study", "bit density", "pro density", "speedup vs dense"
     );
     rule(60);
-    println!(
-        "{:<12} {:>14} {:>14} {:>16}",
-        "Dense",
-        "100%",
-        "-",
-        "1.00x"
-    );
+    println!("{:<12} {:>14} {:>14} {:>16}", "Dense", "100%", "-", "1.00x");
     println!(
         "{:<12} {:>14} {:>14} {:>16}",
         "PTB",

@@ -6,8 +6,8 @@
 //! 247.97, Prosperity 390.10 / 299.80 / 737.17 (areas 1.068, 1.13, –, –,
 //! 0.768, 0.529 mm²).
 
-use prosperity_bench::{header, rule, run_ensemble, scale};
 use prosperity_baselines::BaselinePerf;
+use prosperity_bench::{header, rule, run_ensemble, scale};
 use prosperity_models::Workload;
 use prosperity_sim::{AreaModel, ProsperityConfig};
 
@@ -17,7 +17,9 @@ fn main() {
     let trace = w.generate_trace(scale());
     let e = run_ensemble(&w.name(), &trace);
 
-    let prosperity_area = AreaModel::default().area(&ProsperityConfig::default()).total();
+    let prosperity_area = AreaModel::default()
+        .area(&ProsperityConfig::default())
+        .total();
     let rows: Vec<(&str, &BaselinePerf, Option<f64>)> = vec![
         ("Eyeriss", &e.eyeriss, Some(1.068)),
         ("SATO", &e.sato, Some(1.13)),

@@ -98,7 +98,10 @@ pub fn rule(width: usize) {
 pub fn header(id: &str, title: &str) {
     rule(78);
     println!("{id}: {title}");
-    println!("(scale = {} — set PROSPERITY_SCALE=1.0 for paper-size runs)", scale());
+    println!(
+        "(scale = {} — set PROSPERITY_SCALE=1.0 for paper-size runs)",
+        scale()
+    );
     rule(78);
 }
 
@@ -125,8 +128,8 @@ mod tests {
     #[test]
     fn ensemble_runs_all_accelerators() {
         use prosperity_models::{Architecture, Dataset, Workload};
-        let t = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3)
-            .generate_trace(0.25);
+        let t =
+            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3).generate_trace(0.25);
         let e = run_ensemble("LN5/MNIST", &t);
         assert!(e.prosperity_perf.time_s > 0.0);
         assert!(e.eyeriss.time_s > e.prosperity_perf.time_s);

@@ -59,11 +59,7 @@ mod tests {
     }
 
     fn k_matrix() -> SpikeMatrix {
-        SpikeMatrix::from_rows_of_bits(&[
-            &[1, 1, 0, 0],
-            &[0, 0, 1, 1],
-            &[1, 0, 1, 0],
-        ])
+        SpikeMatrix::from_rows_of_bits(&[&[1, 1, 0, 0], &[0, 0, 1, 1], &[1, 0, 1, 0]])
     }
 
     #[test]

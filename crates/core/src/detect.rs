@@ -54,8 +54,25 @@ impl TcamDetector {
     ///
     /// Panics if `query` width differs from the loaded tile width.
     pub fn query(&self, query: &BitRow) -> Vec<bool> {
+        let mut si = Vec::new();
+        self.query_into(query, &mut si);
+        si
+    }
+
+    /// [`TcamDetector::query`] into a caller-owned SI buffer.
+    ///
+    /// `si` is cleared and refilled, so a buffer reused across queries
+    /// allocates only on the first call — the zero-allocation detection path.
+    /// Entries are compared word-wise against the query's raw limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` width differs from the loaded tile width.
+    pub fn query_into(&self, query: &BitRow, si: &mut Vec<bool>) {
         assert_eq!(query.len(), self.width, "TCAM query width mismatch");
-        self.entries.iter().map(|e| e.is_subset_of(query)).collect()
+        let q = query.limbs();
+        si.clear();
+        si.extend(self.entries.iter().map(|e| e.subset_query(q)));
     }
 
     /// Number of TCAM bit-comparisons performed by one query (`m × k`),
@@ -86,21 +103,39 @@ impl DetectedTile {
 
 /// Runs the full detection stage on one tile using the TCAM model.
 pub fn detect_tile(tile: &SpikeMatrix) -> DetectedTile {
-    let tcam = TcamDetector::load(tile);
-    let popcounts: Vec<usize> = tile.row_slice().iter().map(BitRow::popcount).collect();
-    let subset_candidates = (0..tile.rows())
-        .map(|i| {
-            tcam.query(tile.row(i))
-                .into_iter()
-                .enumerate()
-                .filter(|&(j, matched)| matched && j != i && popcounts[j] > 0)
-                .map(|(j, _)| j)
-                .collect()
-        })
-        .collect();
-    DetectedTile {
-        subset_candidates,
-        popcounts,
+    let mut out = DetectedTile {
+        subset_candidates: Vec::new(),
+        popcounts: Vec::new(),
+    };
+    detect_tile_into(tile, &mut out);
+    out
+}
+
+/// Batched [`detect_tile`] into a caller-owned [`DetectedTile`].
+///
+/// All buffers of `out` — the popcount vector, the outer candidate vector,
+/// and each per-row candidate list — are cleared and reused, so detection
+/// across the tiles of a whole GeMM plan settles into zero allocation. The
+/// subset search runs directly over the tile rows' raw limbs, word by word,
+/// with the same semantics as the TCAM model.
+pub fn detect_tile_into(tile: &SpikeMatrix, out: &mut DetectedTile) {
+    let m = tile.rows();
+    let rows = tile.row_slice();
+    out.popcounts.clear();
+    out.popcounts.extend(rows.iter().map(BitRow::popcount));
+    // Shrink (keeping allocations) or grow the outer vector to m rows.
+    out.subset_candidates.truncate(m);
+    while out.subset_candidates.len() < m {
+        out.subset_candidates.push(Vec::new());
+    }
+    for (i, candidates) in out.subset_candidates.iter_mut().enumerate() {
+        candidates.clear();
+        let q = rows[i].limbs();
+        for (j, row) in rows.iter().enumerate() {
+            if j != i && out.popcounts[j] > 0 && row.subset_query(q) {
+                candidates.push(j);
+            }
+        }
     }
 }
 
@@ -160,11 +195,7 @@ mod tests {
 
     #[test]
     fn detect_filters_self_and_zero_rows() {
-        let tile = SpikeMatrix::from_rows_of_bits(&[
-            &[0, 0, 0, 0],
-            &[1, 0, 0, 0],
-            &[1, 0, 0, 1],
-        ]);
+        let tile = SpikeMatrix::from_rows_of_bits(&[&[0, 0, 0, 0], &[1, 0, 0, 0], &[1, 0, 0, 1]]);
         let d = detect_tile(&tile);
         assert!(d.subset_candidates[0].is_empty());
         assert!(d.subset_candidates[1].is_empty()); // only zero row ⊆ it
@@ -176,6 +207,27 @@ mod tests {
     fn tcam_matches_naive_on_fig3() {
         let tile = fig3_tile();
         assert_eq!(detect_tile(&tile), naive_subsets(&tile));
+    }
+
+    #[test]
+    fn query_into_reuses_buffer() {
+        let tile = fig3_tile();
+        let tcam = TcamDetector::load(&tile);
+        let mut si = vec![true; 40]; // stale, oversized
+        tcam.query_into(tile.row(2), &mut si);
+        assert_eq!(si, tcam.query(tile.row(2)));
+        assert_eq!(si.len(), tile.rows());
+    }
+
+    #[test]
+    fn detect_tile_into_reuses_scratch_across_tiles() {
+        let a = fig3_tile();
+        let b = SpikeMatrix::from_rows_of_bits(&[&[1, 1], &[0, 1], &[1, 0], &[1, 1]]);
+        let mut scratch = detect_tile(&a); // seed with stale state from tile a
+        detect_tile_into(&b, &mut scratch);
+        assert_eq!(scratch, detect_tile(&b));
+        detect_tile_into(&a, &mut scratch); // shrink/grow both directions
+        assert_eq!(scratch, detect_tile(&a));
     }
 
     #[test]

@@ -8,11 +8,24 @@
 //! bit-scan-forward), and finally adds its tile-local result into the global
 //! output row (Step 12, the cross-`k`-tile partial-sum accumulation).
 //!
+//! # Performance
+//!
+//! The kernel is built for speed:
+//!
+//! * Tile-local partials live in one flat arena of `tile_rows × n` elements
+//!   per row-tile, indexed by row offset — no per-row heap allocation inside
+//!   the tile loop. Prefix loads are a single `copy_within`; weight rows are
+//!   accumulated with a tight slice loop the compiler can autovectorize.
+//! * Row-tiles own disjoint output rows, so with the `parallel` feature
+//!   (default) they execute across threads over disjoint `&mut` chunks of the
+//!   output; the `k`-tiles of one row group fold sequentially into that
+//!   chunk, which keeps the result bit-identical to the serial kernel.
+//!
 //! With integer weights the result is bit-for-bit equal to the reference
 //! [`spikemat::gemm::spiking_gemm`]; this is the paper's losslessness claim
-//! and is enforced by property tests.
+//! and is enforced by property tests (serial *and* parallel paths).
 
-use crate::plan::ProSparsityPlan;
+use crate::plan::{ProSparsityPlan, TileMeta};
 use spikemat::gemm::{OutputMatrix, WeightMatrix};
 use spikemat::{SpikeMatrix, TileShape};
 use std::ops::AddAssign;
@@ -26,6 +39,24 @@ use std::ops::AddAssign;
 /// # Panics
 ///
 /// Panics if `spikes.cols() != weights.rows()`.
+#[cfg(feature = "parallel")]
+pub fn prosparsity_gemm<T: Copy + Default + AddAssign + Send + Sync>(
+    spikes: &SpikeMatrix,
+    weights: &WeightMatrix<T>,
+    shape: TileShape,
+) -> OutputMatrix<T> {
+    let plan = ProSparsityPlan::build_tiled(spikes, shape);
+    execute_plan(&plan, weights)
+}
+
+/// Executes a spiking GeMM under product sparsity with tile shape `shape`.
+///
+/// Serial build of [`prosparsity_gemm`] (the `parallel` feature is off).
+///
+/// # Panics
+///
+/// Panics if `spikes.cols() != weights.rows()`.
+#[cfg(not(feature = "parallel"))]
 pub fn prosparsity_gemm<T: Copy + Default + AddAssign>(
     spikes: &SpikeMatrix,
     weights: &WeightMatrix<T>,
@@ -35,12 +66,101 @@ pub fn prosparsity_gemm<T: Copy + Default + AddAssign>(
     execute_plan(&plan, weights)
 }
 
-/// Replays a previously built plan against a weight matrix.
+/// Replays a previously built plan against a weight matrix, parallelizing
+/// across row-tiles (disjoint output-row groups).
 ///
 /// # Panics
 ///
 /// Panics if the plan's source column count differs from `weights.rows()`.
+#[cfg(feature = "parallel")]
+pub fn execute_plan<T: Copy + Default + AddAssign + Send + Sync>(
+    plan: &ProSparsityPlan,
+    weights: &WeightMatrix<T>,
+) -> OutputMatrix<T> {
+    use rayon::prelude::*;
+    let mut out = new_output(plan, weights);
+    let n = weights.cols();
+    let gk = col_tile_count(plan);
+    if gk == 0 || n == 0 {
+        return out;
+    }
+    let chunk_elems = plan.shape().m * n;
+    let tiles = plan.tiles();
+    let row_chunks: Vec<(usize, &mut [T])> = out
+        .as_mut_slice()
+        .chunks_mut(chunk_elems)
+        .enumerate()
+        .collect();
+    row_chunks.into_par_iter().for_each(|(ti, chunk)| {
+        let mut arena = Vec::new();
+        let mut parents = Vec::new();
+        let mut simple = Vec::new();
+        execute_row_tile(
+            &tiles[ti * gk..(ti + 1) * gk],
+            weights,
+            chunk,
+            &mut arena,
+            &mut parents,
+            &mut simple,
+            n,
+        );
+    });
+    out
+}
+
+/// Replays a previously built plan against a weight matrix.
+///
+/// Serial build of [`execute_plan`] (the `parallel` feature is off).
+///
+/// # Panics
+///
+/// Panics if the plan's source column count differs from `weights.rows()`.
+#[cfg(not(feature = "parallel"))]
 pub fn execute_plan<T: Copy + Default + AddAssign>(
+    plan: &ProSparsityPlan,
+    weights: &WeightMatrix<T>,
+) -> OutputMatrix<T> {
+    execute_plan_serial(plan, weights)
+}
+
+/// Strictly single-threaded [`execute_plan`]; the baseline the parallel
+/// executor is property-tested against. One arena allocation serves the
+/// entire GeMM.
+///
+/// # Panics
+///
+/// Panics if the plan's source column count differs from `weights.rows()`.
+pub fn execute_plan_serial<T: Copy + Default + AddAssign>(
+    plan: &ProSparsityPlan,
+    weights: &WeightMatrix<T>,
+) -> OutputMatrix<T> {
+    let mut out = new_output(plan, weights);
+    let n = weights.cols();
+    let gk = col_tile_count(plan);
+    if gk == 0 || n == 0 {
+        return out;
+    }
+    let chunk_elems = plan.shape().m * n;
+    let tiles = plan.tiles();
+    let mut arena = Vec::new();
+    let mut parents = Vec::new();
+    let mut simple = Vec::new();
+    for (ti, chunk) in out.as_mut_slice().chunks_mut(chunk_elems).enumerate() {
+        execute_row_tile(
+            &tiles[ti * gk..(ti + 1) * gk],
+            weights,
+            chunk,
+            &mut arena,
+            &mut parents,
+            &mut simple,
+            n,
+        );
+    }
+    out
+}
+
+/// Allocates the output and checks the plan/weight inner dimension.
+fn new_output<T: Copy + Default + AddAssign>(
     plan: &ProSparsityPlan,
     weights: &WeightMatrix<T>,
 ) -> OutputMatrix<T> {
@@ -51,36 +171,174 @@ pub fn execute_plan<T: Copy + Default + AddAssign>(
         "plan K={k} does not match weight rows {}",
         weights.rows()
     );
-    let n = weights.cols();
-    let mut out = OutputMatrix::zeros(m, n);
-    for tile in plan.tiles() {
-        // Tile-local partial results, one row of width n per tile row.
-        let tile_rows = tile.rows.len();
-        let mut local: Vec<Vec<T>> = vec![vec![T::default(); n]; tile_rows];
-        for &r in &tile.order {
-            let meta = &tile.rows[r];
-            let mut acc = match meta.prefix {
-                Some(p) => local[p].clone(),
-                None => vec![T::default(); n],
-            };
-            for bit in meta.pattern.ones() {
-                let wk = tile.col_start + bit;
-                if wk >= weights.rows() {
-                    continue; // zero-padded tile column
-                }
-                for (a, &w) in acc.iter_mut().zip(weights.row(wk)) {
-                    *a += w;
-                }
+    OutputMatrix::zeros(m, weights.cols())
+}
+
+/// Number of `k`-tiles per row group (0 for an empty plan).
+fn col_tile_count(plan: &ProSparsityPlan) -> usize {
+    let (_, k) = plan.source_dims();
+    if plan.tiles().is_empty() {
+        0
+    } else {
+        k.div_ceil(plan.shape().k)
+    }
+}
+
+/// Executes the `k`-tiles of one row group into its output chunk.
+///
+/// `out_chunk` holds the group's `valid_rows × n` output elements; the
+/// scratch buffers are caller-owned and reused across every tile this worker
+/// processes, so the loop itself never allocates.
+///
+/// Rows are split into two classes:
+///
+/// * **Simple** rows — no prefix in any `k`-tile and never loaded as a
+///   prefix by another row. They are independent pure accumulations, so each
+///   one is processed exactly once, streaming the pattern bits of *all* its
+///   `k`-tiles through one register-batched pass straight into the global
+///   output row. On weakly correlated data this is nearly every row.
+/// * **Dependent** rows (prefix holders and their parents) go through the
+///   classic tile-major dataflow: parents materialize their tile-local
+///   partial in the flat `arena` (Step 9's prefix load source), dependents
+///   start from it, and results fold into the output (Step 12).
+fn execute_row_tile<T: Copy + Default + AddAssign>(
+    k_tiles: &[TileMeta],
+    weights: &WeightMatrix<T>,
+    out_chunk: &mut [T],
+    arena: &mut Vec<T>,
+    parents: &mut Vec<bool>,
+    simple: &mut Vec<bool>,
+    n: usize,
+) {
+    let wrows = weights.rows();
+    let wdata = weights.as_slice();
+    let tile_rows = k_tiles.iter().map(|t| t.rows.len()).max().unwrap_or(0);
+    let valid_rows = k_tiles.first().map_or(0, |t| t.valid_rows);
+
+    simple.clear();
+    simple.resize(tile_rows, true);
+    for tile in k_tiles {
+        for (r, meta) in tile.rows.iter().enumerate() {
+            if let Some(p) = meta.prefix {
+                simple[r] = false;
+                simple[p] = false;
             }
-            local[r] = acc;
-        }
-        // Fold tile-local partials into the global output (k-tile partial sums).
-        #[allow(clippy::needless_range_loop)] // r maps tile-local to global rows
-        for r in 0..tile.valid_rows {
-            out.accumulate_row(tile.row_start + r, &local[r]);
         }
     }
-    out
+
+    // Fast path: one pass per simple row over all its k-tiles' patterns.
+    for r in 0..valid_rows {
+        if simple[r] {
+            accumulate_row_all_tiles(
+                &mut out_chunk[r * n..(r + 1) * n],
+                k_tiles,
+                r,
+                wdata,
+                wrows,
+                n,
+            );
+        }
+    }
+
+    // Dependent rows: tile-major, in the Dispatcher's topological order.
+    for tile in k_tiles {
+        if arena.len() < tile_rows * n {
+            arena.resize(tile_rows * n, T::default());
+        }
+        parents.clear();
+        parents.resize(tile_rows, false);
+        for meta in &tile.rows {
+            if let Some(p) = meta.prefix {
+                parents[p] = true;
+            }
+        }
+        let wpr = tile.pattern_words();
+        for &r in &tile.order {
+            if simple[r] {
+                continue;
+            }
+            let meta = &tile.rows[r];
+            let pattern = &tile.pattern_limbs[r * wpr..(r + 1) * wpr];
+            if parents[r] {
+                // Step 9: seed the tile-local partial from the prefix's
+                // (already computed — the order is topological), or zero.
+                match meta.prefix {
+                    Some(p) => arena.copy_within(p * n..(p + 1) * n, r * n),
+                    None => arena[r * n..(r + 1) * n].fill(T::default()),
+                }
+                let acc = &mut arena[r * n..(r + 1) * n];
+                accumulate_pattern(acc, pattern, tile.col_start, wdata, wrows, n);
+                // Step 12 for parents: fold into the global row immediately.
+                if r < tile.valid_rows {
+                    let local = &arena[r * n..(r + 1) * n];
+                    for (o, &x) in out_chunk[r * n..(r + 1) * n].iter_mut().zip(local) {
+                        *o += x;
+                    }
+                }
+            } else {
+                if r >= tile.valid_rows {
+                    continue; // padding row nobody depends on
+                }
+                // Steps 9–12 fused: accumulate prefix partial and weight
+                // rows straight into the global output row.
+                let out_row = &mut out_chunk[r * n..(r + 1) * n];
+                if let Some(p) = meta.prefix {
+                    let src = &arena[p * n..(p + 1) * n];
+                    for (o, &x) in out_row.iter_mut().zip(src) {
+                        *o += x;
+                    }
+                }
+                accumulate_pattern(out_row, pattern, tile.col_start, wdata, wrows, n);
+            }
+        }
+    }
+}
+
+/// Streams the pattern bits of every `k`-tile of row `r` through one
+/// accumulation pass into `acc` (the simple-row fast path).
+#[inline]
+fn accumulate_row_all_tiles<T: Copy + Default + AddAssign>(
+    acc: &mut [T],
+    k_tiles: &[TileMeta],
+    r: usize,
+    wdata: &[T],
+    wrows: usize,
+    n: usize,
+) {
+    for tile in k_tiles {
+        let wpr = tile.pattern_words();
+        let pattern = &tile.pattern_limbs[r * wpr..(r + 1) * wpr];
+        accumulate_pattern(acc, pattern, tile.col_start, wdata, wrows, n);
+    }
+}
+
+/// Steps 10–11: decode the row's packed pattern limbs by bit-scan-forward
+/// and accumulate the selected weight rows into `acc`. The single-slice zip
+/// keeps the inner loop free of bounds checks so it autovectorizes.
+#[inline]
+fn accumulate_pattern<T: Copy + Default + AddAssign>(
+    acc: &mut [T],
+    pattern: &[u64],
+    col_start: usize,
+    wdata: &[T],
+    wrows: usize,
+    n: usize,
+) {
+    for (word, &limb) in pattern.iter().enumerate() {
+        let mut bits = limb;
+        let base = col_start + word * 64;
+        while bits != 0 {
+            let wk = base + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if wk >= wrows {
+                continue; // zero-padded tile column
+            }
+            let w = &wdata[wk * n..wk * n + n];
+            for (a, &x) in acc.iter_mut().zip(w) {
+                *a += x;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +379,22 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_default_paths_agree() {
+        let s = fig1_matrix();
+        let w = WeightMatrix::from_fn(4, 3, |r, c| (r * 5 + c) as i64 - 7);
+        for m in 1..=7 {
+            for k in 1..=5 {
+                let plan = ProSparsityPlan::build_tiled(&s, TileShape::new(m, k));
+                assert_eq!(
+                    execute_plan(&plan, &w),
+                    execute_plan_serial(&plan, &w),
+                    "tile {m}x{k}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn exact_match_rows_get_identical_outputs() {
         let s = fig1_matrix();
         let w = WeightMatrix::from_fn(4, 3, |r, c| (r * r + c) as i64);
@@ -147,6 +421,15 @@ mod tests {
                 "trial {trial}"
             );
         }
+    }
+
+    #[test]
+    fn empty_output_dimension_is_fine() {
+        let s = fig1_matrix();
+        let w = WeightMatrix::from_fn(4, 0, |_, _| 0i64);
+        let out = prosparsity_gemm(&s, &w, TileShape::new(4, 4));
+        assert_eq!(out.rows(), 6);
+        assert_eq!(out.cols(), 0);
     }
 
     #[test]

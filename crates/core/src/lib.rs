@@ -34,6 +34,21 @@
 //! ProSparsity is algorithm-agnostic and exact: for integer weights,
 //! [`exec::prosparsity_gemm`] returns bit-for-bit the same output as
 //! [`spikemat::gemm::spiking_gemm`]. This invariant is property-tested.
+//!
+//! # Kernel performance
+//!
+//! Planning and execution are the software hot path and are written to run
+//! as fast as the hardware allows:
+//!
+//! * the planner fuses Detector + Pruner into a word-parallel early-exit
+//!   scan (see [`plan`]), with `detect`/`prune` kept as the oracle;
+//! * the executor accumulates into a flat per-row-tile arena with no heap
+//!   allocation inside the tile loop (see [`exec`]);
+//! * with the `parallel` feature (**on by default**) both stages distribute
+//!   independent tiles / row-tiles across threads via `rayon`, with
+//!   bit-identical results — serial reference entry points
+//!   ([`plan::ProSparsityPlan::build_tiled_serial`],
+//!   [`exec::execute_plan_serial`]) remain for ablation and testing.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +66,12 @@ pub mod relation;
 pub mod stats;
 
 pub use detect::{DetectedTile, TcamDetector};
+
+/// Whether this build of the crate distributes planning/execution across
+/// threads (the `parallel` feature, on by default).
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
 pub use forest::ProSparsityForest;
 pub use order::{forest_walk_order, sorted_order};
 pub use plan::{ProSparsityPlan, RowMeta, TileMeta};

@@ -125,9 +125,7 @@ pub fn analyze_matrix(spikes: &SpikeMatrix, shape: TileShape) -> MultiPrefixStat
     let mut total = MultiPrefixStats::default();
     for t in spikes.tiles(shape) {
         // Restrict column accounting to valid columns by re-slicing.
-        let sub = t
-            .data
-            .submatrix(0, 0, t.data.rows(), t.valid_cols.max(1));
+        let sub = t.data.submatrix(0, 0, t.data.rows(), t.valid_cols.max(1));
         let mut s = analyze_tile(&sub, t.valid_rows);
         // analyze_tile counted cols of the sliced tile; fix dense count for
         // fully padded tiles.
@@ -162,11 +160,7 @@ mod tests {
     #[test]
     fn second_prefix_must_be_disjoint() {
         // Candidates overlapping the first prefix are rejected.
-        let tile = SpikeMatrix::from_rows_of_bits(&[
-            &[1, 1, 0, 0],
-            &[0, 1, 1, 0],
-            &[1, 1, 1, 0],
-        ]);
+        let tile = SpikeMatrix::from_rows_of_bits(&[&[1, 1, 0, 0], &[0, 1, 1, 0], &[1, 1, 1, 0]]);
         let s = analyze_tile(&tile, 3);
         // Row 2: first prefix row 1 (tie pc → larger index), pattern 1000;
         // row 0 = 1100 ⊄ 1000, so no second prefix.

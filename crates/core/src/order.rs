@@ -126,6 +126,24 @@ impl BitonicSorter {
         )
     }
 
+    /// Models the network that would sort `len` keys, without running it.
+    ///
+    /// A bitonic network's shape depends only on the (power-of-two padded)
+    /// input length, never on the data: `log₂(p)·(log₂(p)+1)/2` stages of
+    /// `p/2` comparators each. The planner pairs this with a stable software
+    /// sort so it can charge exact hardware latency/energy without paying
+    /// O(m·log² m) comparator emulation per tile; [`BitonicSorter::sort`]
+    /// remains the oracle this model is property-tested against.
+    pub fn model(len: usize) -> Self {
+        let padded = len.next_power_of_two().max(1);
+        let log2 = padded.trailing_zeros() as usize;
+        let stages = log2 * (log2 + 1) / 2;
+        Self {
+            stages,
+            comparators: (stages * (padded / 2)) as u64,
+        }
+    }
+
     /// Number of comparator stages — the network latency in cycles, which is
     /// `log₂(m)·(log₂(m)+1)/2` for a power-of-two `m`.
     pub fn stages(&self) -> usize {
@@ -194,6 +212,17 @@ mod tests {
             let pc: Vec<usize> = (0..m).map(|i| (i * 7 + 3) % 5).collect();
             let (order, _) = BitonicSorter::sort(&pc);
             assert_eq!(order, sorted_order(&pc), "m={m}");
+        }
+    }
+
+    #[test]
+    fn model_matches_real_network_statistics() {
+        for len in [0usize, 1, 2, 3, 4, 6, 7, 8, 16, 33, 100, 256, 300] {
+            let pcs: Vec<usize> = (0..len).map(|i| (i * 13 + 5) % 9).collect();
+            let (_, real) = BitonicSorter::sort(&pcs);
+            let modeled = BitonicSorter::model(len);
+            assert_eq!(modeled.stages(), real.stages(), "len={len}");
+            assert_eq!(modeled.comparators(), real.comparators(), "len={len}");
         }
     }
 

@@ -6,13 +6,39 @@
 //! hardware would hold in its product-sparsity table: per row the prefix
 //! index and ProSparsity pattern (spatial info), plus the sorted execution
 //! order (temporal info).
+//!
+//! # Performance
+//!
+//! Planning is the first hot path of the software pipeline, so the builder
+//! fuses the Detector and Pruner into a word-parallel kernel instead of
+//! materializing the staged subset-candidate lists
+//! ([`crate::detect::detect_tile`]) and reducing them
+//! ([`crate::prune::prune_tile`]):
+//!
+//! * the tile is transposed once into per-column **row masks** (bit `j` of
+//!   mask `c` ⇔ row `j` spikes at column `c`);
+//! * for each candidate prefix `j`, the rows containing `j` (its *supersets*)
+//!   are the intersection of the masks of `j`'s one-columns — 64 rows per
+//!   word, with early exit as soon as the intersection collapses to `{j}`
+//!   (after two or three columns on weakly correlated data);
+//! * candidates are processed in ascending `(popcount, index)` — the
+//!   Pruner's argmax key — and scattered onto their supersets, so the last
+//!   valid writer of each row *is* the Pruner's selected prefix.
+//!
+//! The Dispatcher's bitonic network statistics are data-independent, so the
+//! builder takes them from [`BitonicSorter::model`] and orders rows with a
+//! stable sort. Tile extraction reuses one scratch [`SpikeMatrix`] per worker
+//! ([`SpikeMatrix::submatrix_into`]), and with the `parallel` feature
+//! (default) independent tiles are planned across threads. The staged
+//! `detect_tile`/`prune_tile` functions remain the property-test oracle for
+//! this fused path.
 
-use crate::detect::detect_tile;
 use crate::forest::ProSparsityForest;
-use crate::order::{sorted_order, BitonicSorter};
-use crate::prune::{prune_tile, MatchKind, PrunedRow};
+use crate::order::BitonicSorter;
+use crate::prune::{MatchKind, PrunedRow};
 use crate::stats::ProStats;
 use spikemat::{BitRow, SpikeMatrix, TileShape};
+use std::ops::Range;
 
 /// Spatial meta information for one row of a tile.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +71,10 @@ pub struct TileMeta {
     pub valid_cols: usize,
     /// Per-row spatial info, indexed by tile-local row.
     pub rows: Vec<RowMeta>,
+    /// All rows' ProSparsity patterns packed contiguously,
+    /// [`TileMeta::pattern_words`] limbs per row — the executor's
+    /// cache-friendly view of the per-row [`RowMeta::pattern`]s.
+    pub pattern_limbs: Vec<u64>,
     /// Temporal info: tile-local row indices in execution order.
     pub order: Vec<usize>,
     /// Latency of the bitonic sorting network that produced `order`, in
@@ -55,26 +85,16 @@ pub struct TileMeta {
 impl TileMeta {
     /// Builds meta information for one padded tile.
     pub fn build(tile: &SpikeMatrix, row_start: usize, col_start: usize) -> Self {
-        let detected = detect_tile(tile);
-        let pruned = prune_tile(tile, &detected);
-        let (order, sorter) = BitonicSorter::sort(&detected.popcounts);
-        debug_assert_eq!(order, sorted_order(&detected.popcounts));
-        Self {
-            row_start,
-            col_start,
-            valid_rows: tile.rows(),
-            valid_cols: tile.cols(),
-            rows: pruned
-                .into_iter()
-                .map(|PrunedRow { prefix, kind, pattern }| RowMeta {
-                    prefix,
-                    kind,
-                    pattern,
-                })
-                .collect(),
-            order,
-            sorter_stages: sorter.stages(),
-        }
+        let (meta, _) = build_tile_meta(tile, row_start, col_start, &mut PlanScratch::default());
+        meta
+    }
+
+    /// Limbs per row in [`TileMeta::pattern_limbs`] (every pattern spans the
+    /// full padded tile width).
+    pub fn pattern_words(&self) -> usize {
+        self.rows
+            .first()
+            .map_or(0, |r| r.pattern.len().div_ceil(64))
     }
 
     /// The ProSparsity forest induced by this tile's prefixes.
@@ -116,6 +136,164 @@ impl TileMeta {
     }
 }
 
+/// Reusable buffers for the fused tile planner; one per worker thread, so a
+/// steady-state planning sweep allocates only for the plan it emits.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    /// Scratch tile extracted from the source matrix.
+    tile: SpikeMatrix,
+    /// NO vector of the current tile.
+    popcounts: Vec<usize>,
+    /// Transposed tile: per column, an m-bit mask of the rows spiking there.
+    col_masks: Vec<u64>,
+    /// Superset accumulator for the current candidate, as an m-bit mask.
+    supersets: Vec<u64>,
+    /// Selected prefix per row (`usize::MAX` = none), in argmax order.
+    best: Vec<usize>,
+}
+
+/// Fused Detector + Pruner + Dispatcher for one padded tile.
+///
+/// Returns the tile meta plus the tile's spike-bit count (reused for stats).
+/// See the module docs for the word-parallel candidate-mask scheme.
+fn build_tile_meta(
+    tile: &SpikeMatrix,
+    row_start: usize,
+    col_start: usize,
+    scratch: &mut PlanScratch,
+) -> (TileMeta, u64) {
+    let rows = tile.row_slice();
+    let m = rows.len();
+    let k = tile.cols();
+    let mask_words = m.div_ceil(64);
+    let PlanScratch {
+        popcounts,
+        col_masks,
+        supersets,
+        best,
+        ..
+    } = scratch;
+
+    popcounts.clear();
+    popcounts.extend(rows.iter().map(BitRow::popcount));
+    let spike_bits: u64 = popcounts.iter().map(|&p| p as u64).sum();
+    // (popcount, index) keys make the unstable sort equivalent to the
+    // Dispatcher's stable sort by popcount, without a merge-sort temp buffer.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_unstable_by_key(|&i| (popcounts[i], i));
+    debug_assert_eq!(order, crate::order::sorted_order(popcounts));
+    let sorter = BitonicSorter::model(m);
+
+    // Transpose the tile into column→row-set masks, one 64×64 bit block at
+    // a time (word-parallel; ~6·32 word ops per block instead of a bit-by-
+    // bit scatter). Columns are padded to whole blocks so every block store
+    // is unconditional; masks past column k are simply never consulted.
+    let col_words = k.div_ceil(64);
+    col_masks.clear();
+    col_masks.resize(col_words * 64 * mask_words, 0);
+    let mut block = [0u64; 64];
+    for row_block in 0..mask_words {
+        for col_block in 0..col_words {
+            for (r, limb) in block.iter_mut().enumerate() {
+                let row = row_block * 64 + r;
+                *limb = if row < m {
+                    rows[row].limbs().get(col_block).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+            }
+            spikemat::bitops::transpose64(&mut block);
+            for (c, &limb) in block.iter().enumerate() {
+                col_masks[(col_block * 64 + c) * mask_words + row_block] = limb;
+            }
+        }
+    }
+
+    // Scatter candidates onto their supersets in ascending (popcount, index)
+    // order — the Pruner's argmax key — so the last valid write into
+    // `best[i]` is exactly the staged pipeline's selected prefix.
+    best.clear();
+    best.resize(m, usize::MAX);
+    for &j in &order {
+        let pc_j = popcounts[j];
+        if pc_j == 0 {
+            continue; // zero rows are never prefixes
+        }
+        // supersets(j) = ⋂ over j's one-columns of that column's row mask.
+        let (self_word, self_bit) = (j / 64, 1u64 << (j % 64));
+        let mut ones = rows[j].ones();
+        let first = ones.next().expect("pc_j > 0");
+        supersets.clear();
+        supersets.extend_from_slice(&col_masks[first * mask_words..(first + 1) * mask_words]);
+        for c in ones {
+            let mask = &col_masks[c * mask_words..(c + 1) * mask_words];
+            let mut others = 0;
+            for (w, (s, &cm)) in supersets.iter_mut().zip(mask).enumerate() {
+                *s &= cm;
+                others |= if w == self_word { *s & !self_bit } else { *s };
+            }
+            if others == 0 {
+                break; // only j itself survives; no supersets to scatter to
+            }
+        }
+        for (w, &bits) in supersets.iter().enumerate() {
+            let mut bits = if w == self_word {
+                bits & !self_bit
+            } else {
+                bits
+            };
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // Equal popcount + subset ⇒ identical rows (Exact Match):
+                // only the earlier duplicate may be the prefix.
+                if pc_j == popcounts[i] && j > i {
+                    continue;
+                }
+                best[i] = j;
+            }
+        }
+    }
+
+    let words_per_row = k.div_ceil(64);
+    let mut pattern_limbs = Vec::with_capacity(m * words_per_row);
+    let row_metas = (0..m)
+        .map(|i| {
+            let meta = match best[i] {
+                usize::MAX => RowMeta {
+                    prefix: None,
+                    kind: MatchKind::None,
+                    pattern: rows[i].clone(),
+                },
+                j => RowMeta {
+                    prefix: Some(j),
+                    kind: if popcounts[j] == popcounts[i] {
+                        MatchKind::Exact
+                    } else {
+                        MatchKind::Partial
+                    },
+                    pattern: rows[i].xor(&rows[j]),
+                },
+            };
+            pattern_limbs.extend_from_slice(meta.pattern.limbs());
+            meta
+        })
+        .collect();
+    (
+        TileMeta {
+            row_start,
+            col_start,
+            valid_rows: tile.rows(),
+            valid_cols: tile.cols(),
+            rows: row_metas,
+            pattern_limbs,
+            order,
+            sorter_stages: sorter.stages(),
+        },
+        spike_bits,
+    )
+}
+
 /// The complete ProSparsity meta information for one spiking GeMM.
 #[derive(Debug, Clone)]
 pub struct ProSparsityPlan {
@@ -135,18 +313,20 @@ impl ProSparsityPlan {
     }
 
     /// Plans the matrix under the accelerator tile geometry `shape`.
+    ///
+    /// Tiles are planned independently; with the `parallel` feature (default)
+    /// they are split into contiguous row-major ranges across worker threads,
+    /// each worker reusing one scratch tile buffer. The result is identical
+    /// to the serial build ([`ProSparsityPlan::build_tiled_serial`]).
     pub fn build_tiled(spikes: &SpikeMatrix, shape: TileShape) -> Self {
-        let mut tiles = Vec::new();
+        let (gm, gk) = shape.grid(spikes.rows(), spikes.cols());
+        let n_tiles = gm * gk;
+        let parts = Self::build_parts(spikes, shape, gk, n_tiles);
+        let mut tiles = Vec::with_capacity(n_tiles);
         let mut stats = ProStats::default();
-        for t in spikes.tiles(shape) {
-            let spike_bits = (0..t.valid_rows)
-                .map(|r| t.data.row(r).popcount() as u64)
-                .sum();
-            let mut meta = TileMeta::build(&t.data, t.row_start, t.col_start);
-            meta.valid_rows = t.valid_rows;
-            meta.valid_cols = t.valid_cols;
-            stats += meta.stats(spike_bits);
-            tiles.push(meta);
+        for (part_tiles, part_stats) in parts {
+            tiles.extend(part_tiles);
+            stats += part_stats;
         }
         Self {
             shape,
@@ -155,6 +335,53 @@ impl ProSparsityPlan {
             tiles,
             stats,
         }
+    }
+
+    /// Strictly single-threaded [`ProSparsityPlan::build_tiled`]; the
+    /// baseline the parallel build is property-tested against.
+    pub fn build_tiled_serial(spikes: &SpikeMatrix, shape: TileShape) -> Self {
+        let (gm, gk) = shape.grid(spikes.rows(), spikes.cols());
+        let n_tiles = gm * gk;
+        let (tiles, stats) = build_tile_range(spikes, shape, gk, 0..n_tiles);
+        Self {
+            shape,
+            source_rows: spikes.rows(),
+            source_cols: spikes.cols(),
+            tiles,
+            stats,
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    fn build_parts(
+        spikes: &SpikeMatrix,
+        shape: TileShape,
+        gk: usize,
+        n_tiles: usize,
+    ) -> Vec<(Vec<TileMeta>, ProStats)> {
+        use rayon::prelude::*;
+        let workers = rayon::current_num_threads().min(n_tiles.max(1));
+        if workers <= 1 {
+            return vec![build_tile_range(spikes, shape, gk, 0..n_tiles)];
+        }
+        let per_worker = n_tiles.div_ceil(workers);
+        let ranges: Vec<Range<usize>> = (0..workers)
+            .map(|w| (w * per_worker).min(n_tiles)..((w + 1) * per_worker).min(n_tiles))
+            .collect();
+        ranges
+            .into_par_iter()
+            .map(|r| build_tile_range(spikes, shape, gk, r))
+            .collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn build_parts(
+        spikes: &SpikeMatrix,
+        shape: TileShape,
+        gk: usize,
+        n_tiles: usize,
+    ) -> Vec<(Vec<TileMeta>, ProStats)> {
+        vec![build_tile_range(spikes, shape, gk, 0..n_tiles)]
     }
 
     /// The tile geometry used.
@@ -176,6 +403,35 @@ impl ProSparsityPlan {
     pub fn stats(&self) -> &ProStats {
         &self.stats
     }
+}
+
+/// Plans the row-major tile range `[range.start, range.end)` of the grid,
+/// reusing one scratch tile and one popcount buffer across all of them.
+fn build_tile_range(
+    spikes: &SpikeMatrix,
+    shape: TileShape,
+    gk: usize,
+    range: Range<usize>,
+) -> (Vec<TileMeta>, ProStats) {
+    let mut scratch = PlanScratch::default();
+    let mut tiles = Vec::with_capacity(range.len());
+    let mut stats = ProStats::default();
+    for t in range {
+        let (ti, tj) = (t / gk, t % gk);
+        let row_start = ti * shape.m;
+        let col_start = tj * shape.k;
+        let mut tile_buf = std::mem::take(&mut scratch.tile);
+        spikes.submatrix_into(row_start, col_start, shape.m, shape.k, &mut tile_buf);
+        let (mut meta, spike_bits) = build_tile_meta(&tile_buf, row_start, col_start, &mut scratch);
+        scratch.tile = tile_buf;
+        // Padding rows/cols are all-zero, so the whole-tile spike count above
+        // already equals the valid-region count.
+        meta.valid_rows = (spikes.rows() - row_start).min(shape.m);
+        meta.valid_cols = (spikes.cols() - col_start).min(shape.k);
+        stats += meta.stats(spike_bits);
+        tiles.push(meta);
+    }
+    (tiles, stats)
 }
 
 #[cfg(test)]
@@ -232,7 +488,11 @@ mod tests {
     fn order_is_topologically_valid_per_tile() {
         use crate::order::is_valid_order;
         let m = fig1_matrix();
-        for shape in [TileShape::new(6, 4), TileShape::new(3, 2), TileShape::new(4, 4)] {
+        for shape in [
+            TileShape::new(6, 4),
+            TileShape::new(3, 2),
+            TileShape::new(4, 4),
+        ] {
             let plan = ProSparsityPlan::build_tiled(&m, shape);
             for t in plan.tiles() {
                 assert!(is_valid_order(&t.forest(), &t.order));
@@ -246,6 +506,54 @@ mod tests {
         let plan = ProSparsityPlan::build_tiled(&m, TileShape::new(4, 4));
         // Two row-tiles: 4 valid rows + 2 valid rows.
         assert_eq!(plan.stats().rows, 6);
+    }
+
+    #[test]
+    fn fused_build_matches_staged_detect_prune_oracle() {
+        use crate::detect::detect_tile;
+        use crate::prune::prune_tile;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        for trial in 0..50 {
+            let m = rng.gen_range(1..40);
+            let k = rng.gen_range(1..30);
+            let density = rng.gen_range(0.0..0.7);
+            let tile = SpikeMatrix::random(m, k, density, &mut rng);
+            let meta = TileMeta::build(&tile, 0, 0);
+            let pruned = prune_tile(&tile, &detect_tile(&tile));
+            assert_eq!(meta.rows.len(), pruned.len(), "trial {trial}");
+            for (i, (got, want)) in meta.rows.iter().zip(&pruned).enumerate() {
+                assert_eq!(got.prefix, want.prefix, "trial {trial} row {i}");
+                assert_eq!(got.kind, want.kind, "trial {trial} row {i}");
+                assert_eq!(got.pattern, want.pattern, "trial {trial} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let m = rng.gen_range(1..70);
+            let k = rng.gen_range(1..50);
+            let s = SpikeMatrix::random(m, k, 0.3, &mut rng);
+            let shape = TileShape::new(rng.gen_range(1..=16), rng.gen_range(1..=16));
+            let par = ProSparsityPlan::build_tiled(&s, shape);
+            let ser = ProSparsityPlan::build_tiled_serial(&s, shape);
+            assert_eq!(par.stats(), ser.stats());
+            assert_eq!(par.tiles().len(), ser.tiles().len());
+            for (a, b) in par.tiles().iter().zip(ser.tiles()) {
+                assert_eq!(a.row_start, b.row_start);
+                assert_eq!(a.col_start, b.col_start);
+                assert_eq!(a.valid_rows, b.valid_rows);
+                assert_eq!(a.valid_cols, b.valid_cols);
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.order, b.order);
+            }
+        }
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl PrunedRow {
 /// Selects the prefix for a single query row given its candidate list.
 ///
 /// Returns `None` when no candidate survives the proper-subset filter.
-pub fn select_prefix(
-    query: usize,
-    candidates: &[usize],
-    popcounts: &[usize],
-) -> Option<usize> {
+pub fn select_prefix(query: usize, candidates: &[usize], popcounts: &[usize]) -> Option<usize> {
     candidates
         .iter()
         .copied()
@@ -159,11 +155,7 @@ mod tests {
 
     #[test]
     fn em_only_earlier_duplicate_is_prefix() {
-        let tile = SpikeMatrix::from_rows_of_bits(&[
-            &[1, 1, 0, 0],
-            &[1, 1, 0, 0],
-            &[1, 1, 0, 0],
-        ]);
+        let tile = SpikeMatrix::from_rows_of_bits(&[&[1, 1, 0, 0], &[1, 1, 0, 0], &[1, 1, 0, 0]]);
         let p = prune_tile(&tile, &detect_tile(&tile));
         assert_eq!(p[0].prefix, None);
         // Larger-index tie-break among valid EM candidates: row 2 picks row 1.

@@ -114,7 +114,10 @@ impl TraceGen {
             (0.0..=1.0).contains(&params.bit_density),
             "bit_density must be in [0,1]"
         );
-        assert!((0.0..=1.0).contains(&params.reuse), "reuse must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&params.reuse),
+            "reuse must be in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&params.em_fraction),
             "em_fraction must be in [0,1]"
@@ -143,7 +146,11 @@ impl TraceGen {
         let mut depth: Vec<usize> = Vec::with_capacity(m);
         for i in 0..m {
             let lo = i.saturating_sub(p.window);
-            let src = if i > 0 { Some(rng.gen_range(lo..i)) } else { None };
+            let src = if i > 0 {
+                Some(rng.gen_range(lo..i))
+            } else {
+                None
+            };
             // Derive only while the source's chain is shallow enough.
             let derived = matches!(src, Some(s) if rng.gen_bool(p.reuse) && depth[s] < p.max_chain);
             let row = if derived {
@@ -253,7 +260,11 @@ mod tests {
             params.reuse
         );
         // Bit density must stay near its own target too.
-        assert!((m.density() - 0.34).abs() < 0.06, "bit density {}", m.density());
+        assert!(
+            (m.density() - 0.34).abs() < 0.06,
+            "bit density {}",
+            m.density()
+        );
     }
 
     #[test]

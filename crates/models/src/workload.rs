@@ -218,8 +218,7 @@ mod tests {
             .map(|w| w.paper.reduction())
             .fold(0.0f64, f64::max);
         assert!(max > 15.0 && max < 25.0, "max reduction {max}");
-        let mean: f64 =
-            suite.iter().map(|w| w.paper.reduction()).sum::<f64>() / suite.len() as f64;
+        let mean: f64 = suite.iter().map(|w| w.paper.reduction()).sum::<f64>() / suite.len() as f64;
         assert!(mean > 4.0 && mean < 12.0, "mean reduction {mean}");
     }
 

@@ -173,7 +173,10 @@ fn conv_layer(
 ) -> (LayerSpec, usize) {
     let p = Conv2dParams::square(cin, cout, size, kernel, stride, padding);
     let (m, k, n) = p.gemm_shape(t);
-    (LayerSpec::new(name, LayerKind::Conv, GemmShape::new(m, k, n)), p.out_h())
+    (
+        LayerSpec::new(name, LayerKind::Conv, GemmShape::new(m, k, n)),
+        p.out_h(),
+    )
 }
 
 fn vgg(dataset: Dataset, plan: &[VggStep], t: usize) -> Vec<LayerSpec> {
@@ -186,16 +189,7 @@ fn vgg(dataset: Dataset, plan: &[VggStep], t: usize) -> Vec<LayerSpec> {
         match step {
             Conv(cout) => {
                 conv_idx += 1;
-                let (l, out) = conv_layer(
-                    format!("conv{conv_idx}"),
-                    cin,
-                    *cout,
-                    size,
-                    3,
-                    1,
-                    1,
-                    t,
-                );
+                let (l, out) = conv_layer(format!("conv{conv_idx}"), cin, *cout, size, 3, 1, 1, t);
                 layers.push(l);
                 cin = *cout;
                 size = out;
@@ -444,10 +438,7 @@ mod tests {
     #[test]
     fn vgg16_has_13_convs() {
         let layers = Architecture::Vgg16.layers(Dataset::Cifar100);
-        let convs = layers
-            .iter()
-            .filter(|l| l.kind == LayerKind::Conv)
-            .count();
+        let convs = layers.iter().filter(|l| l.kind == LayerKind::Conv).count();
         assert_eq!(convs, 13);
         // First conv: M = 4·32·32, K = 3·9, N = 64.
         assert_eq!(layers[0].shape, GemmShape::new(4096, 27, 64));
@@ -458,10 +449,7 @@ mod tests {
     #[test]
     fn resnet18_has_expected_conv_count() {
         let layers = Architecture::ResNet18.layers(Dataset::Cifar10);
-        let convs = layers
-            .iter()
-            .filter(|l| l.kind == LayerKind::Conv)
-            .count();
+        let convs = layers.iter().filter(|l| l.kind == LayerKind::Conv).count();
         // stem + 16 block convs + 3 downsample 1×1.
         assert_eq!(convs, 20);
     }
@@ -474,8 +462,11 @@ mod tests {
             .filter(|l| l.kind == LayerKind::Attention)
             .count();
         assert_eq!(attn, 2 * 4); // 2 attention GeMMs per block, 4 blocks
-        // QKV projection: M = T·L = 4·64 = 256, K = N = 384.
-        let q = layers.iter().find(|l| l.name.contains("block0.q_proj")).unwrap();
+                                 // QKV projection: M = T·L = 4·64 = 256, K = N = 384.
+        let q = layers
+            .iter()
+            .find(|l| l.name.contains("block0.q_proj"))
+            .unwrap();
         assert_eq!(q.shape, GemmShape::new(256, 384, 384));
     }
 
@@ -523,7 +514,9 @@ mod tests {
     #[test]
     fn all_architectures_lower_on_a_valid_dataset() {
         for arch in Architecture::all() {
-            let ds = if arch.is_transformer() && !matches!(arch, Architecture::Spikformer | Architecture::Sdt) {
+            let ds = if arch.is_transformer()
+                && !matches!(arch, Architecture::Spikformer | Architecture::Sdt)
+            {
                 Dataset::Sst2
             } else {
                 Dataset::Cifar10
@@ -531,7 +524,11 @@ mod tests {
             let layers = arch.layers(ds);
             assert!(!layers.is_empty(), "{arch}");
             for l in &layers {
-                assert!(l.shape.m > 0 && l.shape.k > 0 && l.shape.n > 0, "{}", l.name);
+                assert!(
+                    l.shape.m > 0 && l.shape.k > 0 && l.shape.n > 0,
+                    "{}",
+                    l.name
+                );
             }
         }
     }

@@ -36,10 +36,7 @@ pub fn rate_code(
 /// as constant input current for `time_steps` steps to a fresh LIF layer and
 /// the resulting spikes are returned.
 pub fn direct_code(intensities: &[f32], time_steps: usize, params: LifParams) -> SpikeMatrix {
-    let mut neurons: Vec<LifNeuron> = intensities
-        .iter()
-        .map(|_| LifNeuron::new(params))
-        .collect();
+    let mut neurons: Vec<LifNeuron> = intensities.iter().map(|_| LifNeuron::new(params)).collect();
     let mut out = SpikeMatrix::zeros(time_steps, intensities.len());
     for t in 0..time_steps {
         for (j, n) in neurons.iter_mut().enumerate() {

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn no_input_no_spikes() {
-        assert_eq!(spike_count(IzhikevichParams::regular_spiking(), 0.0, 500), 0);
+        assert_eq!(
+            spike_count(IzhikevichParams::regular_spiking(), 0.0, 500),
+            0
+        );
     }
 
     #[test]

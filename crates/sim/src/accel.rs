@@ -29,8 +29,16 @@ mod tests {
     fn full_mode_beats_bit_only_on_cycles() {
         let trace = small_trace();
         let full = simulate_model(&trace, &ProsperityConfig::default());
-        let bit = simulate_model(&trace, &ProsperityConfig::with_mode(SimMode::BitSparsityOnly));
-        assert!(full.cycles <= bit.cycles, "{} vs {}", full.cycles, bit.cycles);
+        let bit = simulate_model(
+            &trace,
+            &ProsperityConfig::with_mode(SimMode::BitSparsityOnly),
+        );
+        assert!(
+            full.cycles <= bit.cycles,
+            "{} vs {}",
+            full.cycles,
+            bit.cycles
+        );
         assert!(full.stats.pro_ops < bit.stats.pro_ops);
     }
 

@@ -110,10 +110,7 @@ mod tests {
     use prosperity_models::{Architecture, Dataset, Workload};
 
     fn traces() -> Vec<ModelTrace> {
-        vec![
-            Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.08, 5)
-                .generate_trace(0.25),
-        ]
+        vec![Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.08, 5).generate_trace(0.25)]
     }
 
     #[test]

@@ -46,10 +46,7 @@ pub fn prosparsity_phase_cycles(rows: usize, extra_dispatch: u64) -> u64 {
 /// Exact Match still spend one cycle (the paper notes this as the gap to the
 /// theoretical sparsity limit, Sec. VII-F).
 pub fn compute_phase_cycles(pattern_popcounts: impl IntoIterator<Item = usize>) -> u64 {
-    let issue: u64 = pattern_popcounts
-        .into_iter()
-        .map(|p| p.max(1) as u64)
-        .sum();
+    let issue: u64 = pattern_popcounts.into_iter().map(|p| p.max(1) as u64).sum();
     issue + COMPUTE_PIPELINE_FILL
 }
 

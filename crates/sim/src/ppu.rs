@@ -9,8 +9,8 @@
 use crate::config::{ProsperityConfig, SimMode};
 use crate::events::EventCounts;
 use crate::pipeline::{
-    compute_phase_cycles, compute_phase_cycles_with_deps, overlap_tiles,
-    prosparsity_phase_cycles, TileTiming,
+    compute_phase_cycles, compute_phase_cycles_with_deps, overlap_tiles, prosparsity_phase_cycles,
+    TileTiming,
 };
 use crate::report::LayerPerf;
 use prosperity_core::plan::TileMeta;
@@ -28,11 +28,7 @@ pub const SLOW_DISPATCH_LANES: u64 = 4;
 ///
 /// `n_cols` is the layer's full output width `N`; the PPU covers it in
 /// `⌈N / n_tile⌉` passes per spike tile, reusing the tile's meta information.
-pub fn simulate_layer(
-    spikes: &SpikeMatrix,
-    n_cols: usize,
-    config: &ProsperityConfig,
-) -> LayerPerf {
+pub fn simulate_layer(spikes: &SpikeMatrix, n_cols: usize, config: &ProsperityConfig) -> LayerPerf {
     let tile_shape = config.tile;
     let n_passes = n_cols.div_ceil(config.n_tile).max(1) as u64;
     let mut events = EventCounts::default();
@@ -52,92 +48,83 @@ pub fn simulate_layer(
             ProStats,
             u64,
             u64,
-        ) =
-            match config.mode {
-                SimMode::BitSparsityOnly => {
-                    // No detection: rows are their own patterns.
-                    let pcs: Vec<usize> =
-                        (0..valid).map(|r| tile.data.row(r).popcount()).collect();
-                    let s = ProStats {
-                        dense_ops: (valid * tile.valid_cols) as u64,
-                        bit_ops: spike_bits,
-                        pro_ops: spike_bits,
-                        rows: valid as u64,
-                        root_rows: valid as u64,
-                        ..ProStats::default()
-                    };
-                    (compute_phase_cycles(pcs.iter().copied()), pcs, s, 0, 0)
-                }
-                SimMode::ProSparsitySlowDispatch | SimMode::Full => {
-                    let meta = {
-                        let mut meta = TileMeta::build(&tile.data, tile.row_start, tile.col_start);
-                        meta.valid_rows = valid;
-                        meta.valid_cols = tile.valid_cols;
-                        meta
-                    };
-                    let s = meta.stats(spike_bits);
-                    // Per-row issue cost: an Exact Match row spends its one
-                    // issue/writeback slot; a Partial Match row first loads
-                    // the prefix partial sum from the output buffer (Step 9)
-                    // and then accumulates its pattern bits; a root row
-                    // accumulates from zero.
-                    let costs: Vec<usize> = (0..valid)
-                        .map(|r| {
-                            let row = &meta.rows[r];
-                            match row.kind {
-                                MatchKind::Exact => 1,
-                                MatchKind::Partial => 1 + row.ops(),
-                                MatchKind::None => row.ops().max(1),
-                            }
-                        })
-                        .collect();
-                    let pcs: Vec<usize> = (0..valid).map(|r| meta.rows[r].ops()).collect();
-                    let prefix_rows = (0..valid)
-                        .filter(|&r| meta.rows[r].prefix.is_some())
-                        .count() as u64;
-                    // Detector events: every valid row queries the TCAM once.
-                    events.tcam_queries += valid as u64;
-                    events.tcam_bitops += valid as u64 * (tile_shape.m * tile_shape.k) as u64;
-                    events.popcounts += valid as u64;
-                    // Pruner: each query row's SI vector is filtered and
-                    // argmax-reduced across all m candidate channels.
-                    events.prune_comparisons += valid as u64 * tile_shape.m as u64 + log_m;
-                    // Sorter comparators (Sec. VII-G: 2 m log m per tile).
-                    events.sorter_comparators += 2 * valid as u64 * log_m;
-                    // Table accesses: one write per row + one read per issue.
-                    events.table_accesses += 2 * valid as u64;
-                    let extra = match config.mode {
-                        SimMode::ProSparsitySlowDispatch => {
-                            // O(m·d) forest walk, serialized with dispatch:
-                            // one table probe per ancestor per row, spread
-                            // over the table's banks.
-                            let forest = meta.forest();
-                            let probes = (0..valid)
-                                .map(|r| forest.depth(r) as u64)
-                                .sum::<u64>()
-                                + valid as u64;
-                            probes.div_ceil(SLOW_DISPATCH_LANES)
+        ) = match config.mode {
+            SimMode::BitSparsityOnly => {
+                // No detection: rows are their own patterns.
+                let pcs: Vec<usize> = (0..valid).map(|r| tile.data.row(r).popcount()).collect();
+                let s = ProStats {
+                    dense_ops: (valid * tile.valid_cols) as u64,
+                    bit_ops: spike_bits,
+                    pro_ops: spike_bits,
+                    rows: valid as u64,
+                    root_rows: valid as u64,
+                    ..ProStats::default()
+                };
+                (compute_phase_cycles(pcs.iter().copied()), pcs, s, 0, 0)
+            }
+            SimMode::ProSparsitySlowDispatch | SimMode::Full => {
+                let meta = {
+                    let mut meta = TileMeta::build(&tile.data, tile.row_start, tile.col_start);
+                    meta.valid_rows = valid;
+                    meta.valid_cols = tile.valid_cols;
+                    meta
+                };
+                let s = meta.stats(spike_bits);
+                // Per-row issue cost: an Exact Match row spends its one
+                // issue/writeback slot; a Partial Match row first loads
+                // the prefix partial sum from the output buffer (Step 9)
+                // and then accumulates its pattern bits; a root row
+                // accumulates from zero.
+                let costs: Vec<usize> = (0..valid)
+                    .map(|r| {
+                        let row = &meta.rows[r];
+                        match row.kind {
+                            MatchKind::Exact => 1,
+                            MatchKind::Partial => 1 + row.ops(),
+                            MatchKind::None => row.ops().max(1),
                         }
-                        _ => 0,
-                    };
-                    let pro_phase = prosparsity_phase_cycles(valid, extra);
-                    // Issue in the Dispatcher's order, honouring the
-                    // output-buffer read-after-write hazard on prefix loads.
-                    let order: Vec<usize> = meta
-                        .order
-                        .iter()
-                        .copied()
-                        .filter(|&r| r < valid)
-                        .collect();
-                    let prefixes: Vec<Option<usize>> =
-                        (0..valid).map(|r| meta.rows[r].prefix).collect();
-                    // A prefix index may point at a padding row (never: only
-                    // valid rows are nonzero, and zero rows are not usable
-                    // prefixes), so the slice is consistent.
-                    let compute = compute_phase_cycles_with_deps(&order, &prefixes, &costs);
-                    (compute, pcs, s, pro_phase, prefix_rows)
-                }
-            };
+                    })
+                    .collect();
+                let pcs: Vec<usize> = (0..valid).map(|r| meta.rows[r].ops()).collect();
+                let prefix_rows = (0..valid)
+                    .filter(|&r| meta.rows[r].prefix.is_some())
+                    .count() as u64;
+                // Detector events: every valid row queries the TCAM once.
+                events.tcam_queries += valid as u64;
+                events.tcam_bitops += valid as u64 * (tile_shape.m * tile_shape.k) as u64;
+                events.popcounts += valid as u64;
+                // Pruner: each query row's SI vector is filtered and
+                // argmax-reduced across all m candidate channels.
+                events.prune_comparisons += valid as u64 * tile_shape.m as u64 + log_m;
+                // Sorter comparators (Sec. VII-G: 2 m log m per tile).
+                events.sorter_comparators += 2 * valid as u64 * log_m;
+                // Table accesses: one write per row + one read per issue.
+                events.table_accesses += 2 * valid as u64;
+                let extra = match config.mode {
+                    SimMode::ProSparsitySlowDispatch => {
+                        // O(m·d) forest walk, serialized with dispatch:
+                        // one table probe per ancestor per row, spread
+                        // over the table's banks.
+                        let forest = meta.forest();
+                        let probes =
+                            (0..valid).map(|r| forest.depth(r) as u64).sum::<u64>() + valid as u64;
+                        probes.div_ceil(SLOW_DISPATCH_LANES)
+                    }
+                    _ => 0,
+                };
+                let pro_phase = prosparsity_phase_cycles(valid, extra);
+                // Issue in the Dispatcher's order, honouring the
+                // output-buffer read-after-write hazard on prefix loads.
+                let order: Vec<usize> = meta.order.iter().copied().filter(|&r| r < valid).collect();
+                let prefixes: Vec<Option<usize>> =
+                    (0..valid).map(|r| meta.rows[r].prefix).collect();
+                // A prefix index may point at a padding row (never: only
+                // valid rows are nonzero, and zero rows are not usable
+                // prefixes), so the slice is consistent.
+                let compute = compute_phase_cycles_with_deps(&order, &prefixes, &costs);
+                (compute, pcs, s, pro_phase, prefix_rows)
+            }
+        };
 
         // --- Computation phase ------------------------------------------
         let compute = compute_once * n_passes;
@@ -146,12 +133,10 @@ pub fn simulate_layer(
         events.pe_accumulations += pattern_bits * n_cols as u64;
         events.prefix_loads += prefix_rows * n_passes;
         events.output_writes += valid as u64 * n_passes;
-        events.weight_buffer_bytes +=
-            pattern_bits * n_cols as u64 * config.weight_bits as u64 / 8;
+        events.weight_buffer_bytes += pattern_bits * n_cols as u64 * config.weight_bits as u64 / 8;
         events.spike_buffer_bytes += 2 * (tile_shape.m * tile_shape.k / 8) as u64;
         let out_bytes_per_row = (n_cols * config.output_bits / 8) as u64;
-        events.output_buffer_bytes +=
-            (valid as u64 + prefix_rows) * out_bytes_per_row;
+        events.output_buffer_bytes += (valid as u64 + prefix_rows) * out_bytes_per_row;
 
         stats += tile_stats;
         timings.push(TileTiming { pro_phase, compute });
@@ -169,8 +154,7 @@ pub fn simulate_layer(
     events.neuron_updates += (m_total * n_cols) as u64;
 
     let compute_side = overlap_tiles(&timings);
-    let dram_cycles =
-        (events.dram_bytes as f64 / config.dram_bytes_per_cycle()).ceil() as u64;
+    let dram_cycles = (events.dram_bytes as f64 / config.dram_bytes_per_cycle()).ceil() as u64;
     let cycles = compute_side.max(dram_cycles);
 
     LayerPerf {

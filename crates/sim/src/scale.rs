@@ -107,8 +107,9 @@ mod tests {
     fn dependency_chains_limit_intra_ppu_scaling() {
         // A pure chain cannot be parallelized at all.
         let order: Vec<usize> = (0..6).collect();
-        let prefixes: Vec<Option<usize>> =
-            (0..6).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let prefixes: Vec<Option<usize>> = (0..6)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let costs = vec![1usize; 6];
         let w1 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 1);
         let w8 = intra_ppu_compute_cycles(&order, &prefixes, &costs, 8);

@@ -15,6 +15,12 @@ use std::fmt;
 /// Bits are stored LSB-first in `u64` limbs, so all set operations run in
 /// O(len / 64) words.
 ///
+/// # Invariant
+///
+/// Bits of the last limb above `len` are always zero. Every constructor and
+/// mutator preserves this, and the word-level kernels (`slice_into`,
+/// `subset_query`, equality, popcount) rely on it.
+///
 /// # Examples
 ///
 /// ```
@@ -104,6 +110,11 @@ impl BitRow {
         }
     }
 
+    /// Clears every bit, keeping the row length and allocation.
+    pub fn clear(&mut self) {
+        self.limbs.fill(0);
+    }
+
     /// Number of spikes in the row (the paper's "Number of Ones", NO).
     ///
     /// This is the popcount computed by the Detector's popcount units and
@@ -140,6 +151,22 @@ impl BitRow {
     /// Returns `true` if the rows are a *proper* subset pair (Partial Match).
     pub fn is_proper_subset_of(&self, other: &Self) -> bool {
         self.is_subset_of(other) && self != other
+    }
+
+    /// Subset test against a raw limb view: `true` iff every spike of `self`
+    /// is present in `query` (the Detector's TCAM semantics).
+    ///
+    /// This is the borrowed fast path of [`BitRow::is_subset_of`] for callers
+    /// that already hold [`BitRow::limbs`] of the query row; it skips the
+    /// length bookkeeping entirely and compares word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the limb counts differ.
+    #[inline]
+    pub fn subset_query(&self, query: &[u64]) -> bool {
+        debug_assert_eq!(self.limbs.len(), query.len(), "limb count mismatch");
+        self.limbs.iter().zip(query).all(|(&a, &b)| a & !b == 0)
     }
 
     /// Bitwise XOR, producing the ProSparsity pattern `S_q − S_p` when
@@ -197,6 +224,42 @@ impl BitRow {
         }
     }
 
+    /// In-place bitwise XOR: `self ^= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &Self) {
+        self.check_len(other);
+        for (a, &b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place bitwise AND: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Self) {
+        self.check_len(other);
+        for (a, &b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise OR: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Self) {
+        self.check_len(other);
+        for (a, &b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a |= b;
+        }
+    }
+
     /// Iterates over the column indices of 1-bits in ascending order.
     ///
     /// The ascending order matches the Processor's address decoder, which
@@ -215,13 +278,35 @@ impl BitRow {
     /// right edge of a matrix is implicitly zero-padded.
     pub fn slice(&self, start: usize, len: usize) -> Self {
         let mut out = Self::zeros(len);
-        for j in 0..len {
-            let src = start + j;
-            if src < self.len && self.get(src) {
-                out.set(j, true);
-            }
-        }
+        self.slice_into(start, &mut out);
         out
+    }
+
+    /// Overwrites `out` with columns `[start, start + out.len())` of `self`,
+    /// zero-padding past the end of the row.
+    ///
+    /// This is the word-shift kernel behind [`BitRow::slice`]: each output
+    /// limb is assembled from at most two source limbs, so extraction costs
+    /// O(out.len / 64) instead of one get/set pair per bit. `out` keeps its
+    /// length and allocation, making it the zero-allocation path for tile
+    /// extraction.
+    pub fn slice_into(&self, start: usize, out: &mut BitRow) {
+        let n_words = out.limbs.len();
+        let word0 = start / LIMB_BITS;
+        let shift = start % LIMB_BITS;
+        for (w, dst) in out.limbs.iter_mut().enumerate() {
+            let lo = self.limbs.get(word0 + w).copied().unwrap_or(0) >> shift;
+            let hi = if shift == 0 {
+                0
+            } else {
+                self.limbs.get(word0 + w + 1).copied().unwrap_or(0) << (LIMB_BITS - shift)
+            };
+            *dst = lo | hi;
+        }
+        let tail = out.len % LIMB_BITS;
+        if tail != 0 && n_words > 0 {
+            out.limbs[n_words - 1] &= (1u64 << tail) - 1;
+        }
     }
 
     /// Raw limb view (LSB-first), for hashing and fast comparisons.
@@ -360,6 +445,75 @@ mod tests {
         let r = BitRow::from_ones(10, &[8, 9]);
         let s = r.slice(8, 4);
         assert_eq!(s, BitRow::from_bits(&[1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn slice_matches_bitwise_reference_across_offsets() {
+        // Word-shift slicing must agree with a bit-by-bit reference for every
+        // (start, len) alignment around limb boundaries.
+        let src = BitRow::from_ones(200, &[0, 1, 5, 63, 64, 65, 127, 128, 150, 198, 199]);
+        for start in [0, 1, 7, 63, 64, 65, 100, 128, 190, 199, 200, 260] {
+            for len in [0, 1, 3, 63, 64, 65, 130, 200] {
+                let got = src.slice(start, len);
+                let mut expect = BitRow::zeros(len);
+                for j in 0..len {
+                    if start + j < src.len() && src.get(start + j) {
+                        expect.set(j, true);
+                    }
+                }
+                assert_eq!(got, expect, "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_into_reuses_and_masks_tail() {
+        let src = BitRow::from_ones(100, &[64, 65, 66, 99]);
+        let mut out = BitRow::from_ones(5, &[0, 1, 2, 3, 4]); // stale bits
+        src.slice_into(64, &mut out);
+        assert_eq!(out, BitRow::from_bits(&[1, 1, 1, 0, 0]));
+        // The tail bits above len must stay zero so popcount/eq stay honest.
+        assert_eq!(out.popcount(), 3);
+    }
+
+    #[test]
+    fn subset_query_matches_is_subset_of() {
+        let a = BitRow::from_ones(130, &[0, 64, 129]);
+        let b = BitRow::from_ones(130, &[0, 1, 64, 100, 129]);
+        assert!(a.subset_query(b.limbs()));
+        assert!(!b.subset_query(a.limbs()));
+        assert!(a.subset_query(a.limbs()));
+    }
+
+    #[test]
+    fn assign_ops_match_pure_ops() {
+        let a = BitRow::from_ones(150, &[0, 5, 64, 100, 149]);
+        let b = BitRow::from_ones(150, &[5, 64, 65, 149]);
+        let mut x = a.clone();
+        x.xor_assign(&b);
+        assert_eq!(x, a.xor(&b));
+        let mut y = a.clone();
+        y.and_assign(&b);
+        assert_eq!(y, a.and(&b));
+        let mut z = a.clone();
+        z.or_assign(&b);
+        assert_eq!(z, a.or(&b));
+    }
+
+    #[test]
+    fn clear_zeroes_in_place() {
+        let mut r = BitRow::from_ones(90, &[0, 50, 89]);
+        r.clear();
+        assert!(r.is_zero());
+        assert_eq!(r.len(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assign_length_mismatch_panics() {
+        let mut a = BitRow::zeros(4);
+        let b = BitRow::zeros(5);
+        a.xor_assign(&b);
     }
 
     #[test]

@@ -61,6 +61,13 @@ impl<T: Copy> WeightMatrix<T> {
         &self.data[k * self.cols..(k + 1) * self.cols]
     }
 
+    /// The whole weight matrix in row-major order (row `k` occupies
+    /// `k * cols .. (k + 1) * cols`); the executor's single-bounds-check
+    /// row-addressing path.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
     /// Element at `(row, col)`.
     pub fn get(&self, row: usize, col: usize) -> T {
         self.data[row * self.cols + col]
@@ -108,6 +115,18 @@ impl<T: Copy + Default + AddAssign> OutputMatrix<T> {
     /// Element at `(row, col)`.
     pub fn get(&self, row: usize, col: usize) -> T {
         self.data[row * self.cols + col]
+    }
+
+    /// The whole output in row-major order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major view of the whole output. Rows `a..b` occupy
+    /// elements `a * cols .. b * cols`, which is what lets the executor hand
+    /// each row-tile a disjoint `&mut` chunk for parallel accumulation.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
     }
 
     /// Accumulates weight row `w` into output row `i` element-wise.

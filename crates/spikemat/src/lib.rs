@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bitops;
 mod bitrow;
 mod error;
 pub mod gemm;

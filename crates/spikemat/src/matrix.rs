@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.total_spikes(), 4);
 /// assert!((m.density() - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpikeMatrix {
     rows: Vec<BitRow>,
     cols: usize,
@@ -135,18 +135,36 @@ impl SpikeMatrix {
         n_rows: usize,
         n_cols: usize,
     ) -> Self {
-        let rows = (0..n_rows)
-            .map(|r| {
-                if row_start + r < self.rows() {
-                    self.rows[row_start + r].slice(col_start, n_cols)
-                } else {
-                    BitRow::zeros(n_cols)
-                }
-            })
-            .collect();
-        Self {
-            rows,
-            cols: n_cols,
+        let mut out = Self::zeros(0, n_cols);
+        self.submatrix_into(row_start, col_start, n_rows, n_cols, &mut out);
+        out
+    }
+
+    /// Extracts a zero-padded sub-matrix into `out`, reusing its row
+    /// allocations when the column count matches.
+    ///
+    /// This is the zero-allocation tile-extraction path used by the planner:
+    /// together with [`BitRow::slice_into`] a steady-state tile extraction
+    /// performs no heap allocation at all.
+    pub fn submatrix_into(
+        &self,
+        row_start: usize,
+        col_start: usize,
+        n_rows: usize,
+        n_cols: usize,
+        out: &mut Self,
+    ) {
+        if out.cols != n_cols {
+            out.rows.clear();
+            out.cols = n_cols;
+        }
+        out.rows.resize_with(n_rows, || BitRow::zeros(n_cols));
+        for (r, dst) in out.rows.iter_mut().enumerate() {
+            if row_start + r < self.rows.len() {
+                self.rows[row_start + r].slice_into(col_start, dst);
+            } else {
+                dst.clear();
+            }
         }
     }
 
@@ -241,6 +259,20 @@ mod tests {
         assert_eq!(s.row(0), &BitRow::from_bits(&[0, 1, 0]));
         assert_eq!(s.row(1), &BitRow::from_bits(&[0, 1, 0]));
         assert!(s.row(2).is_zero());
+    }
+
+    #[test]
+    fn submatrix_into_reuses_buffers() {
+        let m = paper_matrix();
+        let mut out = SpikeMatrix::zeros(0, 0);
+        // First use resizes; second reuses rows of matching width.
+        m.submatrix_into(4, 2, 3, 3, &mut out);
+        assert_eq!(out, m.submatrix(4, 2, 3, 3));
+        m.submatrix_into(0, 0, 3, 3, &mut out);
+        assert_eq!(out, m.submatrix(0, 0, 3, 3));
+        // Width change rebuilds rows correctly.
+        m.submatrix_into(1, 1, 2, 4, &mut out);
+        assert_eq!(out, m.submatrix(1, 1, 2, 4));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use prosperity::core::exec::prosparsity_gemm;
-use prosperity::core::{ProSparsityPlan, MatchKind};
+use prosperity::core::{MatchKind, ProSparsityPlan};
 use prosperity::spikemat::gemm::{spiking_gemm, WeightMatrix};
 use prosperity::spikemat::{SpikeMatrix, TileShape};
 
@@ -30,24 +30,34 @@ fn main() {
             MatchKind::Exact => "ExactMatch ",
         };
         match meta.prefix {
-            Some(p) => println!("  row {i}: {kind} prefix=row {p}, pattern {:?}", meta.pattern),
+            Some(p) => println!(
+                "  row {i}: {kind} prefix=row {p}, pattern {:?}",
+                meta.pattern
+            ),
             None => println!("  row {i}: {kind} pattern {:?}", meta.pattern),
         }
     }
-    println!("execution order (stable sort by popcount): {:?}\n", tile.order);
+    println!(
+        "execution order (stable sort by popcount): {:?}\n",
+        tile.order
+    );
 
     let s = plan.stats();
     println!("dense ops / column      : {}", s.dense_ops);
-    println!("bit-sparse ops / column : {} (density {:.2}%)", s.bit_ops, 100.0 * s.bit_density());
-    println!("ProSparsity ops / column: {} (density {:.2}%)", s.pro_ops, 100.0 * s.pro_density());
+    println!(
+        "bit-sparse ops / column : {} (density {:.2}%)",
+        s.bit_ops,
+        100.0 * s.bit_density()
+    );
+    println!(
+        "ProSparsity ops / column: {} (density {:.2}%)",
+        s.pro_ops,
+        100.0 * s.pro_density()
+    );
     println!("computation reduction   : {:.2}x\n", s.reduction());
 
     // Lossless execution: identical to the bit-sparse reference.
-    let weights = WeightMatrix::from_vec(
-        4,
-        3,
-        vec![3, -1, 5, -1, 2, 7, 4, -3, 1, 6, 0, -2],
-    );
+    let weights = WeightMatrix::from_vec(4, 3, vec![3, -1, 5, -1, 2, 7, 4, -3, 1, 6, 0, -2]);
     let pro = prosparsity_gemm(&spikes, &weights, TileShape::new(6, 4));
     let reference = spiking_gemm(&spikes, &weights);
     assert_eq!(pro, reference, "ProSparsity must be lossless");
@@ -55,5 +65,8 @@ fn main() {
     for i in 0..pro.rows() {
         println!("  row {i}: {:?}", pro.row(i));
     }
-    println!("\nRows 4 and 5 share one result; the paper's 24 dense ops became {} ops.", s.pro_ops);
+    println!(
+        "\nRows 4 and 5 share one result; the paper's 24 dense ops became {} ops.",
+        s.pro_ops
+    );
 }

@@ -34,17 +34,32 @@ fn main() {
     let energy = EnergyModel::default().energy(&perf.events);
     let area = AreaModel::default().area(&config);
 
-    println!("Prosperity (m={} k={} n={}):", config.tile.m, config.tile.k, config.n_tile);
+    println!(
+        "Prosperity (m={} k={} n={}):",
+        config.tile.m, config.tile.k, config.n_tile
+    );
     println!("  cycles          : {}", perf.cycles);
     println!("  latency         : {:.3} ms", 1e3 * perf.time_seconds());
     println!("  throughput      : {:.1} GOP/s", perf.throughput_gops());
-    println!("  energy          : {:.3} mJ ({:.1}% DRAM)", 1e3 * energy.total(),
-        100.0 * energy.dram / energy.total());
+    println!(
+        "  energy          : {:.3} mJ ({:.1}% DRAM)",
+        1e3 * energy.total(),
+        100.0 * energy.dram / energy.total()
+    );
     println!("  area            : {:.3} mm2", area.total());
-    println!("  bit density     : {:.2}%", 100.0 * perf.stats.bit_density());
-    println!("  product density : {:.2}%\n", 100.0 * perf.stats.pro_density());
+    println!(
+        "  bit density     : {:.2}%",
+        100.0 * perf.stats.bit_density()
+    );
+    println!(
+        "  product density : {:.2}%\n",
+        100.0 * perf.stats.pro_density()
+    );
 
-    println!("{:<12} {:>12} {:>14} {:>10}", "baseline", "latency ms", "energy mJ", "speedup");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "baseline", "latency ms", "energy mJ", "speedup"
+    );
     let mine = perf.time_seconds();
     let report = |name: &str, time_s: f64, energy_j: f64| {
         println!(

@@ -46,19 +46,13 @@ fn main() {
         .collect();
     let input_spikes: usize = frames
         .iter()
-        .map(|f| {
-            (0..h * w)
-                .filter(|&i| f.get(0, i / w, i % w))
-                .count()
-        })
+        .map(|f| (0..h * w).filter(|&i| f.get(0, i / w, i % w)).count())
         .sum();
     println!("input: 1x{h}x{w} over {T} steps, {input_spikes} spikes\n");
 
     // Layer 1: 3×3 conv, 1 -> 8 channels.
     let conv = Conv2dParams::square(1, 8, h, 3, 1, 1);
-    let wconv = WeightMatrix::from_fn(9, 8, |r, c| {
-        ((r * 31 + c * 17) % 13) as f32 * 0.06 - 0.12
-    });
+    let wconv = WeightMatrix::from_fn(9, 8, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.06 - 0.12);
     let lowered: Vec<SpikeMatrix> = frames.iter().map(|f| im2col(f, &conv)).collect();
     let spikes_l1 = SpikeMatrix::vconcat(&lowered); // M = T·OH·OW
     run_layer("conv1 (1->8, 3x3)", &spikes_l1, &wconv);
@@ -76,9 +70,8 @@ fn main() {
         }
         neurons.reset(); // independent pixels share the array per step here
     }
-    let spikes_l2 = SpikeMatrix::from_rows_of_bits(
-        &l2_rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
-    );
+    let spikes_l2 =
+        SpikeMatrix::from_rows_of_bits(&l2_rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>());
     println!(
         "LIF layer fired {} spikes ({:.1}% density) into layer 2\n",
         spikes_l2.total_spikes(),

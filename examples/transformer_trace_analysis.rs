@@ -23,9 +23,11 @@ fn main() {
         "layer (block 0 + cls)", "kind", "bit", "product", "EM%", "PM%", "2nd pfx"
     );
     println!("{}", "-".repeat(80));
-    for l in trace.layers.iter().filter(|l| {
-        l.spec.name.contains("block0") || l.spec.name.contains("classifier")
-    }) {
+    for l in trace
+        .layers
+        .iter()
+        .filter(|l| l.spec.name.contains("block0") || l.spec.name.contains("classifier"))
+    {
         let plan = ProSparsityPlan::build_tiled(&l.spikes, tile);
         let s = plan.stats();
         let two = analyze_matrix(&l.spikes, tile);

@@ -1,103 +1,157 @@
-//! Property tests of the PPU front end: TCAM detection equivalence, pruning
-//! invariants, forest structure, and temporal-order validity.
+//! Property tests of the PPU front end: TCAM detection equivalence (both the
+//! staged and the scratch-reusing batched paths), pruning invariants, forest
+//! structure, and temporal-order validity — over seeded random tiles.
 
-use proptest::prelude::*;
-use prosperity::core::detect::{detect_tile, naive_subsets, TcamDetector};
+use prosperity::core::detect::{detect_tile, detect_tile_into, naive_subsets, TcamDetector};
 use prosperity::core::order::{forest_walk_order, is_valid_order, sorted_order, BitonicSorter};
 use prosperity::core::plan::TileMeta;
 use prosperity::core::prune::prune_tile;
 use prosperity::core::{MatchKind, ProSparsityForest};
 use prosperity::spikemat::SpikeMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_tile(max_m: usize, max_k: usize) -> impl Strategy<Value = SpikeMatrix> {
-    (1..=max_m, 1..=max_k).prop_flat_map(|(m, k)| {
-        proptest::collection::vec(proptest::collection::vec(0u8..2, k), m).prop_map(|rows| {
-            SpikeMatrix::from_rows_of_bits(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>())
-        })
-    })
+fn random_tile(rng: &mut StdRng, max_m: usize, max_k: usize) -> SpikeMatrix {
+    let m = rng.gen_range(1..=max_m);
+    let k = rng.gen_range(1..=max_k);
+    let density = rng.gen_range(0.0..0.8);
+    SpikeMatrix::random(m, k, density, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn tcam_equals_naive_pairwise_search(tile in arb_tile(40, 24)) {
-        prop_assert_eq!(detect_tile(&tile), naive_subsets(&tile));
+#[test]
+fn tcam_equals_naive_pairwise_search() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..128 {
+        let tile = random_tile(&mut rng, 40, 24);
+        assert_eq!(detect_tile(&tile), naive_subsets(&tile), "trial {trial}");
     }
+}
 
-    #[test]
-    fn tcam_match_vector_is_subset_semantics(tile in arb_tile(24, 16), q in 0usize..24) {
-        let q = q % tile.rows();
+#[test]
+fn batched_detect_with_reused_scratch_equals_naive() {
+    // detect_tile_into must stay exact while its scratch buffers carry
+    // arbitrary state from previous (differently sized) tiles.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut scratch = detect_tile(&SpikeMatrix::zeros(7, 9));
+    for trial in 0..128 {
+        let tile = random_tile(&mut rng, 40, 24);
+        detect_tile_into(&tile, &mut scratch);
+        assert_eq!(scratch, naive_subsets(&tile), "trial {trial}");
+    }
+}
+
+#[test]
+fn tcam_match_vector_is_subset_semantics() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut si = Vec::new();
+    for _ in 0..64 {
+        let tile = random_tile(&mut rng, 24, 16);
+        let q = rng.gen_range(0..tile.rows());
         let tcam = TcamDetector::load(&tile);
-        let si = tcam.query(tile.row(q));
+        tcam.query_into(tile.row(q), &mut si);
+        assert_eq!(si, tcam.query(tile.row(q)));
         for (j, &matched) in si.iter().enumerate() {
-            prop_assert_eq!(matched, tile.row(j).is_subset_of(tile.row(q)));
+            assert_eq!(matched, tile.row(j).is_subset_of(tile.row(q)));
         }
     }
+}
 
-    #[test]
-    fn pruner_invariants(tile in arb_tile(40, 20)) {
+#[test]
+fn pruner_invariants() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for trial in 0..128 {
+        let tile = random_tile(&mut rng, 40, 20);
         let detected = detect_tile(&tile);
         let pruned = prune_tile(&tile, &detected);
         for (i, row) in pruned.iter().enumerate() {
             match row.prefix {
                 Some(p) => {
                     // Prefix is a nonzero subset respecting the partial order.
-                    prop_assert!(tile.row(p).is_subset_of(tile.row(i)));
-                    prop_assert!(tile.row(p).popcount() > 0);
+                    assert!(tile.row(p).is_subset_of(tile.row(i)));
+                    assert!(tile.row(p).popcount() > 0);
                     let (pp, pi) = (tile.row(p).popcount(), tile.row(i).popcount());
-                    prop_assert!(pp < pi || (pp == pi && p < i));
+                    assert!(pp < pi || (pp == pi && p < i));
                     // Pattern = set difference; kind consistent.
-                    prop_assert_eq!(&row.pattern, &tile.row(i).xor(tile.row(p)));
+                    assert_eq!(&row.pattern, &tile.row(i).xor(tile.row(p)));
                     match row.kind {
-                        MatchKind::Exact => prop_assert!(row.pattern.is_zero()),
-                        MatchKind::Partial => prop_assert!(!row.pattern.is_zero()),
-                        MatchKind::None => prop_assert!(false, "prefix with kind None"),
+                        MatchKind::Exact => assert!(row.pattern.is_zero()),
+                        MatchKind::Partial => assert!(!row.pattern.is_zero()),
+                        MatchKind::None => panic!("prefix with kind None (trial {trial})"),
                     }
                 }
                 None => {
-                    prop_assert_eq!(row.kind, MatchKind::None);
-                    prop_assert_eq!(&row.pattern, tile.row(i));
+                    assert_eq!(row.kind, MatchKind::None);
+                    assert_eq!(&row.pattern, tile.row(i));
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn forest_is_acyclic_and_orders_are_valid(tile in arb_tile(48, 16)) {
+#[test]
+fn fused_tile_meta_matches_staged_pipeline() {
+    // TileMeta::build fuses Detector + Pruner with an early-exit argmax scan;
+    // it must select exactly the staged pipeline's prefixes and patterns.
+    let mut rng = StdRng::seed_from_u64(5);
+    for trial in 0..128 {
+        let tile = random_tile(&mut rng, 40, 20);
+        let meta = TileMeta::build(&tile, 0, 0);
+        let pruned = prune_tile(&tile, &detect_tile(&tile));
+        for (i, (got, want)) in meta.rows.iter().zip(&pruned).enumerate() {
+            assert_eq!(got.prefix, want.prefix, "trial {trial} row {i}");
+            assert_eq!(got.kind, want.kind, "trial {trial} row {i}");
+            assert_eq!(got.pattern, want.pattern, "trial {trial} row {i}");
+        }
+    }
+}
+
+#[test]
+fn forest_is_acyclic_and_orders_are_valid() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..128 {
+        let tile = random_tile(&mut rng, 48, 16);
         let detected = detect_tile(&tile);
         let pruned = prune_tile(&tile, &detected);
         let forest = ProSparsityForest::from_pruned(&pruned);
-        prop_assert!(forest.validate());
-        prop_assert!(forest.max_depth() < forest.len().max(1));
+        assert!(forest.validate());
+        assert!(forest.max_depth() < forest.len().max(1));
         // Both dispatch strategies produce valid topological orders.
-        prop_assert!(is_valid_order(&forest, &sorted_order(&detected.popcounts)));
-        prop_assert!(is_valid_order(&forest, &forest_walk_order(&forest)));
+        assert!(is_valid_order(&forest, &sorted_order(&detected.popcounts)));
+        assert!(is_valid_order(&forest, &forest_walk_order(&forest)));
     }
+}
 
-    #[test]
-    fn bitonic_sorter_matches_stable_sort(pcs in proptest::collection::vec(0usize..32, 0..300)) {
+#[test]
+fn bitonic_sorter_matches_stable_sort() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..128 {
+        let len = rng.gen_range(0..300);
+        let pcs: Vec<usize> = (0..len).map(|_| rng.gen_range(0..32)).collect();
         let (order, sorter) = BitonicSorter::sort(&pcs);
-        prop_assert_eq!(order, sorted_order(&pcs));
+        assert_eq!(order, sorted_order(&pcs));
         if pcs.len() > 1 {
-            prop_assert!(sorter.stages() > 0);
+            assert!(sorter.stages() > 0);
         }
     }
+}
 
-    #[test]
-    fn tile_meta_consistency(tile in arb_tile(32, 16)) {
+#[test]
+fn tile_meta_consistency() {
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..64 {
+        let tile = random_tile(&mut rng, 32, 16);
         let meta = TileMeta::build(&tile, 0, 0);
         // Order is a permutation.
         let mut seen = vec![false; tile.rows()];
         for &r in &meta.order {
-            prop_assert!(!seen[r]);
+            assert!(!seen[r]);
             seen[r] = true;
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s));
         // Stats bit ops equal actual spikes.
         let s = meta.stats(tile.total_spikes() as u64);
-        prop_assert_eq!(s.rows as usize, tile.rows());
-        prop_assert!(s.pro_ops <= s.bit_ops);
+        assert_eq!(s.rows as usize, tile.rows());
+        assert!(s.pro_ops <= s.bit_ops);
     }
 }
 

@@ -109,7 +109,10 @@ fn table5_ratios_hold() {
     model.layer_k = 512;
     let r = evaluate(&model, 1234);
     assert!(r.ratio() > 2.0, "reduction {}", r.ratio());
-    assert!((r.weight_density - 0.018).abs() < 1e-12, "pruning untouched");
+    assert!(
+        (r.weight_density - 0.018).abs() < 1e-12,
+        "pruning untouched"
+    );
 }
 
 /// Sec. VII-G: the measured ΔS of calibrated workloads clears the 4.4 %

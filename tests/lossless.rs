@@ -1,75 +1,116 @@
 //! The paper's central correctness claim: ProSparsity is algorithm-agnostic
-//! and **lossless**. Property-tested across random matrices, tilings, and
-//! calibrated model traces.
+//! and **lossless**. Property-tested across seeded random matrices, tilings
+//! (including ragged edge tiles), and calibrated model traces, for both the
+//! serial and the parallel kernels.
 
-use proptest::prelude::*;
-use prosperity::core::exec::{execute_plan, prosparsity_gemm};
+use prosperity::core::exec::{execute_plan, execute_plan_serial, prosparsity_gemm};
 use prosperity::core::ProSparsityPlan;
 use prosperity::models::{Architecture, Dataset, Workload};
 use prosperity::spikemat::gemm::{spiking_gemm, WeightMatrix};
 use prosperity::spikemat::{SpikeMatrix, TileShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_spike_matrix(max_m: usize, max_k: usize) -> impl Strategy<Value = SpikeMatrix> {
-    (1..=max_m, 1..=max_k).prop_flat_map(|(m, k)| {
-        proptest::collection::vec(proptest::collection::vec(any::<bool>(), k), m).prop_map(
-            move |rows| {
-                let bytes: Vec<Vec<u8>> = rows
-                    .iter()
-                    .map(|r| r.iter().map(|&b| u8::from(b)).collect())
-                    .collect();
-                SpikeMatrix::from_rows_of_bits(
-                    &bytes.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
-                )
-            },
-        )
-    })
+fn random_spikes(rng: &mut StdRng, max_m: usize, max_k: usize) -> SpikeMatrix {
+    let m = rng.gen_range(1..=max_m);
+    let k = rng.gen_range(1..=max_k);
+    let density = rng.gen_range(0.0..0.8);
+    SpikeMatrix::random(m, k, density, rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn prosparsity_gemm_is_lossless(
-        spikes in arb_spike_matrix(32, 24),
-        n in 1usize..6,
-        tile_m in 1usize..33,
-        tile_k in 1usize..25,
-        seed in any::<i64>(),
-    ) {
+#[test]
+fn prosparsity_gemm_is_lossless() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for trial in 0..64 {
+        let spikes = random_spikes(&mut rng, 32, 24);
         let k = spikes.cols();
+        let n = rng.gen_range(1..6);
+        let tile_m = rng.gen_range(1..33);
+        let tile_k = rng.gen_range(1..25);
+        let seed: i64 = rng.gen_range(-1_000_000..1_000_000);
         let w = WeightMatrix::from_fn(k, n, |r, c| {
-            (seed.wrapping_mul(31).wrapping_add((r * n + c) as i64 * 7919)) % 1000
+            (seed
+                .wrapping_mul(31)
+                .wrapping_add((r * n + c) as i64 * 7919))
+                % 1000
         });
         let got = prosparsity_gemm(&spikes, &w, TileShape::new(tile_m, tile_k));
         let expect = spiking_gemm(&spikes, &w);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "trial {trial} tile {tile_m}x{tile_k}");
     }
+}
 
-    #[test]
-    fn plan_reuse_is_deterministic(
-        spikes in arb_spike_matrix(24, 16),
-        n in 1usize..4,
-    ) {
+#[test]
+fn parallel_equals_serial_equals_reference() {
+    // The satellite contract: parallel execute_plan == serial == spiking_gemm
+    // across tilings, including ragged-edge tiles (tile dims that do not
+    // divide the matrix dims).
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for trial in 0..40 {
+        let spikes = random_spikes(&mut rng, 48, 40);
         let k = spikes.cols();
+        let n = rng.gen_range(1..8);
+        let w = WeightMatrix::from_fn(k, n, |r, c| (r * 31 + c * 7) as i64 % 211 - 105);
+        let reference = spiking_gemm(&spikes, &w);
+        // One dividing tiling and one deliberately ragged tiling per trial.
+        let shapes = [
+            TileShape::new(rng.gen_range(1..=spikes.rows()), rng.gen_range(1..=k)),
+            TileShape::new(spikes.rows().max(2) - 1, k.max(3).div_ceil(2)),
+        ];
+        for shape in shapes {
+            let plan = ProSparsityPlan::build_tiled(&spikes, shape);
+            let par = execute_plan(&plan, &w);
+            let ser = execute_plan_serial(&plan, &w);
+            assert_eq!(par, ser, "trial {trial} shape {shape:?}");
+            assert_eq!(par, reference, "trial {trial} shape {shape:?}");
+        }
+    }
+}
+
+#[test]
+fn ragged_edge_tiles_are_lossless_exhaustively() {
+    // A fixed awkward size swept over every tile shape in range, so every
+    // combination of full and ragged row/column edge tiles is exercised.
+    let mut rng = StdRng::seed_from_u64(7);
+    let spikes = SpikeMatrix::random(13, 11, 0.35, &mut rng);
+    let w = WeightMatrix::from_fn(11, 3, |r, c| (r * 3 + c) as i64 - 16);
+    let reference = spiking_gemm(&spikes, &w);
+    for tile_m in 1..=14 {
+        for tile_k in 1..=12 {
+            let got = prosparsity_gemm(&spikes, &w, TileShape::new(tile_m, tile_k));
+            assert_eq!(got, reference, "tile {tile_m}x{tile_k}");
+        }
+    }
+}
+
+#[test]
+fn plan_reuse_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xD0E);
+    for _ in 0..20 {
+        let spikes = random_spikes(&mut rng, 24, 16);
+        let k = spikes.cols();
+        let n = rng.gen_range(1..4);
         let w = WeightMatrix::from_fn(k, n, |r, c| (r as i64 + 1) * (c as i64 + 3));
         let plan = ProSparsityPlan::build_tiled(&spikes, TileShape::new(8, 8));
         let a = execute_plan(&plan, &w);
         let b = execute_plan(&plan, &w);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a, spiking_gemm(&spikes, &w));
+        assert_eq!(&a, &b);
+        assert_eq!(a, spiking_gemm(&spikes, &w));
     }
+}
 
-    #[test]
-    fn pro_ops_never_exceed_bit_ops(
-        spikes in arb_spike_matrix(48, 32),
-        tile_m in 1usize..49,
-        tile_k in 1usize..33,
-    ) {
+#[test]
+fn pro_ops_never_exceed_bit_ops() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    for _ in 0..64 {
+        let spikes = random_spikes(&mut rng, 48, 32);
+        let tile_m = rng.gen_range(1..49);
+        let tile_k = rng.gen_range(1..33);
         let plan = ProSparsityPlan::build_tiled(&spikes, TileShape::new(tile_m, tile_k));
         let s = plan.stats();
-        prop_assert!(s.pro_ops <= s.bit_ops);
-        prop_assert!(s.bit_ops <= s.dense_ops);
-        prop_assert_eq!(s.bit_ops, spikes.total_spikes() as u64);
+        assert!(s.pro_ops <= s.bit_ops);
+        assert!(s.bit_ops <= s.dense_ops);
+        assert_eq!(s.bit_ops, spikes.total_spikes() as u64);
     }
 }
 

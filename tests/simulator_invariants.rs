@@ -1,18 +1,19 @@
-//! Cross-crate invariants of the cycle-accurate simulator and energy model.
+//! Cross-crate invariants of the cycle-accurate simulator and energy model,
+//! property-tested over seeded random matrices.
 
-use proptest::prelude::*;
 use prosperity::core::ProSparsityPlan;
 use prosperity::models::{Architecture, Dataset, Workload};
 use prosperity::sim::ppu::simulate_layer;
 use prosperity::sim::{simulate_model, EnergyModel, ProsperityConfig, SimMode};
 use prosperity::spikemat::{SpikeMatrix, TileShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_matrix() -> impl Strategy<Value = SpikeMatrix> {
-    (1usize..64, 1usize..40).prop_flat_map(|(m, k)| {
-        proptest::collection::vec(proptest::collection::vec(0u8..2, k), m).prop_map(|rows| {
-            SpikeMatrix::from_rows_of_bits(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>())
-        })
-    })
+fn random_matrix(rng: &mut StdRng) -> SpikeMatrix {
+    let m = rng.gen_range(1..64);
+    let k = rng.gen_range(1..40);
+    let density = rng.gen_range(0.0..0.8);
+    SpikeMatrix::random(m, k, density, rng)
 }
 
 fn cfg(mode: SimMode, m: usize, k: usize) -> ProsperityConfig {
@@ -23,51 +24,68 @@ fn cfg(mode: SimMode, m: usize, k: usize) -> ProsperityConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn full_mode_never_does_more_pe_work(spikes in arb_matrix(), n in 1usize..200) {
+#[test]
+fn full_mode_never_does_more_pe_work() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..48 {
+        let spikes = random_matrix(&mut rng);
+        let n = rng.gen_range(1..200);
         let full = simulate_layer(&spikes, n, &cfg(SimMode::Full, 16, 8));
         let bit = simulate_layer(&spikes, n, &cfg(SimMode::BitSparsityOnly, 16, 8));
-        prop_assert!(full.events.pe_accumulations <= bit.events.pe_accumulations);
-        prop_assert_eq!(
+        assert!(full.events.pe_accumulations <= bit.events.pe_accumulations);
+        assert_eq!(
             bit.events.pe_accumulations,
             spikes.total_spikes() as u64 * n as u64
         );
     }
+}
 
-    #[test]
-    fn slow_dispatch_is_never_faster_than_full(spikes in arb_matrix()) {
+#[test]
+fn slow_dispatch_is_never_faster_than_full() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..48 {
+        let spikes = random_matrix(&mut rng);
         let full = simulate_layer(&spikes, 32, &cfg(SimMode::Full, 16, 8));
         let slow = simulate_layer(&spikes, 32, &cfg(SimMode::ProSparsitySlowDispatch, 16, 8));
-        prop_assert!(slow.compute_cycles >= full.compute_cycles);
-        prop_assert_eq!(slow.events.pe_accumulations, full.events.pe_accumulations);
+        assert!(slow.compute_cycles >= full.compute_cycles);
+        assert_eq!(slow.events.pe_accumulations, full.events.pe_accumulations);
     }
+}
 
-    #[test]
-    fn compute_cycles_lower_bound(spikes in arb_matrix()) {
+#[test]
+fn compute_cycles_lower_bound() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..48 {
+        let spikes = random_matrix(&mut rng);
         // Every valid row costs at least one issue slot per k-tile pass.
         let c = cfg(SimMode::Full, 16, 8);
         let perf = simulate_layer(&spikes, 64, &c);
         let k_tiles = spikes.cols().div_ceil(8) as u64;
-        prop_assert!(perf.compute_cycles >= spikes.rows() as u64 * k_tiles);
-        prop_assert!(perf.cycles >= perf.compute_cycles.min(perf.dram_cycles));
-        prop_assert_eq!(perf.cycles, perf.compute_cycles.max(perf.dram_cycles));
+        assert!(perf.compute_cycles >= spikes.rows() as u64 * k_tiles);
+        assert!(perf.cycles >= perf.compute_cycles.min(perf.dram_cycles));
+        assert_eq!(perf.cycles, perf.compute_cycles.max(perf.dram_cycles));
     }
+}
 
-    #[test]
-    fn sim_stats_agree_with_plan(spikes in arb_matrix()) {
+#[test]
+fn sim_stats_agree_with_plan() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..48 {
+        let spikes = random_matrix(&mut rng);
         let c = cfg(SimMode::Full, 16, 8);
         let perf = simulate_layer(&spikes, 16, &c);
         let plan = ProSparsityPlan::build_tiled(&spikes, TileShape::new(16, 8));
-        prop_assert_eq!(perf.stats.pro_ops, plan.stats().pro_ops);
-        prop_assert_eq!(perf.stats.bit_ops, plan.stats().bit_ops);
-        prop_assert_eq!(perf.stats.rows, plan.stats().rows);
+        assert_eq!(perf.stats.pro_ops, plan.stats().pro_ops);
+        assert_eq!(perf.stats.bit_ops, plan.stats().bit_ops);
+        assert_eq!(perf.stats.rows, plan.stats().rows);
     }
+}
 
-    #[test]
-    fn energy_is_monotone_in_events(spikes in arb_matrix()) {
+#[test]
+fn energy_is_monotone_in_events() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..48 {
+        let spikes = random_matrix(&mut rng);
         let c = cfg(SimMode::Full, 16, 8);
         let small = simulate_layer(&spikes, 16, &c);
         let big = simulate_layer(&spikes, 64, &c);
@@ -75,22 +93,25 @@ proptest! {
         let es = model.energy(&small.events);
         let eb = model.energy(&big.events);
         // Wider output ⇒ at least as much processor and DRAM energy.
-        prop_assert!(eb.processor >= es.processor);
-        prop_assert!(eb.dram >= es.dram);
-        prop_assert!(eb.total() >= es.total() - 1e-18);
+        assert!(eb.processor >= es.processor);
+        assert!(eb.dram >= es.dram);
+        assert!(eb.total() >= es.total() - 1e-18);
     }
 }
 
 #[test]
 fn ablation_ladder_is_ordered_on_a_real_workload() {
-    let trace = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.45, 0.1, 11)
-        .generate_trace(0.25);
+    let trace =
+        Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.45, 0.1, 11).generate_trace(0.25);
     let full = simulate_model(&trace, &ProsperityConfig::default());
     let slow = simulate_model(
         &trace,
         &ProsperityConfig::with_mode(SimMode::ProSparsitySlowDispatch),
     );
-    let bit = simulate_model(&trace, &ProsperityConfig::with_mode(SimMode::BitSparsityOnly));
+    let bit = simulate_model(
+        &trace,
+        &ProsperityConfig::with_mode(SimMode::BitSparsityOnly),
+    );
     assert!(full.cycles <= slow.cycles, "fast dispatch must not lose");
     assert!(full.cycles <= bit.cycles, "ProSparsity must not lose");
     assert!(full.stats.pro_ops < bit.stats.pro_ops);
@@ -98,12 +119,11 @@ fn ablation_ladder_is_ordered_on_a_real_workload() {
 
 #[test]
 fn energy_breakdown_components_sum_to_total() {
-    let trace = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 12)
-        .generate_trace(0.25);
+    let trace =
+        Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 12).generate_trace(0.25);
     let perf = simulate_model(&trace, &ProsperityConfig::default());
     let e = EnergyModel::default().energy(&perf.events);
-    let sum =
-        e.detector + e.pruner + e.dispatcher + e.processor + e.buffer + e.other + e.dram;
+    let sum = e.detector + e.pruner + e.dispatcher + e.processor + e.buffer + e.other + e.dram;
     assert!((e.total() - sum).abs() < 1e-15);
     assert!(e.total() > 0.0);
     assert!(e.dram > 0.0);
@@ -112,8 +132,8 @@ fn energy_breakdown_components_sum_to_total() {
 #[test]
 fn tile_size_one_degenerates_to_bit_sparsity() {
     // m = 1: no prefixes possible, Full mode must equal BitSparsityOnly ops.
-    let trace = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 13)
-        .generate_trace(0.1);
+    let trace =
+        Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 13).generate_trace(0.1);
     let full = simulate_model(&trace, &ProsperityConfig::with_tile(1, 16));
     assert_eq!(full.stats.pro_ops, full.stats.bit_ops);
     assert_eq!(full.stats.root_rows, full.stats.rows);

@@ -1,0 +1,235 @@
+//! Offline shim for `bytes`.
+//!
+//! Backs the binary trace codec in `prosperity-models::trace_io`. Implements
+//! [`Bytes`], [`BytesMut`] and the little-endian [`Buf`]/[`BufMut`] accessor
+//! subset the codec uses, with plain `Vec<u8>` storage instead of the real
+//! crate's refcounted buffers (trace blobs here are small and short-lived).
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Unread bytes remaining in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a new buffer holding the given sub-range of the unread bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..start + n]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Read-side accessors over a byte buffer (little-endian helpers).
+pub trait Buf {
+    /// Unread bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out of the buffer, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Splits off the next `n` bytes as an owned buffer.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let src = self.take(dst.len());
+        dst.copy_from_slice(src);
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes {
+            data: self.take(n).to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Write-side accessors over a growable byte buffer (little-endian helpers).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_little_endian_fields() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"HDR");
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 3 + 1 + 4 + 8);
+        let mut hdr = [0u8; 3];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn copy_to_bytes_splits_prefix() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn slice_and_to_vec_expose_unread_window() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let _ = b.get_u8();
+        assert_eq!(b.to_vec(), vec![8, 7, 6]);
+        assert_eq!(&b.slice(1..3)[..], &[7, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.get_u32_le();
+    }
+}

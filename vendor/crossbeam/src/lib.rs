@@ -1,0 +1,58 @@
+//! Offline shim for `crossbeam`.
+//!
+//! Provides the `crossbeam::thread::scope` subset the figure-reproduction
+//! benches use, implemented on `std::thread::scope` (which landed in std
+//! after crossbeam popularized the pattern). Scoped threads may borrow from
+//! the enclosing stack; the scope joins them all before returning.
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle passed to the [`scope`] closure for spawning scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a unit placeholder
+        /// where crossbeam passes a nested scope handle (enough for callers
+        /// that ignore it, which is the pattern this workspace uses).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// Always returns `Ok` (a panicking child propagates the panic instead
+    /// of surfacing it as an `Err`, which is stricter than crossbeam but
+    /// indistinguishable for callers that `.expect()` the result).
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+}

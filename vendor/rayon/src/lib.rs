@@ -1,0 +1,231 @@
+//! Offline shim for `rayon`.
+//!
+//! Provides the parallel-iterator subset the Prosperity kernels use
+//! (`into_par_iter`/`par_iter` + `map`/`for_each`/`collect`, and [`join`])
+//! on top of `std::thread::scope`. Work is split into one contiguous,
+//! order-preserving chunk per worker thread — the right shape for the
+//! kernels' coarse tile-level parallelism, where items are few and
+//! similarly sized; there is no work stealing.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like the real crate) or
+//! `std::thread::available_parallelism()`. With one thread everything runs
+//! inline on the caller with zero spawn overhead.
+
+use std::ops::Range;
+
+/// Number of worker threads parallel operations will use.
+///
+/// Honors `RAYON_NUM_THREADS` when set to a positive integer, otherwise
+/// falls back to the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: joined task panicked"))
+    })
+}
+
+/// Order-preserving parallel map over owned items: one contiguous chunk per
+/// worker. The backbone of every iterator method in this shim.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let total = items.len();
+    let chunk = total.div_ceil(threads);
+    let mut source = items.into_iter();
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    while source.len() > 0 {
+        chunks.push(source.by_ref().take(chunk).collect());
+    }
+    let f = &f;
+    let results: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// An eager, order-preserving parallel iterator over a materialized item set.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: parallel_map_vec(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = parallel_map_vec(self.items, f);
+    }
+
+    /// Collects the (already computed, in-order) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type yielded by the parallel iterator.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// By-reference conversion (rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: Send;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// The traits most code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let counter = AtomicUsize::new(0);
+        (0..257).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(v.len(), 4); // still usable
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn forced_thread_count_still_correct() {
+        // Exercise the multi-chunk path even on a 1-CPU host.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let out: Vec<usize> = (0..103).into_par_iter().map(|i| i + 1).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(out, (1..104).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and derive macros so
+//! the workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without crates.io access. Nothing in this workspace performs serde
+//! serialization (the binary trace codec is hand-rolled), so the derives
+//! expand to nothing and the traits carry no methods. Replacing this shim
+//! with the real `serde` is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no data-format backends exist in
+/// this offline build, so the trait carries no methods).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no data-format backends exist
+/// in this offline build, so the trait carries no methods).
+pub trait Deserialize<'de>: Sized {}

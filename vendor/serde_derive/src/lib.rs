@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its public types but
+//! never serializes them through serde (the on-disk trace format is the
+//! hand-rolled codec in `prosperity-models::trace_io`). The build environment
+//! has no crates.io access, so these derives expand to nothing: the
+//! annotations compile, keep the real serde a drop-in replacement, and cost
+//! zero code.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
