@@ -6,6 +6,7 @@
 //! treating one binary operand as a 0/1 integer weight matrix — which is why
 //! Prosperity supports spiking transformers that prior SNN ASICs cannot.
 
+use crate::engine::Engine;
 use crate::exec::prosparsity_gemm;
 use spikemat::gemm::{OutputMatrix, WeightMatrix};
 use spikemat::{SpikeMatrix, TileShape};
@@ -42,6 +43,58 @@ pub fn spiking_av(
     tile: TileShape,
 ) -> OutputMatrix<i64> {
     prosparsity_gemm(attn, values, tile)
+}
+
+/// Lowers a key matrix once for repeated [`spiking_qk_prelowered`] calls:
+/// `Kᵀ` as a 0/1 weight matrix (`d × L`).
+pub fn lower_keys(k: &SpikeMatrix) -> WeightMatrix<i64> {
+    spikes_as_weights(&k.transpose())
+}
+
+/// [`spiking_qk`] through a reusable [`Engine`]: the score GeMM goes via the
+/// tile plan cache and pooled output buffer, so repeated attention heads and
+/// timesteps (whose query tiles are temporally correlated) skip re-planning.
+/// The tile geometry comes from the engine's configuration.
+///
+/// This re-lowers `k` on every call for parity with [`spiking_qk`]; a
+/// serving loop whose keys are fixed across timesteps should [`lower_keys`]
+/// once and call [`spiking_qk_prelowered`] so the steady state stays
+/// allocation-free.
+///
+/// # Panics
+///
+/// Panics if the head dimensions of `q` and `k` differ.
+pub fn spiking_qk_with(
+    engine: &mut Engine<i64>,
+    q: &SpikeMatrix,
+    k: &SpikeMatrix,
+    out: &mut OutputMatrix<i64>,
+) {
+    assert_eq!(q.cols(), k.cols(), "Q and K head dimensions differ");
+    spiking_qk_prelowered(engine, q, &lower_keys(k), out);
+}
+
+/// [`spiking_qk_with`] with keys already lowered by [`lower_keys`] — the
+/// zero-steady-state-allocation attention path for constant-key streams.
+pub fn spiking_qk_prelowered(
+    engine: &mut Engine<i64>,
+    q: &SpikeMatrix,
+    kt_weights: &WeightMatrix<i64>,
+    out: &mut OutputMatrix<i64>,
+) {
+    engine.gemm_into(q, kt_weights, out);
+}
+
+/// [`spiking_av`] through a reusable [`Engine`] (cached plans + pooled
+/// output); binary attention maps across timesteps are highly repetitive,
+/// which is exactly what the tile cache exploits.
+pub fn spiking_av_with(
+    engine: &mut Engine<i64>,
+    attn: &SpikeMatrix,
+    values: &WeightMatrix<i64>,
+    out: &mut OutputMatrix<i64>,
+) {
+    engine.gemm_into(attn, values, out);
 }
 
 #[cfg(test)]
@@ -101,6 +154,35 @@ mod tests {
         let out = spiking_av(&attn, &v, TileShape::new(2, 3));
         assert_eq!(out.row(0), &[101, 202]);
         assert_eq!(out.row(1), &[10, 20]);
+    }
+
+    #[test]
+    fn engine_attention_matches_direct_lowering() {
+        use crate::engine::EngineConfig;
+        use spikemat::TileShape;
+        let q = q_matrix();
+        let k = k_matrix();
+        let tile = TileShape::new(2, 2);
+        let mut engine = Engine::new(EngineConfig {
+            tile,
+            cache_capacity: 32,
+        });
+        let mut scores = OutputMatrix::zeros(0, 0);
+        spiking_qk_with(&mut engine, &q, &k, &mut scores);
+        assert_eq!(scores, spiking_qk(&q, &k, tile));
+        // Binarize the scores and push them through attn·V on both paths.
+        let attn =
+            SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[0, 1, 0], &[1, 1, 0], &[1, 0, 1]]);
+        let v = WeightMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as i64 + 1);
+        let mut av = OutputMatrix::zeros(0, 0);
+        spiking_av_with(&mut engine, &attn, &v, &mut av);
+        assert_eq!(av, spiking_av(&attn, &v, tile));
+        // Re-running the same head is served from the cache, identically.
+        let hits_before = engine.stats().cache_hits;
+        let mut again = OutputMatrix::zeros(0, 0);
+        spiking_qk_with(&mut engine, &q, &k, &mut again);
+        assert_eq!(again, scores);
+        assert!(engine.stats().cache_hits > hits_before);
     }
 
     #[test]

@@ -34,6 +34,15 @@ impl TcamDetector {
         }
     }
 
+    /// Reloads this TCAM with a new tile in place (the hardware's Step 0 for
+    /// the *next* tile), reusing the entry allocations so a detector threaded
+    /// across the tiles of a whole plan settles into zero allocation.
+    pub fn reload(&mut self, tile: &SpikeMatrix) {
+        self.entries.clear();
+        self.entries.extend_from_slice(tile.row_slice());
+        self.width = tile.cols();
+    }
+
     /// Number of stored entries (`m`).
     pub fn entries(&self) -> usize {
         self.entries.len()
@@ -228,6 +237,19 @@ mod tests {
         assert_eq!(scratch, detect_tile(&b));
         detect_tile_into(&a, &mut scratch); // shrink/grow both directions
         assert_eq!(scratch, detect_tile(&a));
+    }
+
+    #[test]
+    fn reload_matches_fresh_load() {
+        let a = fig3_tile();
+        let b = SpikeMatrix::from_rows_of_bits(&[&[1, 1], &[0, 1]]);
+        let mut tcam = TcamDetector::load(&a);
+        tcam.reload(&b);
+        assert_eq!(tcam.entries(), 2);
+        assert_eq!(tcam.width(), 2);
+        assert_eq!(tcam.query(b.row(0)), TcamDetector::load(&b).query(b.row(0)));
+        tcam.reload(&a); // grow back
+        assert_eq!(tcam.query(a.row(2)), TcamDetector::load(&a).query(a.row(2)));
     }
 
     #[test]

@@ -184,6 +184,33 @@ fn col_tile_count(plan: &ProSparsityPlan) -> usize {
     }
 }
 
+/// A planned tile the executor can replay: its meta information plus its
+/// placement in the source matrix.
+///
+/// [`TileMeta`] carries its own placement; the execution engine instead
+/// replays *cached*, position-independent metas under per-instance
+/// placements, so the executor core is generic over this view.
+pub(crate) trait TileExec {
+    /// The planned meta information (rows, packed patterns, order).
+    fn meta(&self) -> &TileMeta;
+    /// First weight row this tile's patterns address.
+    fn col_start(&self) -> usize;
+    /// Valid (non-padding) rows at this placement.
+    fn valid_rows(&self) -> usize;
+}
+
+impl TileExec for TileMeta {
+    fn meta(&self) -> &TileMeta {
+        self
+    }
+    fn col_start(&self) -> usize {
+        self.col_start
+    }
+    fn valid_rows(&self) -> usize {
+        self.valid_rows
+    }
+}
+
 /// Executes the `k`-tiles of one row group into its output chunk.
 ///
 /// `out_chunk` holds the group's `valid_rows × n` output elements; the
@@ -201,8 +228,8 @@ fn col_tile_count(plan: &ProSparsityPlan) -> usize {
 ///   classic tile-major dataflow: parents materialize their tile-local
 ///   partial in the flat `arena` (Step 9's prefix load source), dependents
 ///   start from it, and results fold into the output (Step 12).
-fn execute_row_tile<T: Copy + Default + AddAssign>(
-    k_tiles: &[TileMeta],
+pub(crate) fn execute_row_tile<T: Copy + Default + AddAssign, V: TileExec>(
+    k_tiles: &[V],
     weights: &WeightMatrix<T>,
     out_chunk: &mut [T],
     arena: &mut Vec<T>,
@@ -212,13 +239,17 @@ fn execute_row_tile<T: Copy + Default + AddAssign>(
 ) {
     let wrows = weights.rows();
     let wdata = weights.as_slice();
-    let tile_rows = k_tiles.iter().map(|t| t.rows.len()).max().unwrap_or(0);
-    let valid_rows = k_tiles.first().map_or(0, |t| t.valid_rows);
+    let tile_rows = k_tiles
+        .iter()
+        .map(|t| t.meta().rows.len())
+        .max()
+        .unwrap_or(0);
+    let valid_rows = k_tiles.first().map_or(0, |t| t.valid_rows());
 
     simple.clear();
     simple.resize(tile_rows, true);
     for tile in k_tiles {
-        for (r, meta) in tile.rows.iter().enumerate() {
+        for (r, meta) in tile.meta().rows.iter().enumerate() {
             if let Some(p) = meta.prefix {
                 simple[r] = false;
                 simple[p] = false;
@@ -242,53 +273,54 @@ fn execute_row_tile<T: Copy + Default + AddAssign>(
 
     // Dependent rows: tile-major, in the Dispatcher's topological order.
     for tile in k_tiles {
+        let (meta, col_start, tile_valid) = (tile.meta(), tile.col_start(), tile.valid_rows());
         if arena.len() < tile_rows * n {
             arena.resize(tile_rows * n, T::default());
         }
         parents.clear();
         parents.resize(tile_rows, false);
-        for meta in &tile.rows {
-            if let Some(p) = meta.prefix {
+        for row in &meta.rows {
+            if let Some(p) = row.prefix {
                 parents[p] = true;
             }
         }
-        let wpr = tile.pattern_words();
-        for &r in &tile.order {
+        let wpr = meta.pattern_words();
+        for &r in &meta.order {
             if simple[r] {
                 continue;
             }
-            let meta = &tile.rows[r];
-            let pattern = &tile.pattern_limbs[r * wpr..(r + 1) * wpr];
+            let row = &meta.rows[r];
+            let pattern = &meta.pattern_limbs[r * wpr..(r + 1) * wpr];
             if parents[r] {
                 // Step 9: seed the tile-local partial from the prefix's
                 // (already computed — the order is topological), or zero.
-                match meta.prefix {
+                match row.prefix {
                     Some(p) => arena.copy_within(p * n..(p + 1) * n, r * n),
                     None => arena[r * n..(r + 1) * n].fill(T::default()),
                 }
                 let acc = &mut arena[r * n..(r + 1) * n];
-                accumulate_pattern(acc, pattern, tile.col_start, wdata, wrows, n);
+                accumulate_pattern(acc, pattern, col_start, wdata, wrows, n);
                 // Step 12 for parents: fold into the global row immediately.
-                if r < tile.valid_rows {
+                if r < tile_valid {
                     let local = &arena[r * n..(r + 1) * n];
                     for (o, &x) in out_chunk[r * n..(r + 1) * n].iter_mut().zip(local) {
                         *o += x;
                     }
                 }
             } else {
-                if r >= tile.valid_rows {
+                if r >= tile_valid {
                     continue; // padding row nobody depends on
                 }
                 // Steps 9–12 fused: accumulate prefix partial and weight
                 // rows straight into the global output row.
                 let out_row = &mut out_chunk[r * n..(r + 1) * n];
-                if let Some(p) = meta.prefix {
+                if let Some(p) = row.prefix {
                     let src = &arena[p * n..(p + 1) * n];
                     for (o, &x) in out_row.iter_mut().zip(src) {
                         *o += x;
                     }
                 }
-                accumulate_pattern(out_row, pattern, tile.col_start, wdata, wrows, n);
+                accumulate_pattern(out_row, pattern, col_start, wdata, wrows, n);
             }
         }
     }
@@ -297,18 +329,19 @@ fn execute_row_tile<T: Copy + Default + AddAssign>(
 /// Streams the pattern bits of every `k`-tile of row `r` through one
 /// accumulation pass into `acc` (the simple-row fast path).
 #[inline]
-fn accumulate_row_all_tiles<T: Copy + Default + AddAssign>(
+fn accumulate_row_all_tiles<T: Copy + Default + AddAssign, V: TileExec>(
     acc: &mut [T],
-    k_tiles: &[TileMeta],
+    k_tiles: &[V],
     r: usize,
     wdata: &[T],
     wrows: usize,
     n: usize,
 ) {
     for tile in k_tiles {
-        let wpr = tile.pattern_words();
-        let pattern = &tile.pattern_limbs[r * wpr..(r + 1) * wpr];
-        accumulate_pattern(acc, pattern, tile.col_start, wdata, wrows, n);
+        let meta = tile.meta();
+        let wpr = meta.pattern_words();
+        let pattern = &meta.pattern_limbs[r * wpr..(r + 1) * wpr];
+        accumulate_pattern(acc, pattern, tile.col_start(), wdata, wrows, n);
     }
 }
 

@@ -28,6 +28,10 @@
 //!    same ProSparsity pipeline (transformer support, Sec. IV).
 //! 8. [`policy`] — prefix-selection policy ablation (largest-subset vs
 //!    cheaper alternatives; EM-only / PM-only contribution split).
+//! 9. [`engine`] — the end-to-end trace execution engine: a reusable
+//!    session that runs whole models through the kernels with a tile-level
+//!    plan cache (temporally correlated tiles skip planning), pooled
+//!    buffers, and zero steady-state allocation.
 //!
 //! # Losslessness
 //!
@@ -55,6 +59,7 @@
 
 pub mod attention;
 pub mod detect;
+pub mod engine;
 pub mod exec;
 pub mod forest;
 pub mod multi_prefix;
@@ -66,6 +71,7 @@ pub mod relation;
 pub mod stats;
 
 pub use detect::{DetectedTile, TcamDetector};
+pub use engine::{Engine, EngineConfig, EngineStats};
 
 /// Whether this build of the crate distributes planning/execution across
 /// threads (the `parallel` feature, on by default).

@@ -89,6 +89,21 @@ impl TileMeta {
         meta
     }
 
+    /// [`TileMeta::build`] with caller-owned scratch buffers: returns the
+    /// meta plus the tile's spike-bit count. Repeated planning through one
+    /// [`PlanScratch`] reuses the transpose blocks, column masks, and
+    /// superset accumulators, allocating only for the meta it emits. This is
+    /// the entry point the execution engine's plan cache fills misses
+    /// through.
+    pub fn build_with(
+        tile: &SpikeMatrix,
+        row_start: usize,
+        col_start: usize,
+        scratch: &mut PlanScratch,
+    ) -> (Self, u64) {
+        build_tile_meta(tile, row_start, col_start, scratch)
+    }
+
     /// Limbs per row in [`TileMeta::pattern_limbs`] (every pattern spans the
     /// full padded tile width).
     pub fn pattern_words(&self) -> usize {
@@ -138,8 +153,13 @@ impl TileMeta {
 
 /// Reusable buffers for the fused tile planner; one per worker thread, so a
 /// steady-state planning sweep allocates only for the plan it emits.
+///
+/// Thread one instance through [`ProSparsityPlan::build_tiled_with`] or
+/// [`TileMeta::build_with`] to keep repeated planning (e.g. across the
+/// timesteps of a model trace) free of transient allocation; the engine's
+/// plan cache owns one for exactly this purpose.
 #[derive(Debug, Default)]
-struct PlanScratch {
+pub struct PlanScratch {
     /// Scratch tile extracted from the source matrix.
     tile: SpikeMatrix,
     /// NO vector of the current tile.
@@ -150,6 +170,14 @@ struct PlanScratch {
     supersets: Vec<u64>,
     /// Selected prefix per row (`usize::MAX` = none), in argmax order.
     best: Vec<usize>,
+}
+
+impl PlanScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Fused Detector + Pruner + Dispatcher for one padded tile.
@@ -194,14 +222,7 @@ fn build_tile_meta(
     let mut block = [0u64; 64];
     for row_block in 0..mask_words {
         for col_block in 0..col_words {
-            for (r, limb) in block.iter_mut().enumerate() {
-                let row = row_block * 64 + r;
-                *limb = if row < m {
-                    rows[row].limbs().get(col_block).copied().unwrap_or(0)
-                } else {
-                    0
-                };
-            }
+            spikemat::bitops::gather_block(rows, row_block, col_block, &mut block);
             spikemat::bitops::transpose64(&mut block);
             for (c, &limb) in block.iter().enumerate() {
                 col_masks[(col_block * 64 + c) * mask_words + row_block] = limb;
@@ -340,9 +361,21 @@ impl ProSparsityPlan {
     /// Strictly single-threaded [`ProSparsityPlan::build_tiled`]; the
     /// baseline the parallel build is property-tested against.
     pub fn build_tiled_serial(spikes: &SpikeMatrix, shape: TileShape) -> Self {
+        Self::build_tiled_with(spikes, shape, &mut PlanScratch::default())
+    }
+
+    /// [`ProSparsityPlan::build_tiled_serial`] with caller-owned scratch:
+    /// repeated planning through one [`PlanScratch`] reuses the extracted
+    /// tile, transpose blocks, mask buffers, and prefix accumulators, so a
+    /// steady-state planning sweep allocates only for the plan it returns.
+    pub fn build_tiled_with(
+        spikes: &SpikeMatrix,
+        shape: TileShape,
+        scratch: &mut PlanScratch,
+    ) -> Self {
         let (gm, gk) = shape.grid(spikes.rows(), spikes.cols());
         let n_tiles = gm * gk;
-        let (tiles, stats) = build_tile_range(spikes, shape, gk, 0..n_tiles);
+        let (tiles, stats) = build_tile_range_with(spikes, shape, gk, 0..n_tiles, scratch);
         Self {
             shape,
             source_rows: spikes.rows(),
@@ -413,7 +446,17 @@ fn build_tile_range(
     gk: usize,
     range: Range<usize>,
 ) -> (Vec<TileMeta>, ProStats) {
-    let mut scratch = PlanScratch::default();
+    build_tile_range_with(spikes, shape, gk, range, &mut PlanScratch::default())
+}
+
+/// [`build_tile_range`] through caller-owned scratch buffers.
+fn build_tile_range_with(
+    spikes: &SpikeMatrix,
+    shape: TileShape,
+    gk: usize,
+    range: Range<usize>,
+    scratch: &mut PlanScratch,
+) -> (Vec<TileMeta>, ProStats) {
     let mut tiles = Vec::with_capacity(range.len());
     let mut stats = ProStats::default();
     for t in range {
@@ -422,7 +465,7 @@ fn build_tile_range(
         let col_start = tj * shape.k;
         let mut tile_buf = std::mem::take(&mut scratch.tile);
         spikes.submatrix_into(row_start, col_start, shape.m, shape.k, &mut tile_buf);
-        let (mut meta, spike_bits) = build_tile_meta(&tile_buf, row_start, col_start, &mut scratch);
+        let (mut meta, spike_bits) = build_tile_meta(&tile_buf, row_start, col_start, scratch);
         scratch.tile = tile_buf;
         // Padding rows/cols are all-zero, so the whole-tile spike count above
         // already equals the valid-region count.
@@ -552,6 +595,30 @@ mod tests {
                 assert_eq!(a.valid_cols, b.valid_cols);
                 assert_eq!(a.rows, b.rows);
                 assert_eq!(a.order, b.order);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_builds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch = PlanScratch::new();
+        // One scratch threaded through matrices of varying shapes must give
+        // exactly the same plans as fresh builds.
+        for _ in 0..15 {
+            let m = rng.gen_range(1..60);
+            let k = rng.gen_range(1..40);
+            let s = SpikeMatrix::random(m, k, rng.gen_range(0.05..0.5), &mut rng);
+            let shape = TileShape::new(rng.gen_range(1..=16), rng.gen_range(1..=16));
+            let with = ProSparsityPlan::build_tiled_with(&s, shape, &mut scratch);
+            let fresh = ProSparsityPlan::build_tiled_serial(&s, shape);
+            assert_eq!(with.stats(), fresh.stats());
+            for (a, b) in with.tiles().iter().zip(fresh.tiles()) {
+                assert_eq!(a.rows, b.rows);
+                assert_eq!(a.order, b.order);
+                assert_eq!(a.pattern_limbs, b.pattern_limbs);
             }
         }
     }

@@ -165,6 +165,73 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_property_over_seeded_random_traces() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Arbitrary layer lists (ragged widths, limb-boundary K values,
+        // empty layers, zero-row layers) must survive encode → decode
+        // bit-for-bit — not just the shapes the zoo happens to produce.
+        let workload = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 1);
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(0xC0DEC ^ seed);
+            let n_layers = rng.gen_range(0..5);
+            let layers: Vec<LayerTrace> = (0..n_layers)
+                .map(|i| {
+                    let m = rng.gen_range(0..20);
+                    let k = *[0usize, 1, 7, 63, 64, 65, 100]
+                        .get(rng.gen_range(0..7))
+                        .unwrap();
+                    let n = rng.gen_range(0..10);
+                    let kind = match rng.gen_range(0..3) {
+                        0 => LayerKind::Conv,
+                        1 => LayerKind::Linear,
+                        _ => LayerKind::Attention,
+                    };
+                    LayerTrace {
+                        spec: LayerSpec::new(format!("layer{i}"), kind, GemmShape::new(m, k, n)),
+                        spikes: SpikeMatrix::random(m, k, rng.gen_range(0.0..0.8), &mut rng),
+                    }
+                })
+                .collect();
+            let trace = ModelTrace { workload, layers };
+            let bytes = encode_layers(&trace);
+            let decoded = decode_layers(bytes, workload).expect("decode");
+            assert_eq!(decoded.layers.len(), trace.layers.len(), "seed {seed}");
+            for (a, b) in trace.layers.iter().zip(&decoded.layers) {
+                assert_eq!(a.spec, b.spec, "seed {seed}");
+                assert_eq!(a.spikes, b.spikes, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        // Cutting the buffer at *any* byte must yield Err (almost always
+        // Truncated; a cut inside the magic gives BadMagic) — never a panic
+        // and never a silently short decode.
+        use rand::SeedableRng;
+        let workload = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let trace = ModelTrace {
+            workload,
+            layers: vec![LayerTrace {
+                spec: LayerSpec::new("l0", LayerKind::Linear, GemmShape::new(3, 70, 2)),
+                spikes: SpikeMatrix::random(3, 70, 0.5, &mut rng),
+            }],
+        };
+        let bytes = encode_layers(&trace);
+        for cut in 0..bytes.len() {
+            let sliced = bytes.slice(0..cut);
+            assert!(
+                decode_layers(sliced, workload).is_err(),
+                "cut at {cut}/{} must fail",
+                bytes.len()
+            );
+        }
+        assert!(decode_layers(bytes, workload).is_ok());
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         let trace = sample_trace();
         let mut bytes = encode_layers(&trace).to_vec();

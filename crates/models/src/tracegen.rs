@@ -132,6 +132,55 @@ impl TraceGen {
         &self.params
     }
 
+    /// Generates a temporally-correlated sequence of `steps` per-timestep
+    /// spike matrices of shape `rows × k`.
+    ///
+    /// Step 0 is a fresh [`TraceGen::generate`] sample; in every later step
+    /// each row *persists* (is copied verbatim from the previous step) with
+    /// probability `persistence`, and is otherwise resampled at the
+    /// generator's fresh-row density. This models the dominant temporal
+    /// structure of real SNN activations — most neurons keep their firing
+    /// pattern across adjacent timesteps — which is exactly the redundancy a
+    /// tile-level plan cache exploits: a spike tile whose rows all persisted
+    /// is bit-identical to the previous step's tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `persistence` is outside `[0, 1]`.
+    pub fn generate_timesteps<R: Rng + ?Sized>(
+        &self,
+        steps: usize,
+        rows: usize,
+        k: usize,
+        persistence: f64,
+        rng: &mut R,
+    ) -> Vec<SpikeMatrix> {
+        assert!(
+            (0.0..=1.0).contains(&persistence),
+            "persistence must be in [0,1]"
+        );
+        let mut out = Vec::with_capacity(steps);
+        if steps == 0 {
+            return out;
+        }
+        out.push(self.generate(rows, k, rng));
+        let density = self.params.bit_density;
+        for _ in 1..steps {
+            let prev = out.last().expect("step 0 exists");
+            let mut step = prev.clone();
+            for i in 0..rows {
+                if rng.gen_bool(persistence) {
+                    continue; // row persists bit-for-bit
+                }
+                for j in 0..k {
+                    step.set(i, j, rng.gen_bool(density));
+                }
+            }
+            out.push(step);
+        }
+        out
+    }
+
     /// Generates an `m × k` spike matrix.
     pub fn generate<R: Rng + ?Sized>(&self, m: usize, k: usize, rng: &mut R) -> SpikeMatrix {
         let p = &self.params;
@@ -265,6 +314,53 @@ mod tests {
             "bit density {}",
             m.density()
         );
+    }
+
+    #[test]
+    fn timesteps_persist_rows_at_the_requested_rate() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.3));
+        let steps = g.generate_timesteps(6, 256, 32, 0.9, &mut rng);
+        assert_eq!(steps.len(), 6);
+        let mut persisted = 0usize;
+        let mut total = 0usize;
+        for w in steps.windows(2) {
+            for i in 0..256 {
+                total += 1;
+                if w[0].row(i) == w[1].row(i) {
+                    persisted += 1;
+                }
+            }
+        }
+        let rate = persisted as f64 / total as f64;
+        // Resampled rows occasionally reproduce the old row by chance, so
+        // the observed rate sits at or slightly above the target.
+        assert!(rate > 0.85 && rate < 0.97, "persistence rate {rate}");
+    }
+
+    #[test]
+    fn full_persistence_repeats_the_first_step() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+        let steps = g.generate_timesteps(4, 64, 16, 1.0, &mut rng);
+        for s in &steps[1..] {
+            assert_eq!(s, &steps[0]);
+        }
+    }
+
+    #[test]
+    fn zero_steps_is_empty() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+        assert!(g.generate_timesteps(0, 8, 8, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence must be in [0,1]")]
+    fn invalid_persistence_panics() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+        let _ = g.generate_timesteps(2, 8, 8, 1.5, &mut rng);
     }
 
     #[test]

@@ -13,8 +13,9 @@ use crate::layer::LayerSpec;
 use crate::tracegen::{TraceGen, TraceGenParams};
 use crate::zoo::Architecture;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use spikemat::gemm::WeightMatrix;
 use spikemat::{SpikeMatrix, TileShape};
 
 /// Paper-reported reference values for one workload.
@@ -55,6 +56,49 @@ pub struct LayerTrace {
     pub spikes: SpikeMatrix,
 }
 
+impl LayerTrace {
+    /// The row range of timestep `t` when `M` is the unrolled concatenation
+    /// of `time_steps` per-step blocks (`M = T·L`; a scaled trace whose `M`
+    /// is not an exact multiple gets `⌈M/T⌉`-row blocks with a short tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= time_steps` or `time_steps == 0`.
+    pub fn timestep_rows(&self, t: usize, time_steps: usize) -> std::ops::Range<usize> {
+        assert!(time_steps > 0, "time_steps must be positive");
+        assert!(t < time_steps, "timestep {t} out of range ({time_steps})");
+        let m = self.spikes.rows();
+        let block = m.div_ceil(time_steps);
+        (t * block).min(m)..((t + 1) * block).min(m)
+    }
+
+    /// Extracts timestep `t`'s spike block into a caller-owned matrix
+    /// (resized in place) — the engine-friendly per-timestep view.
+    pub fn timestep_spikes_into(&self, t: usize, time_steps: usize, out: &mut SpikeMatrix) {
+        let rows = self.timestep_rows(t, time_steps);
+        self.spikes
+            .submatrix_into(rows.start, 0, rows.len(), self.spikes.cols(), out);
+    }
+
+    /// Deterministic synthetic integer weights for this layer (`K × N` from
+    /// the layer shape, values in `[-127, 127]` seeded by `seed` and the
+    /// layer name). We cannot ship trained weights; ProSparsity is exact for
+    /// any integers, so benches and tests only need reproducibility.
+    pub fn synthetic_weights(&self, seed: u64) -> WeightMatrix<i64> {
+        let mix = self
+            .spec
+            .name
+            .bytes()
+            .fold(seed ^ 0x9E37_79B9_7F4A_7C15, |h, b| {
+                (h.rotate_left(7) ^ b as u64).wrapping_mul(0x100_0000_01B3)
+            });
+        let mut rng = StdRng::seed_from_u64(mix);
+        WeightMatrix::from_fn(self.spec.shape.k, self.spec.shape.n, |_, _| {
+            rng.gen_range(-127i64..=127)
+        })
+    }
+}
+
 /// A complete model trace: one spike matrix per spiking-GeMM layer.
 #[derive(Debug, Clone)]
 pub struct ModelTrace {
@@ -68,6 +112,19 @@ impl ModelTrace {
     /// Total dense ops `Σ M·K·N` across layers.
     pub fn dense_ops(&self) -> u64 {
         self.layers.iter().map(|l| l.spec.shape.dense_ops()).sum()
+    }
+
+    /// Iterates the trace's spiking GeMMs in network order as
+    /// `(spec, spikes)` pairs; pair each spec with
+    /// [`LayerTrace::synthetic_weights`] (or real weights) to feed an
+    /// execution engine.
+    pub fn iter_gemms(&self) -> impl Iterator<Item = (&LayerSpec, &SpikeMatrix)> {
+        self.layers.iter().map(|l| (&l.spec, &l.spikes))
+    }
+
+    /// Number of SNN timesteps unrolled into every layer's `M` dimension.
+    pub fn time_steps(&self) -> usize {
+        self.workload.arch.time_steps()
     }
 
     /// Matrix-wide bit density across all layers (spike-weighted).
@@ -231,6 +288,52 @@ mod tests {
         for (x, y) in a.layers.iter().zip(&b.layers) {
             assert_eq!(x.spikes, y.spikes);
         }
+    }
+
+    #[test]
+    fn timestep_views_cover_layer_exactly() {
+        let w = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 5);
+        let t = w.generate_trace(0.3);
+        let steps = t.time_steps();
+        assert!(steps > 0);
+        for layer in &t.layers {
+            let mut covered = 0;
+            let mut buf = SpikeMatrix::zeros(0, 0);
+            for s in 0..steps {
+                let range = layer.timestep_rows(s, steps);
+                assert_eq!(range.start, covered);
+                covered = range.end;
+                layer.timestep_spikes_into(s, steps, &mut buf);
+                assert_eq!(buf.rows(), range.len());
+                assert_eq!(buf.cols(), layer.spikes.cols());
+                for (r, src) in range.clone().enumerate() {
+                    assert_eq!(buf.row(r), layer.spikes.row(src));
+                }
+            }
+            assert_eq!(covered, layer.spikes.rows());
+        }
+    }
+
+    #[test]
+    fn iter_gemms_matches_layers() {
+        let w = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 5);
+        let t = w.generate_trace(0.2);
+        let pairs: Vec<_> = t.iter_gemms().collect();
+        assert_eq!(pairs.len(), t.layers.len());
+        assert_eq!(pairs[0].0, &t.layers[0].spec);
+    }
+
+    #[test]
+    fn synthetic_weights_are_reproducible_and_shaped() {
+        let w = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 5);
+        let t = w.generate_trace(0.2);
+        let l = &t.layers[0];
+        let a = l.synthetic_weights(9);
+        let b = l.synthetic_weights(9);
+        let c = l.synthetic_weights(10);
+        assert_eq!((a.rows(), a.cols()), (l.spec.shape.k, l.spec.shape.n));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // different seed, different weights
     }
 
     #[test]

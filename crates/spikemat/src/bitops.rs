@@ -1,5 +1,22 @@
 //! Word-parallel bit-matrix kernels shared by the planner and substrates.
 
+use crate::bitrow::BitRow;
+
+/// Gathers the 64×64 bit block at `(row_block, col_block)` of `rows` into
+/// `block`, zero-padding past the matrix edge — the row-major input layout
+/// [`transpose64`] expects. Shared by the matrix transpose and the planner's
+/// column-mask builder so block-edge semantics stay in one place.
+pub fn gather_block(rows: &[BitRow], row_block: usize, col_block: usize, block: &mut [u64; 64]) {
+    for (r, limb) in block.iter_mut().enumerate() {
+        let row = row_block * 64 + r;
+        *limb = if row < rows.len() {
+            rows[row].limbs().get(col_block).copied().unwrap_or(0)
+        } else {
+            0
+        };
+    }
+}
+
 /// Transposes a 64×64 bit matrix in place.
 ///
 /// `a[r]` holds row `r`, LSB-first (bit `c` ⇔ column `c`); on return

@@ -314,6 +314,14 @@ impl BitRow {
         &self.limbs
     }
 
+    /// Mutable raw limb view for word-level writers inside this crate.
+    ///
+    /// Callers must uphold the invariant that bits of the last limb above
+    /// `len` stay zero.
+    pub(crate) fn limbs_mut(&mut self) -> &mut [u64] {
+        &mut self.limbs
+    }
+
     fn check_len(&self, other: &Self) {
         assert_eq!(
             self.len, other.len,

@@ -82,6 +82,18 @@ pub struct OutputMatrix<T> {
     cols: usize,
 }
 
+impl<T> Default for OutputMatrix<T> {
+    /// An empty `0 × 0` output; useful as the initial state of a pooled
+    /// buffer that [`OutputMatrix::reset`] will size on first use.
+    fn default() -> Self {
+        Self {
+            data: Vec::new(),
+            rows: 0,
+            cols: 0,
+        }
+    }
+}
+
 impl<T: Copy + Default + AddAssign> OutputMatrix<T> {
     /// Creates a zeroed output of shape `rows × cols`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -90,6 +102,18 @@ impl<T: Copy + Default + AddAssign> OutputMatrix<T> {
             rows,
             cols,
         }
+    }
+
+    /// Resizes this output in place to a zeroed `rows × cols`, reusing the
+    /// backing allocation whenever it is already large enough.
+    ///
+    /// This is the pooling primitive the execution engine uses to recycle
+    /// one output buffer across the layers of a model trace.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, T::default());
     }
 
     /// Number of rows `M`.
@@ -280,6 +304,17 @@ mod tests {
     #[should_panic(expected = "weight data length")]
     fn weight_matrix_rejects_bad_len() {
         let _ = WeightMatrix::from_vec(2, 3, vec![1]);
+    }
+
+    #[test]
+    fn output_reset_zeroes_and_reshapes() {
+        let mut o = OutputMatrix::<i32>::zeros(2, 3);
+        o.accumulate_row(0, &[1, 2, 3]);
+        o.reset(3, 2);
+        assert_eq!((o.rows(), o.cols()), (3, 2));
+        assert!(o.as_slice().iter().all(|&x| x == 0));
+        o.reset(1, 1);
+        assert_eq!(o.as_slice(), &[0]);
     }
 
     #[test]

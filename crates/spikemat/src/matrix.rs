@@ -176,17 +176,59 @@ impl SpikeMatrix {
         TileIter::new(self, shape)
     }
 
+    /// Resizes this matrix in place to an all-zero `rows × cols`, reusing the
+    /// row allocations whenever the column count is unchanged.
+    ///
+    /// This is the buffer-recycling primitive behind the engine's spike-chain
+    /// pooling: a matrix bounced between layers of matching width is cleared
+    /// and refilled without touching the heap.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        if self.cols != cols {
+            self.rows.clear();
+            self.cols = cols;
+        }
+        self.rows.resize_with(rows, || BitRow::zeros(cols));
+        for r in &mut self.rows {
+            r.clear();
+        }
+    }
+
     /// Returns the transpose (`K × M`) of this matrix.
     ///
-    /// Used to lower `Q·Kᵀ` spiking attention onto spiking GeMM.
+    /// Used to lower `Q·Kᵀ` spiking attention onto spiking GeMM. Runs one
+    /// 64×64 block at a time through [`crate::bitops::transpose64`], so the
+    /// cost is ~6·32 word operations per block instead of one get/set pair
+    /// per bit.
     pub fn transpose(&self) -> Self {
         let mut t = Self::zeros(self.cols, self.rows());
-        for i in 0..self.rows() {
-            for j in self.rows[i].ones() {
-                t.set(j, i, true);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Word-parallel [`SpikeMatrix::transpose`] into a caller-owned matrix
+    /// (resized in place, so a reused buffer makes transposition
+    /// allocation-free).
+    pub fn transpose_into(&self, t: &mut Self) {
+        t.reset(self.cols, self.rows());
+        let row_blocks = self.rows.len().div_ceil(64);
+        let col_blocks = self.cols.div_ceil(64);
+        let mut block = [0u64; 64];
+        for rb in 0..row_blocks {
+            for cb in 0..col_blocks {
+                crate::bitops::gather_block(&self.rows, rb, cb, &mut block);
+                crate::bitops::transpose64(&mut block);
+                // Source bits above the valid region are zero (the BitRow
+                // invariant), so the transposed block only carries bits that
+                // land inside `t`'s valid region.
+                for (c, &limb) in block.iter().enumerate() {
+                    if limb == 0 {
+                        continue;
+                    }
+                    let col = cb * 64 + c;
+                    t.rows[col].limbs_mut()[rb] = limb;
+                }
             }
         }
-        t
     }
 
     /// Vertically concatenates matrices (e.g. unrolling time steps).
@@ -294,6 +336,52 @@ mod tests {
             }
         }
         assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_matches_naive_across_ragged_shapes() {
+        // The word-parallel block transpose must agree with the bit-at-a-time
+        // reference on every limb-boundary alignment, including empty edges.
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let dims = [0usize, 1, 3, 63, 64, 65, 100, 127, 128, 130];
+        for &m in &dims {
+            for &k in &dims {
+                let s = SpikeMatrix::random(m, k, 0.35, &mut rng);
+                let t = s.transpose();
+                assert_eq!((t.rows(), t.cols()), (k, m), "{m}x{k}");
+                let mut naive = SpikeMatrix::zeros(k, m);
+                for i in 0..m {
+                    for j in s.row(i).ones() {
+                        naive.set(j, i, true);
+                    }
+                }
+                assert_eq!(t, naive, "{m}x{k}");
+                assert_eq!(t.transpose(), s, "{m}x{k} roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_into_reuses_buffer() {
+        let m = paper_matrix();
+        let mut t = SpikeMatrix::zeros(9, 9); // stale shape and contents
+        t.set(0, 0, true);
+        m.transpose_into(&mut t);
+        assert_eq!(t, m.transpose());
+        // Matching width: reset clears rows in place, result stays correct.
+        m.transpose_into(&mut t);
+        assert_eq!(t, m.transpose());
+    }
+
+    #[test]
+    fn reset_clears_and_reshapes() {
+        let mut m = paper_matrix();
+        m.reset(3, 4);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert_eq!(m.total_spikes(), 0);
+        m.reset(2, 7);
+        assert_eq!((m.rows(), m.cols()), (2, 7));
+        assert_eq!(m.total_spikes(), 0);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! End-to-end engine correctness: the trace execution engine (plan cache +
+//! buffer pooling + row-tile parallelism) must be bit-identical to the
+//! per-call `prosparsity_gemm` loop — and to the bit-sparse reference —
+//! layer by layer on whole model traces, whatever the cache capacity,
+//! eviction pressure, or temporal correlation of the input.
+
+use prosperity::core::attention::{spiking_qk, spiking_qk_with};
+use prosperity::core::engine::{threshold_spikes, Engine, EngineConfig};
+use prosperity::core::exec::prosparsity_gemm;
+use prosperity::models::tracegen::{TraceGen, TraceGenParams};
+use prosperity::models::Workload;
+use prosperity::spikemat::gemm::{spiking_gemm, OutputMatrix};
+use prosperity::spikemat::{SpikeMatrix, TileShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Acceptance property: running a calibrated fig8-suite trace through one
+/// engine gives, for every layer, exactly the output of the naive per-call
+/// `prosparsity_gemm` loop (which is itself property-tested against the
+/// bit-sparse reference).
+#[test]
+fn engine_is_bit_identical_to_per_call_loop_on_model_trace() {
+    let workload = Workload::spikingbert_sst2();
+    let trace = workload.generate_trace(0.04);
+    let tile = TileShape::prosperity_default();
+    let mut engine = Engine::new(EngineConfig {
+        tile,
+        cache_capacity: 256,
+    });
+    let weights: Vec<_> = trace
+        .layers
+        .iter()
+        .map(|l| l.synthetic_weights(7))
+        .collect();
+    let mut out = OutputMatrix::zeros(0, 0);
+    for (layer, w) in trace.layers.iter().zip(&weights) {
+        engine.gemm_into(&layer.spikes, w, &mut out);
+        assert_eq!(
+            out,
+            prosparsity_gemm(&layer.spikes, w, tile),
+            "layer {} diverged",
+            layer.spec.name
+        );
+    }
+    assert_eq!(engine.stats().gemms as usize, trace.layers.len());
+}
+
+/// Temporally-correlated timesteps: high persistence must produce real
+/// cache hits, and every step must stay exact despite the reuse.
+#[test]
+fn correlated_timesteps_hit_cache_and_stay_exact() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let gen = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+    // A tile hits only when all of its rows persisted, so the per-row rate
+    // compounds over the 64-row tile height: 0.995^64 ≈ 0.73 per tile.
+    let steps = gen.generate_timesteps(6, 256, 32, 0.995, &mut rng);
+    let w = prosperity::spikemat::gemm::WeightMatrix::from_fn(32, 8, |r, c| {
+        (r * 13 + c * 5) as i64 - 40
+    });
+    let mut engine = Engine::new(EngineConfig {
+        tile: TileShape::new(64, 16),
+        cache_capacity: 512,
+    });
+    let mut out = OutputMatrix::zeros(0, 0);
+    for (t, spikes) in steps.iter().enumerate() {
+        engine.gemm_into(spikes, &w, &mut out);
+        assert_eq!(out, spiking_gemm(spikes, &w), "timestep {t}");
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.hit_rate() > 0.3,
+        "persistence 0.995 should produce hits: {stats:?}"
+    );
+}
+
+/// The serial oracle and the default (possibly parallel) path agree on
+/// whole traces, including under eviction pressure from a tiny cache.
+#[test]
+fn engine_serial_and_parallel_agree_under_eviction() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut par = Engine::new(EngineConfig {
+        tile: TileShape::new(16, 8),
+        cache_capacity: 3,
+    });
+    let mut ser = Engine::new(EngineConfig {
+        tile: TileShape::new(16, 8),
+        cache_capacity: 3,
+    });
+    for _ in 0..8 {
+        let m = rng.gen_range(1..80);
+        let k = rng.gen_range(1..40);
+        let n = rng.gen_range(1..6);
+        let s = SpikeMatrix::random(m, k, rng.gen_range(0.05..0.6), &mut rng);
+        let w = prosperity::spikemat::gemm::WeightMatrix::from_fn(k, n, |_, _| {
+            rng.gen_range(-20i64..20)
+        });
+        let mut a = OutputMatrix::zeros(0, 0);
+        let mut b = OutputMatrix::zeros(0, 0);
+        par.gemm_into(&s, &w, &mut a);
+        ser.gemm_into_serial(&s, &w, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(par.stats(), ser.stats(), "cache behaviour must match");
+    }
+}
+
+/// Attention lowered through the engine equals the direct lowering, and a
+/// multi-timestep attention stream reuses cached query tiles.
+#[test]
+fn engine_attention_is_exact_and_reuses_tiles() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let tile = TileShape::new(32, 16);
+    let mut engine = Engine::new(EngineConfig {
+        tile,
+        cache_capacity: 128,
+    });
+    let gen = TraceGen::new(TraceGenParams::uncorrelated(0.2));
+    let keys = SpikeMatrix::random(24, 48, 0.25, &mut rng);
+    let qs = gen.generate_timesteps(4, 64, 48, 0.95, &mut rng);
+    let mut scores = OutputMatrix::zeros(0, 0);
+    for q in &qs {
+        spiking_qk_with(&mut engine, q, &keys, &mut scores);
+        assert_eq!(scores, spiking_qk(q, &keys, tile));
+    }
+    assert!(engine.stats().cache_hits > 0);
+}
+
+/// Chained layer execution (threshold → next layer) stays exact across
+/// repeated calls through warm pooled buffers.
+#[test]
+fn engine_chain_is_stable_across_repeated_runs() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let input = SpikeMatrix::random(48, 20, 0.3, &mut rng);
+    let dims = [20usize, 16, 12];
+    let layers: Vec<_> = dims
+        .windows(2)
+        .map(|d| {
+            prosperity::spikemat::gemm::WeightMatrix::from_fn(d[0], d[1], |_, _| {
+                rng.gen_range(-4i64..5)
+            })
+        })
+        .collect();
+    // Reference chain via the naive loop.
+    let mut cur = input.clone();
+    for w in &layers {
+        let out = spiking_gemm(&cur, w);
+        let mut next = SpikeMatrix::zeros(0, 0);
+        threshold_spikes(&out, 3, &mut next);
+        cur = next;
+    }
+    let mut engine = Engine::new(EngineConfig {
+        tile: TileShape::new(16, 16),
+        cache_capacity: 64,
+    });
+    let mut got = SpikeMatrix::zeros(0, 0);
+    for _ in 0..3 {
+        engine.forward_chain(&input, &layers, 3, &mut got);
+        assert_eq!(got, cur);
+    }
+}
