@@ -12,7 +12,9 @@
 //!   scenario (target ≥ 1.5× single-threaded).
 //! * `fig8_spikingbert` — a calibrated fig8-suite model trace executed
 //!   layer-by-layer with synthetic weights; measures the engine on a
-//!   realistic layer mix where cross-layer tile repetition is rare.
+//!   realistic layer mix where cross-layer tile repetition is rare. Runs
+//!   with the adaptive insertion-bypass admission policy, which erases the
+//!   cache-bookkeeping cost this scenario used to document.
 //! * `attention_stream` — `Q·Kᵀ` spiking attention over a correlated query
 //!   stream, engine-routed vs per-call lowering.
 //!
@@ -24,8 +26,9 @@
 //! cargo bench -p prosperity-bench --bench e2e
 //! ```
 
+use prosperity_bench::time_ms;
 use prosperity_core::attention::{lower_keys, spiking_qk, spiking_qk_prelowered, spiking_qk_with};
-use prosperity_core::engine::{Engine, EngineConfig, EngineStats};
+use prosperity_core::engine::{AdmissionConfig, Engine, EngineConfig, EngineStats};
 use prosperity_core::exec::prosparsity_gemm;
 use prosperity_models::tracegen::{TraceGen, TraceGenParams};
 use prosperity_models::Workload;
@@ -33,20 +36,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spikemat::gemm::{OutputMatrix, WeightMatrix};
 use spikemat::{SpikeMatrix, TileShape};
-use std::time::Instant;
-
-/// Best-of-`reps` wall time of `f`, in milliseconds.
-fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        let dt = t0.elapsed().as_secs_f64() * 1e3;
-        std::hint::black_box(r);
-        best = best.min(dt);
-    }
-    best
-}
 
 /// One scenario's measurements.
 struct ScenarioOut {
@@ -83,10 +72,7 @@ fn correlated_trace(smoke: bool, reps: usize) -> ScenarioOut {
     let mut rng = StdRng::seed_from_u64(0xE2E);
     let spikes = gen.generate_timesteps(steps, rows, k, persistence, &mut rng);
     let weights = WeightMatrix::from_fn(k, n, |r, c| (r * 31 + c * 7) as i64 % 255 - 127);
-    let config = EngineConfig {
-        tile,
-        cache_capacity: 4096,
-    };
+    let config = EngineConfig::new(tile, 4096);
 
     // Correctness gate + stats capture: a fresh engine must reproduce the
     // naive loop bit-for-bit on every timestep.
@@ -146,10 +132,10 @@ fn fig8_trace(smoke: bool, reps: usize) -> ScenarioOut {
         .iter()
         .map(|l| l.synthetic_weights(7))
         .collect();
-    let config = EngineConfig {
-        tile,
-        cache_capacity: 2048,
-    };
+    // Cross-layer tile repetition is rare here, so the adaptive admission
+    // policy bypasses most insertions — the engine stops paying cache
+    // bookkeeping for reuse that never materializes (the former 0.9x row).
+    let config = EngineConfig::new(tile, 2048).with_admission(AdmissionConfig::default());
 
     let mut engine = Engine::new(config);
     let mut out = OutputMatrix::zeros(0, 0);
@@ -207,10 +193,7 @@ fn attention_stream(smoke: bool, reps: usize) -> ScenarioOut {
     let mut rng = StdRng::seed_from_u64(0xA77);
     let queries = gen.generate_timesteps(steps, l, d, 0.9995, &mut rng);
     let keys = SpikeMatrix::random(64, d, 0.2, &mut rng);
-    let config = EngineConfig {
-        tile,
-        cache_capacity: 2048,
-    };
+    let config = EngineConfig::new(tile, 2048);
 
     let mut engine = Engine::new(config);
     let mut out = OutputMatrix::zeros(0, 0);
@@ -263,6 +246,7 @@ fn json_scenario(r: &ScenarioOut) -> String {
         concat!(
             "    {{\"name\": \"{}\", \"gemms\": {}, \"tiles\": {}, ",
             "\"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, ",
+            "\"cache_bypasses\": {}, ",
             "\"hit_rate\": {:.4}, ",
             "\"naive_ms\": {:.3}, \"engine_ms\": {:.3}, \"engine_serial_ms\": {:.3}, ",
             "\"speedup\": {:.2}, \"speedup_serial\": {:.2}}}"
@@ -273,6 +257,7 @@ fn json_scenario(r: &ScenarioOut) -> String {
         r.stats.cache_hits,
         r.stats.cache_misses,
         r.stats.cache_evictions,
+        r.stats.cache_bypasses,
         r.stats.hit_rate(),
         r.naive_ms,
         r.engine_ms,

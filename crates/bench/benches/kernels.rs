@@ -21,6 +21,7 @@
 //! cargo bench -p prosperity-bench --bench kernels
 //! ```
 
+use prosperity_bench::time_ms;
 use prosperity_core::exec::{execute_plan, execute_plan_serial};
 use prosperity_core::plan::ProSparsityPlan;
 use prosperity_core::ProStats;
@@ -28,7 +29,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spikemat::gemm::{spiking_gemm, WeightMatrix};
 use spikemat::{SpikeMatrix, TileShape};
-use std::time::Instant;
 
 /// The pre-optimization (seed) kernels, kept as the benchmark baseline.
 mod legacy {
@@ -200,19 +200,6 @@ struct ScenarioResult {
     optimized: Measurement,
     optimized_serial: Measurement,
     stats: ProStats,
-}
-
-/// Best-of-`reps` wall time of `f`, in milliseconds.
-fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        let dt = t0.elapsed().as_secs_f64() * 1e3;
-        std::hint::black_box(r);
-        best = best.min(dt);
-    }
-    best
 }
 
 fn run_scenario(scenario: Scenario) -> ScenarioResult {

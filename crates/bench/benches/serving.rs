@@ -1,0 +1,420 @@
+//! Shared-cache serving benchmark: N concurrent correlated traces through
+//! one [`SharedPlanCache`]-backed [`BatchScheduler`] versus the same
+//! traces each served by a session with its own private cache.
+//!
+//! Spike tiles repeat across concurrent requests running the same model,
+//! so a shared cache turns N independent sessions into one amortized
+//! planning workload: whichever session plans a tile first warms it for
+//! every sibling. Scenarios:
+//!
+//! * `shared_cache_{2,4,8}` — multi-tenant correlated timestep streams
+//!   (`tracegen::generate_tenant_streams`): aggregate wall time of
+//!   per-session private caches vs one shared cache under the round-robin
+//!   and cache-affinity scheduling policies. The acceptance row is 4
+//!   tenants: shared ≥ 1.3× aggregate over private.
+//! * `fig8_admission` — the fig8 SpikingBERT trace (rare tile repetition)
+//!   with the adaptive insertion-bypass admission policy on vs off: the
+//!   row that used to document the cache-bookkeeping regression.
+//!
+//! Every scenario gates on bit-identical outputs against the serial
+//! private-cache oracle before timing anything. Per-session stats and the
+//! shared-cache aggregate are serialized into every row so hit / miss /
+//! eviction / bypass behaviour is auditable per scenario. Results are
+//! printed and written to `BENCH_serving.json` (override with
+//! `BENCH_SERVING_OUT`); `PROSPERITY_SERVING_SMOKE=1` shrinks sizes for
+//! CI. Run:
+//!
+//! ```text
+//! cargo bench -p prosperity-bench --bench serving
+//! ```
+
+use prosperity_bench::time_ms;
+use prosperity_core::engine::{
+    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats,
+    SharedCacheStats, TraceStep,
+};
+use prosperity_models::tracegen::{TraceGen, TraceGenParams};
+use prosperity_models::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spikemat::gemm::{OutputMatrix, WeightMatrix};
+use spikemat::{SpikeMatrix, TileShape};
+
+/// One multi-tenant scenario's measurements.
+struct ServingOut {
+    name: String,
+    tenants: usize,
+    /// GeMMs across all tenants per end-to-end pass.
+    gemms: usize,
+    /// Aggregate wall time, per-session private caches (serial sweep).
+    private_ms: f64,
+    /// Aggregate wall time, shared cache, round-robin interleave.
+    shared_rr_ms: f64,
+    /// Aggregate wall time, shared cache, greedy cache-affinity.
+    shared_aff_ms: f64,
+    /// Fleet-merged session stats of the shared round-robin pass.
+    merged: EngineStats,
+    /// Per-tenant session stats of the shared round-robin pass.
+    per_session: Vec<EngineStats>,
+    /// Shared-cache aggregate of the shared round-robin pass.
+    cache: SharedCacheStats,
+    /// Merged stats of the private-cache baseline (for the audit trail).
+    private_merged: EngineStats,
+}
+
+impl ServingOut {
+    fn speedup_rr(&self) -> f64 {
+        self.private_ms / self.shared_rr_ms
+    }
+    fn speedup_aff(&self) -> f64 {
+        self.private_ms / self.shared_aff_ms
+    }
+}
+
+/// Builds the tenant streams + per-tenant weights for one tenant count.
+struct TenantCase {
+    streams: Vec<Vec<SpikeMatrix>>,
+    weights: Vec<WeightMatrix<i64>>,
+}
+
+impl TenantCase {
+    fn traces(&self) -> Vec<Vec<TraceStep<'_, i64>>> {
+        self.streams
+            .iter()
+            .zip(&self.weights)
+            .map(|(stream, w)| stream.iter().map(|s| (s, w)).collect())
+            .collect()
+    }
+}
+
+fn tenant_case(tenants: usize, smoke: bool) -> TenantCase {
+    let (steps, rows, k, n) = if smoke {
+        (4, 512, 128, 8)
+    } else {
+        (6, 1024, 256, 8)
+    };
+    // Concurrent requests to one model are more alike *across tenants* than
+    // across time: per-row cross-tenant correlation 0.9995 compounds over
+    // the 256-row tile height to ≈ 0.88 of tiles shared tenant-to-tenant,
+    // while temporal persistence 0.999 leaves ≈ 0.77 shared step-to-step —
+    // so a private cache re-plans the temporal churn once per tenant, a
+    // shared cache once for the whole fleet.
+    let gen = TraceGen::new(TraceGenParams::uncorrelated(0.30));
+    let mut rng = StdRng::seed_from_u64(0x5E41 + tenants as u64);
+    let streams = gen.generate_tenant_streams(tenants, steps, rows, k, 0.999, 0.9995, &mut rng);
+    let weights = (0..tenants)
+        .map(|t| WeightMatrix::from_fn(k, n, |r, c| (r * 31 + c * 7 + t * 13) as i64 % 255 - 127))
+        .collect();
+    TenantCase { streams, weights }
+}
+
+/// Serial per-tenant private-cache oracle outputs (the correctness gate).
+fn oracle(case: &TenantCase, config: EngineConfig) -> Vec<Vec<OutputMatrix<i64>>> {
+    case.streams
+        .iter()
+        .zip(&case.weights)
+        .map(|(stream, w)| {
+            let mut engine = Engine::new(config);
+            stream
+                .iter()
+                .map(|s| {
+                    let mut out = OutputMatrix::zeros(0, 0);
+                    engine.gemm_into_serial(s, w, &mut out);
+                    out
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Shared vs private at one tenant count.
+fn shared_vs_private(tenants: usize, smoke: bool, reps: usize) -> ServingOut {
+    let case = tenant_case(tenants, smoke);
+    let tile = TileShape::prosperity_default();
+    let config = EngineConfig::new(tile, 4096);
+    let traces = case.traces();
+    let gemms: usize = traces.iter().map(Vec::len).sum();
+
+    // Correctness gate + stats capture for both shared policies.
+    let want = oracle(&case, config);
+    let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    sched.run(&traces, |t, s, out| {
+        assert_eq!(out, &want[t][s], "shared rr lost bits: tenant {t} step {s}");
+    });
+    let merged = sched.merged_stats();
+    let per_session = sched.session_stats();
+    let cache = sched.shared_cache().stats();
+    let mut aff = BatchScheduler::new(config, BatchPolicy::CacheAffinity);
+    aff.run(&traces, |t, s, out| {
+        assert_eq!(
+            out, &want[t][s],
+            "shared aff lost bits: tenant {t} step {s}"
+        );
+    });
+
+    // Private baseline stats (fresh engines, same aggregate work).
+    let mut private_merged = EngineStats::default();
+    for (stream, w) in case.streams.iter().zip(&case.weights) {
+        let mut e = Engine::new(config);
+        let mut o = OutputMatrix::zeros(0, 0);
+        for s in stream {
+            e.gemm_into(s, w, &mut o);
+        }
+        private_merged.merge(&e.stats());
+    }
+
+    // Timed passes: fresh caches per rep — each measurement is the whole
+    // cold-to-warm batch, end to end.
+    let private_ms = time_ms(reps, || {
+        let mut acc = 0i64;
+        for (stream, w) in case.streams.iter().zip(&case.weights) {
+            let mut e = Engine::new(config);
+            let mut o = OutputMatrix::zeros(0, 0);
+            for s in stream {
+                e.gemm_into(s, w, &mut o);
+            }
+            acc ^= o.as_slice().first().copied().unwrap_or(0);
+        }
+        acc
+    });
+    let shared_rr_ms = time_ms(reps, || {
+        let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+        let mut acc = 0i64;
+        sched.run(&traces, |_, _, out| {
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+    let shared_aff_ms = time_ms(reps, || {
+        let mut sched = BatchScheduler::new(config, BatchPolicy::CacheAffinity);
+        let mut acc = 0i64;
+        sched.run(&traces, |_, _, out| {
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+
+    ServingOut {
+        name: format!("shared_cache_{tenants}"),
+        tenants,
+        gemms,
+        private_ms,
+        shared_rr_ms,
+        shared_aff_ms,
+        merged,
+        per_session,
+        cache,
+        private_merged,
+    }
+}
+
+/// The fig8 row re-run: admission on vs off on a miss-heavy model trace.
+struct AdmissionOut {
+    gemms: usize,
+    off_ms: f64,
+    on_ms: f64,
+    stats_off: EngineStats,
+    stats_on: EngineStats,
+}
+
+impl AdmissionOut {
+    fn speedup(&self) -> f64 {
+        self.off_ms / self.on_ms
+    }
+}
+
+fn fig8_admission(smoke: bool, reps: usize) -> AdmissionOut {
+    let workload = Workload::spikingbert_sst2();
+    let scale = if smoke { 0.02 } else { 0.06 };
+    let trace = workload.generate_trace(scale);
+    let tile = TileShape::prosperity_default();
+    let weights: Vec<WeightMatrix<i64>> = trace
+        .layers
+        .iter()
+        .map(|l| l.synthetic_weights(7))
+        .collect();
+    let off = EngineConfig::new(tile, 2048);
+    let on = off.with_admission(AdmissionConfig::default());
+
+    // Correctness gate: admission decisions cannot change results.
+    let mut e_off = Engine::new(off);
+    let mut e_on = Engine::new(on);
+    let mut a = OutputMatrix::zeros(0, 0);
+    let mut b = OutputMatrix::zeros(0, 0);
+    for (layer, w) in trace.layers.iter().zip(&weights) {
+        e_off.gemm_into(&layer.spikes, w, &mut a);
+        e_on.gemm_into(&layer.spikes, w, &mut b);
+        assert_eq!(a, b, "admission lost bits on {}", layer.spec.name);
+    }
+    let (stats_off, stats_on) = (e_off.stats(), e_on.stats());
+
+    let run = |config: EngineConfig| {
+        let mut e = Engine::new(config);
+        let mut o = OutputMatrix::zeros(0, 0);
+        for (layer, w) in trace.layers.iter().zip(&weights) {
+            e.gemm_into(&layer.spikes, w, &mut o);
+        }
+        o.as_slice().first().copied().unwrap_or(0)
+    };
+    let off_ms = time_ms(reps, || run(off));
+    let on_ms = time_ms(reps, || run(on));
+
+    AdmissionOut {
+        gemms: trace.layers.len(),
+        off_ms,
+        on_ms,
+        stats_off,
+        stats_on,
+    }
+}
+
+fn json_stats(s: &EngineStats) -> String {
+    format!(
+        concat!(
+            "{{\"gemms\": {}, \"tiles\": {}, \"hits\": {}, \"misses\": {}, ",
+            "\"evictions\": {}, \"bypasses\": {}, \"hit_rate\": {:.4}}}"
+        ),
+        s.gemms,
+        s.tiles,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.cache_bypasses,
+        s.hit_rate(),
+    )
+}
+
+fn json_shared(c: &SharedCacheStats) -> String {
+    format!(
+        concat!(
+            "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, ",
+            "\"evictions\": {}, \"bypasses\": {}, \"dedups\": {}, \"resident\": {}, ",
+            "\"shards\": {}, \"capacity\": {}, \"hit_rate\": {:.4}}}"
+        ),
+        c.hits,
+        c.misses,
+        c.insertions,
+        c.evictions,
+        c.bypasses,
+        c.dedups,
+        c.resident,
+        c.shards,
+        c.capacity,
+        c.hit_rate(),
+    )
+}
+
+fn json_scenario(r: &ServingOut) -> String {
+    let sessions: Vec<String> = r.per_session.iter().map(json_stats).collect();
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"tenants\": {}, \"gemms\": {}, ",
+            "\"private_ms\": {:.3}, \"shared_rr_ms\": {:.3}, \"shared_aff_ms\": {:.3}, ",
+            "\"speedup_rr\": {:.2}, \"speedup_aff\": {:.2},\n",
+            "     \"merged\": {},\n",
+            "     \"private_merged\": {},\n",
+            "     \"shared_cache\": {},\n",
+            "     \"sessions\": [{}]}}"
+        ),
+        r.name,
+        r.tenants,
+        r.gemms,
+        r.private_ms,
+        r.shared_rr_ms,
+        r.shared_aff_ms,
+        r.speedup_rr(),
+        r.speedup_aff(),
+        json_stats(&r.merged),
+        json_stats(&r.private_merged),
+        json_shared(&r.cache),
+        sessions.join(", "),
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("PROSPERITY_SERVING_SMOKE").is_ok_and(|v| v != "0");
+    let reps = if smoke { 2 } else { 4 };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Shared-cache serving benchmark (best-of-{reps} wall time, {threads} HW threads{})",
+        if smoke { ", SMOKE" } else { "" }
+    );
+    println!(
+        "{:<16} {:>7} {:>7} {:>11} {:>11} {:>11} {:>8} {:>8} {:>9}",
+        "scenario",
+        "tenants",
+        "gemms",
+        "private ms",
+        "rr ms",
+        "affinity",
+        "rr spd",
+        "aff spd",
+        "hit rate"
+    );
+    let results: Vec<ServingOut> = [2usize, 4, 8]
+        .iter()
+        .map(|&t| shared_vs_private(t, smoke, reps))
+        .collect();
+    for r in &results {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11.2} {:>7.2}x {:>7.2}x {:>8.1}%",
+            r.name,
+            r.tenants,
+            r.gemms,
+            r.private_ms,
+            r.shared_rr_ms,
+            r.shared_aff_ms,
+            r.speedup_rr(),
+            r.speedup_aff(),
+            100.0 * r.merged.hit_rate(),
+        );
+    }
+    let adm = fig8_admission(smoke, reps);
+    println!(
+        "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>7.2}x {:>8} {:>8.1}%",
+        "fig8_admission",
+        1,
+        adm.gemms,
+        adm.off_ms,
+        adm.on_ms,
+        "-",
+        adm.speedup(),
+        "-",
+        100.0 * adm.stats_on.hit_rate(),
+    );
+
+    let out_path = std::env::var("BENCH_SERVING_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string()
+    });
+    let mut body: Vec<String> = results.iter().map(json_scenario).collect();
+    body.push(format!(
+        concat!(
+            "    {{\"name\": \"fig8_admission\", \"tenants\": 1, \"gemms\": {}, ",
+            "\"admission_off_ms\": {:.3}, \"admission_on_ms\": {:.3}, ",
+            "\"speedup_admission\": {:.2},\n",
+            "     \"stats_off\": {},\n",
+            "     \"stats_on\": {}}}"
+        ),
+        adm.gemms,
+        adm.off_ms,
+        adm.on_ms,
+        adm.speedup(),
+        json_stats(&adm.stats_off),
+        json_stats(&adm.stats_on),
+    ));
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"unit\": \"ms\",\n  \"timing\": \
+         \"best_of_reps\",\n  \"smoke\": {},\n  \"threads\": {},\n  \
+         \"parallel_feature\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        smoke,
+        threads,
+        prosperity_core::parallel_enabled(),
+        body.join(",\n")
+    );
+    if smoke {
+        println!("\nsmoke mode: not overwriting {out_path}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench json");
+        println!("\nwrote {out_path}");
+    }
+}

@@ -19,6 +19,21 @@ use prosperity_baselines::BaselinePerf;
 use prosperity_models::workload::ModelTrace;
 use prosperity_sim::{simulate_model, EnergyModel, ModelPerf, ProsperityConfig};
 
+/// Best-of-`reps` wall time of `f`, in milliseconds — the one timing
+/// methodology every harness-less bench (`kernels`, `e2e`, `serving`)
+/// shares, so BENCH_*.json files stay comparable.
+pub fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(r);
+        best = best.min(dt);
+    }
+    best
+}
+
 /// Workload scale factor for trace generation, from `PROSPERITY_SCALE`
 /// (default 0.25: rows are subsampled to keep the full 16-workload suite
 /// to minutes; set `PROSPERITY_SCALE=1.0` for paper-size runs).

@@ -163,10 +163,7 @@ mod tests {
         let q = q_matrix();
         let k = k_matrix();
         let tile = TileShape::new(2, 2);
-        let mut engine = Engine::new(EngineConfig {
-            tile,
-            cache_capacity: 32,
-        });
+        let mut engine = Engine::new(EngineConfig::new(tile, 32));
         let mut scores = OutputMatrix::zeros(0, 0);
         spiking_qk_with(&mut engine, &q, &k, &mut scores);
         assert_eq!(scores, spiking_qk(&q, &k, tile));

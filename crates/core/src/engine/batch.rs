@@ -1,0 +1,390 @@
+//! Cross-trace batch scheduling: interleaving many logical GeMM streams
+//! through one [`SharedPlanCache`] so concurrent requests amortize each
+//! other's planning work.
+//!
+//! Spike tiles repeat not just across the timesteps of one request but
+//! across concurrent requests running the same model: whichever session
+//! plans a tile first warms it for every other session. The scheduler owns
+//! one [`Session`] per concurrent trace (recycled across [`run`] calls, so
+//! per-session pools stay warm) and decides the interleaving order:
+//!
+//! * [`BatchPolicy::RoundRobin`] — one step per trace per round; fair, and
+//!   keeps sibling traces in temporal lockstep so their shared tiles are
+//!   resident when the next trace arrives at the same timestep.
+//! * [`BatchPolicy::CacheAffinity`] — greedy: each scheduling decision
+//!   probes the first tiles of every runnable trace's next GeMM against the
+//!   shared cache and runs the trace with the most resident plans,
+//!   breaking ties toward the lowest index. Under eviction pressure this
+//!   executes work while its plans are still hot instead of round-robining
+//!   past them.
+//!
+//! [`run`]: BatchScheduler::run
+
+use std::sync::Arc;
+
+use spikemat::gemm::{OutputMatrix, WeightMatrix};
+use spikemat::SpikeMatrix;
+
+use super::cache::hash_tile;
+use super::session::Session;
+use super::shared::SharedPlanCache;
+use super::stats::EngineStats;
+use super::{Element, EngineConfig};
+
+/// One step of a logical trace: a spiking GeMM to execute.
+pub type TraceStep<'a, T> = (&'a SpikeMatrix, &'a WeightMatrix<T>);
+
+/// How the scheduler interleaves runnable traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// One step per trace per round, in trace order.
+    #[default]
+    RoundRobin,
+    /// Greedy: run the trace whose next GeMM has the most plans already
+    /// resident in the shared cache.
+    CacheAffinity,
+}
+
+/// Tiles probed per trace per scheduling decision under
+/// [`BatchPolicy::CacheAffinity`].
+const AFFINITY_PROBES: usize = 4;
+
+/// Interleaves multiple traces through sessions sharing one plan cache.
+///
+/// Sessions (and their pooled buffers) persist across [`BatchScheduler::run`]
+/// calls; lane `i` always maps to session `i`, so a caller replaying the
+/// same tenant on the same lane keeps its warm state.
+#[derive(Debug)]
+pub struct BatchScheduler<T = i64> {
+    config: EngineConfig,
+    policy: BatchPolicy,
+    shared: Arc<SharedPlanCache>,
+    sessions: Vec<Session<T>>,
+    /// Pooled per-lane output buffers.
+    outs: Vec<OutputMatrix<T>>,
+    /// Scratch tile for affinity probes.
+    probe_buf: SpikeMatrix,
+}
+
+impl<T: Element> BatchScheduler<T> {
+    /// Creates a scheduler with a fresh shared cache sized by
+    /// `config.cache_capacity` (and `config.admission`, applied per shard).
+    pub fn new(config: EngineConfig, policy: BatchPolicy) -> Self {
+        let shared = Arc::new(SharedPlanCache::with_shards(
+            config.cache_capacity,
+            SharedPlanCache::DEFAULT_SHARDS,
+            config.admission,
+        ));
+        Self::with_cache(config, policy, shared)
+    }
+
+    /// Creates a scheduler over an existing shared cache (e.g. one also
+    /// used by sessions outside this scheduler).
+    pub fn with_cache(
+        config: EngineConfig,
+        policy: BatchPolicy,
+        shared: Arc<SharedPlanCache>,
+    ) -> Self {
+        Self {
+            config,
+            policy,
+            shared,
+            sessions: Vec::new(),
+            outs: Vec::new(),
+            probe_buf: SpikeMatrix::zeros(0, 0),
+        }
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Switches the scheduling policy (takes effect on the next run).
+    pub fn set_policy(&mut self, policy: BatchPolicy) {
+        self.policy = policy;
+    }
+
+    /// The shared plan cache all lanes plan through.
+    pub fn shared_cache(&self) -> &Arc<SharedPlanCache> {
+        &self.shared
+    }
+
+    /// Per-lane session statistics (one entry per lane ever used).
+    pub fn session_stats(&self) -> Vec<EngineStats> {
+        self.sessions.iter().map(Session::stats).collect()
+    }
+
+    /// All lanes' statistics merged into one fleet-wide row.
+    pub fn merged_stats(&self) -> EngineStats {
+        let stats = self.session_stats();
+        EngineStats::merged(stats.iter())
+    }
+
+    /// Zeroes every lane's statistics counters.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.sessions {
+            s.reset_stats();
+        }
+    }
+
+    fn ensure_lanes(&mut self, n: usize) {
+        while self.sessions.len() < n {
+            self.sessions
+                .push(Session::with_shared(self.config, Arc::clone(&self.shared)));
+            self.outs.push(OutputMatrix::zeros(0, 0));
+        }
+    }
+
+    /// Runs every trace to completion on one thread, interleaving steps
+    /// according to the policy. `sink` observes `(trace, step, output)` for
+    /// every executed GeMM before the lane's output buffer is recycled.
+    ///
+    /// Results are bit-identical to running each trace alone through a
+    /// private-cache session: plans are content-addressed, so sharing only
+    /// changes *who* planned a tile, never what the plan computes.
+    pub fn run<'a, S, F>(&mut self, traces: &[S], mut sink: F)
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]>,
+        F: FnMut(usize, usize, &OutputMatrix<T>),
+    {
+        self.ensure_lanes(traces.len());
+        let mut cursors = vec![0usize; traces.len()];
+        let mut remaining: usize = traces.iter().map(|t| t.as_ref().len()).sum();
+        while remaining > 0 {
+            match self.policy {
+                BatchPolicy::RoundRobin => {
+                    for (i, trace) in traces.iter().enumerate() {
+                        let trace = trace.as_ref();
+                        if cursors[i] >= trace.len() {
+                            continue;
+                        }
+                        self.step(i, cursors[i], trace, &mut sink);
+                        cursors[i] += 1;
+                        remaining -= 1;
+                    }
+                }
+                BatchPolicy::CacheAffinity => {
+                    let pick = self.pick_by_affinity(traces, &cursors);
+                    let trace = traces[pick].as_ref();
+                    self.step(pick, cursors[pick], trace, &mut sink);
+                    cursors[pick] += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// Executes step `step` of `trace` on lane `lane`.
+    fn step<'a, F>(&mut self, lane: usize, step: usize, trace: &[TraceStep<'a, T>], sink: &mut F)
+    where
+        T: 'a,
+        F: FnMut(usize, usize, &OutputMatrix<T>),
+    {
+        let (spikes, weights) = trace[step];
+        let out = &mut self.outs[lane];
+        self.sessions[lane].gemm_into(spikes, weights, out);
+        sink(lane, step, out);
+    }
+
+    /// Greedy choice: the runnable trace whose next GeMM has the most
+    /// probed tiles resident in the shared cache (ties → lowest index).
+    fn pick_by_affinity<'a, S>(&mut self, traces: &[S], cursors: &[usize]) -> usize
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]>,
+    {
+        let mut best = usize::MAX;
+        let mut best_score = -1i64;
+        for (i, trace) in traces.iter().enumerate() {
+            let trace = trace.as_ref();
+            if cursors[i] >= trace.len() {
+                continue;
+            }
+            let score = self.affinity(trace[cursors[i]].0);
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        debug_assert_ne!(best, usize::MAX, "no runnable trace");
+        best
+    }
+
+    /// Number of this matrix's first [`AFFINITY_PROBES`] tiles resident in
+    /// the shared cache (recency and admission are untouched).
+    fn affinity(&mut self, spikes: &SpikeMatrix) -> i64 {
+        let shape = self.config.tile;
+        let (gm, gk) = shape.grid(spikes.rows(), spikes.cols());
+        let probes = (gm * gk).min(AFFINITY_PROBES);
+        let mut score = 0;
+        for t in 0..probes {
+            let (ti, tj) = (t / gk, t % gk);
+            spikes.submatrix_into(
+                ti * shape.m,
+                tj * shape.k,
+                shape.m,
+                shape.k,
+                &mut self.probe_buf,
+            );
+            let hash = hash_tile(&self.probe_buf);
+            score += i64::from(self.shared.peek(hash, &self.probe_buf));
+        }
+        score
+    }
+
+    /// Runs every trace to completion with one worker thread per trace,
+    /// all planning through the shared cache. `sink` is called from worker
+    /// threads and must synchronize its own state.
+    ///
+    /// Bit-identical to [`BatchScheduler::run`] (and to serial per-trace
+    /// execution): the only cross-thread state is the content-addressed
+    /// cache, and plans are deterministic in the tile bits.
+    #[cfg(feature = "parallel")]
+    pub fn run_concurrent<'a, S, F>(&mut self, traces: &[S], sink: F)
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]> + Sync,
+        F: Fn(usize, usize, &OutputMatrix<T>) + Sync,
+    {
+        self.ensure_lanes(traces.len());
+        let sink = &sink;
+        std::thread::scope(|scope| {
+            for (lane, (session, trace)) in self.sessions.iter_mut().zip(traces).enumerate() {
+                scope.spawn(move || {
+                    let mut out = OutputMatrix::zeros(0, 0);
+                    for (step, &(spikes, weights)) in trace.as_ref().iter().enumerate() {
+                        session.gemm_into(spikes, weights, &mut out);
+                        sink(lane, step, &out);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikemat::gemm::spiking_gemm;
+    use spikemat::TileShape;
+
+    fn traces_for_test() -> (Vec<SpikeMatrix>, WeightMatrix<i64>) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = SpikeMatrix::random(32, 16, 0.3, &mut rng);
+        // Three near-identical "tenants" of the same matrix.
+        let mut tenants = vec![base.clone(), base.clone(), base];
+        tenants[1].set(0, 0, true);
+        tenants[2].set(31, 15, true);
+        let w = WeightMatrix::from_fn(16, 4, |r, c| (r * 3 + c) as i64 - 5);
+        (tenants, w)
+    }
+
+    #[test]
+    fn round_robin_covers_every_step_exactly() {
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w), (t, &w)]).collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+        );
+        let mut seen = vec![0usize; traces.len()];
+        sched.run(&traces, |lane, step, out| {
+            assert_eq!(
+                out,
+                &spiking_gemm(&tenants[lane], &w),
+                "lane {lane} step {step}"
+            );
+            seen[lane] += 1;
+        });
+        assert_eq!(seen, vec![2, 2, 2]);
+        // Tenant 1's second pass over shared tiles must hit.
+        assert!(sched.merged_stats().cache_hits > 0);
+        assert_eq!(sched.session_stats().len(), 3);
+    }
+
+    #[test]
+    fn affinity_policy_is_still_exhaustive_and_exact() {
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> = tenants
+            .iter()
+            .map(|t| vec![(t, &w), (t, &w), (t, &w)])
+            .collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::CacheAffinity,
+        );
+        let mut count = 0;
+        sched.run(&traces, |lane, _, out| {
+            assert_eq!(out, &spiking_gemm(&tenants[lane], &w));
+            count += 1;
+        });
+        assert_eq!(count, 9);
+        assert_eq!(sched.policy(), BatchPolicy::CacheAffinity);
+    }
+
+    #[test]
+    fn lanes_and_buffers_persist_across_runs() {
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> = tenants.iter().map(|t| vec![(t, &w)]).collect();
+        let mut sched = BatchScheduler::<i64>::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+        );
+        sched.run(&traces, |_, _, _| {});
+        let first_misses = sched.merged_stats().cache_misses;
+        assert!(first_misses > 0);
+        // Second run of the same tenants: the shared cache is warm.
+        sched.run(&traces, |_, _, _| {});
+        assert_eq!(sched.merged_stats().cache_misses, first_misses);
+        sched.reset_stats();
+        assert_eq!(sched.merged_stats(), EngineStats::default());
+        assert!(!sched.shared_cache().is_empty());
+    }
+
+    #[test]
+    fn ragged_trace_lengths_complete() {
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> = vec![
+            vec![(&tenants[0], &w); 3],
+            vec![],
+            vec![(&tenants[2], &w); 1],
+        ];
+        for policy in [BatchPolicy::RoundRobin, BatchPolicy::CacheAffinity] {
+            let mut sched =
+                BatchScheduler::new(EngineConfig::new(TileShape::new(8, 8), 64), policy);
+            let mut per_lane = vec![0usize; 3];
+            sched.run(&traces, |lane, _, _| per_lane[lane] += 1);
+            assert_eq!(per_lane, vec![3, 0, 1], "{policy:?}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn concurrent_run_matches_serial_oracle() {
+        use std::sync::Mutex;
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w), (t, &w)]).collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 64),
+            BatchPolicy::RoundRobin,
+        );
+        let got: Mutex<Vec<Vec<Option<OutputMatrix<i64>>>>> =
+            Mutex::new(vec![vec![None, None], vec![None, None], vec![None, None]]);
+        sched.run_concurrent(&traces, |lane, step, out| {
+            got.lock().unwrap()[lane][step] = Some(out.clone());
+        });
+        let got = got.into_inner().unwrap();
+        for (lane, tenant) in tenants.iter().enumerate() {
+            let want = spiking_gemm(tenant, &w);
+            for (step, slot) in got[lane].iter().enumerate() {
+                assert_eq!(slot.as_ref(), Some(&want), "lane {lane} step {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Content-addressed plan caching: the per-session LRU and the adaptive
+//! admission policy that stops uncorrelated streams from paying
+//! cache-bookkeeping costs for reuse that never materializes. The sharded
+//! concurrent cache many sessions hit together builds on this in
+//! [`super::shared`].
+//!
+//! Plans are keyed by tile *content* (the raw bit limbs), never by position:
+//! a fast multi-lane hash selects a bucket and a full limb comparison
+//! resolves it, so a hash collision can never substitute a wrong plan.
+//! Because [`TileMeta`] construction is a pure
+//! function of the tile bits, a plan served from any cache — private or
+//! shared, inserted by any session — is value-identical to the plan the
+//! session would have built itself. That is what makes shared caching
+//! bit-exact by construction.
+
+use crate::plan::TileMeta;
+use serde::{Deserialize, Serialize};
+use spikemat::SpikeMatrix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pseudo-random multiplier for the limb-folding tile hash (the golden-ratio
+/// constant used by Fx-style hashers).
+const HASH_K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Streaming 4-lane limb hash.
+///
+/// Four independent lanes break the multiply dependency chain (a single
+/// folded lane costs ~5 cycles *per limb* in latency, which dominated
+/// miss-heavy streams); collisions are resolved by full limb comparison in
+/// the cache, never trusted. Streaming means a tile can be hashed straight
+/// from its rows without materializing a flat key first — bypassed misses
+/// touch no heap at all.
+#[derive(Debug, Clone)]
+struct LimbHasher {
+    lanes: [u64; 4],
+    lane: usize,
+    count: u64,
+}
+
+impl LimbHasher {
+    fn new() -> Self {
+        Self {
+            lanes: [
+                0x243F_6A88_85A3_08D3,
+                0x1319_8A2E_0370_7344,
+                0xA409_3822_299F_31D0,
+                0x082E_FA98_EC4E_6C89,
+            ],
+            lane: 0,
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn extend(&mut self, limbs: &[u64]) {
+        for &limb in limbs {
+            let lane = &mut self.lanes[self.lane];
+            *lane = (lane.rotate_left(5) ^ limb).wrapping_mul(HASH_K);
+            self.lane = (self.lane + 1) & 3;
+        }
+        self.count += limbs.len() as u64;
+    }
+
+    fn finish(self) -> u64 {
+        let mut h = self.count.wrapping_mul(HASH_K);
+        for lane in self.lanes {
+            h = (h.rotate_left(5) ^ lane).wrapping_mul(HASH_K);
+        }
+        h
+    }
+}
+
+/// Fast content hash of a flat limb sequence (the streaming-hash oracle).
+#[cfg(test)]
+fn hash_limbs(limbs: &[u64]) -> u64 {
+    let mut h = LimbHasher::new();
+    h.extend(limbs);
+    h.finish()
+}
+
+/// Content hash of a tile, streamed row by row — identical to
+/// [`hash_limbs`] over the rows' concatenated limbs, without the copy.
+pub(crate) fn hash_tile(tile: &SpikeMatrix) -> u64 {
+    let mut h = LimbHasher::new();
+    for row in tile.row_slice() {
+        h.extend(row.limbs());
+    }
+    h.finish()
+}
+
+/// Whether a stored flat key equals the tile's row-major limbs.
+fn tile_matches(stored: &[u64], tile: &SpikeMatrix) -> bool {
+    let mut offset = 0;
+    for row in tile.row_slice() {
+        let limbs = row.limbs();
+        let end = offset + limbs.len();
+        if end > stored.len() || stored[offset..end] != *limbs {
+            return false;
+        }
+        offset = end;
+    }
+    offset == stored.len()
+}
+
+/// The tile's row-major limbs as an owned flat key (insertion only; lookups
+/// and bypassed misses never materialize this).
+fn key_of(tile: &SpikeMatrix) -> Box<[u64]> {
+    let mut key = Vec::with_capacity(tile.row_slice().iter().map(|r| r.limbs().len()).sum());
+    for row in tile.row_slice() {
+        key.extend_from_slice(row.limbs());
+    }
+    key.into_boxed_slice()
+}
+
+/// Map keys are already hashes, so the cache map uses a pass-through hasher
+/// instead of paying SipHash per probe.
+#[derive(Debug, Default, Clone, Copy)]
+struct PassThroughHasher(u64);
+
+impl std::hash::Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("cache keys are hashed as u64");
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type PassThroughState = std::hash::BuildHasherDefault<PassThroughHasher>;
+
+/// Adaptive cache-insertion bypass: parameters of the sliding-window
+/// hit-rate estimator.
+///
+/// On an uncorrelated stream every tile misses, so every tile pays hash +
+/// key copy + LRU bookkeeping + eviction for a plan that will never be seen
+/// again — the documented fig8 regression. The admission policy watches the
+/// hit rate over a sliding window of lookups; when it falls below
+/// [`AdmissionConfig::min_hit_permille`], insertions are *bypassed* except
+/// for a sparse probe stream (every [`AdmissionConfig::probe_period`]-th
+/// miss), which keeps enough fresh plans resident that a stream turning
+/// correlated again is detected and admission re-opens on a later window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Lookups per estimation window.
+    pub window: u32,
+    /// Minimum hit rate, in permille (‰), for insertions to stay open in
+    /// the next window.
+    pub min_hit_permille: u32,
+    /// While bypassing, still insert every `probe_period`-th miss so the
+    /// estimator can observe correlation returning. `0` disables probing
+    /// (bypass becomes permanent once triggered).
+    pub probe_period: u32,
+}
+
+impl Default for AdmissionConfig {
+    /// 256-lookup windows, re-open at ≥ 5 % hits, probe every 16th miss.
+    fn default() -> Self {
+        Self {
+            window: 256,
+            min_hit_permille: 50,
+            probe_period: 16,
+        }
+    }
+}
+
+/// Sliding-window hit-rate admission state.
+#[derive(Debug, Clone)]
+struct Admission {
+    cfg: AdmissionConfig,
+    lookups: u32,
+    hits: u32,
+    /// Whether insertions are currently open. Starts open: the first window
+    /// always admits, otherwise the cache could never warm up.
+    open: bool,
+    /// Misses until the next probe insertion while bypassing.
+    probe_countdown: u32,
+}
+
+impl Admission {
+    fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            lookups: 0,
+            hits: 0,
+            open: true,
+            probe_countdown: cfg.probe_period,
+        }
+    }
+
+    /// Records one lookup outcome, rolling the window when it fills.
+    fn record(&mut self, hit: bool) {
+        self.lookups += 1;
+        self.hits += u32::from(hit);
+        if self.lookups >= self.cfg.window.max(1) {
+            let permille = (self.hits as u64 * 1000) / self.lookups as u64;
+            self.open = permille >= self.cfg.min_hit_permille as u64;
+            self.lookups = 0;
+            self.hits = 0;
+        }
+    }
+
+    /// Whether the miss being resolved right now should be inserted.
+    fn should_insert(&mut self) -> bool {
+        if self.open {
+            return true;
+        }
+        if self.cfg.probe_period == 0 {
+            return false;
+        }
+        if self.probe_countdown <= 1 {
+            self.probe_countdown = self.cfg.probe_period;
+            true
+        } else {
+            self.probe_countdown -= 1;
+            false
+        }
+    }
+}
+
+/// What happened to a freshly planned tile offered to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InsertOutcome {
+    /// Stored without displacing anything.
+    Inserted,
+    /// Stored; the LRU plan was evicted to make room.
+    Evicted,
+    /// Skipped by the admission policy (or a zero-capacity cache).
+    Bypassed,
+    /// Dropped because a racing session inserted the same tile first; the
+    /// resident plan was returned instead (shared cache only).
+    Deduplicated,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// One resident cache entry, linked into the LRU list.
+#[derive(Debug)]
+struct Slot {
+    hash: u64,
+    /// The tile's raw limbs, row-major — the full key behind the hash.
+    limbs: Box<[u64]>,
+    meta: Arc<TileMeta>,
+    prev: u32,
+    next: u32,
+}
+
+/// Content-addressed LRU of tile plans: a slab of slots threaded on an
+/// intrusive doubly-linked recency list, indexed by a hash → slot multimap
+/// (the per-hash `Vec` absorbs collisions). All operations are O(1)
+/// amortized. One instance backs a private session cache; a
+/// [`SharedPlanCache`] holds one per shard behind a lock.
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    capacity: usize,
+    map: HashMap<u64, Vec<u32>, PassThroughState>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    /// Shared empty meta parked in freed slots so evicted payloads drop
+    /// immediately instead of lingering until slot reuse.
+    placeholder: Arc<TileMeta>,
+    admission: Option<Admission>,
+}
+
+impl PlanCache {
+    pub(crate) fn new(capacity: usize, admission: Option<AdmissionConfig>) -> Self {
+        Self {
+            capacity,
+            map: HashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            placeholder: Arc::new(TileMeta::empty()),
+            admission: admission.map(Admission::new),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Looks up the plan for a tile with the given content hash, refreshing
+    /// its recency and feeding the admission estimator on both outcomes.
+    pub(crate) fn lookup(&mut self, hash: u64, tile: &SpikeMatrix) -> Option<Arc<TileMeta>> {
+        let got = self.get(hash, tile);
+        if let Some(a) = &mut self.admission {
+            a.record(got.is_some());
+        }
+        got
+    }
+
+    /// [`PlanCache::lookup`] without touching the admission window — the
+    /// shared cache's insert-time dedup check, which must not count as a
+    /// second lookup for the miss it is resolving.
+    pub(crate) fn get(&mut self, hash: u64, tile: &SpikeMatrix) -> Option<Arc<TileMeta>> {
+        let idx = self.find(hash, tile)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(Arc::clone(&self.slots[idx as usize].meta))
+    }
+
+    /// Whether a plan for this tile is resident, without touching recency
+    /// or the admission window (the batch scheduler's affinity probe).
+    pub(crate) fn peek(&self, hash: u64, tile: &SpikeMatrix) -> bool {
+        self.find(hash, tile).is_some()
+    }
+
+    fn find(&self, hash: u64, tile: &SpikeMatrix) -> Option<u32> {
+        let bucket = self.map.get(&hash)?;
+        bucket
+            .iter()
+            .copied()
+            .find(|&i| tile_matches(&self.slots[i as usize].limbs, tile))
+    }
+
+    /// Offers a freshly planned tile. Consults the admission policy; on
+    /// admission, stores the key and meta, evicting the LRU entry if full.
+    pub(crate) fn insert(
+        &mut self,
+        hash: u64,
+        tile: &SpikeMatrix,
+        meta: Arc<TileMeta>,
+    ) -> InsertOutcome {
+        if self.capacity == 0 {
+            return InsertOutcome::Bypassed;
+        }
+        if let Some(a) = &mut self.admission {
+            if !a.should_insert() {
+                return InsertOutcome::Bypassed;
+            }
+        }
+        let outcome = if self.len() >= self.capacity {
+            self.evict_lru();
+            InsertOutcome::Evicted
+        } else {
+            InsertOutcome::Inserted
+        };
+        let slot = Slot {
+            hash,
+            limbs: key_of(tile),
+            meta,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.map.entry(hash).or_default().push(idx);
+        self.push_front(idx);
+        outcome
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = idx,
+            h => self.slots[h as usize].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict on empty cache");
+        self.unlink(idx);
+        let hash = self.slots[idx as usize].hash;
+        if let Some(bucket) = self.map.get_mut(&hash) {
+            bucket.retain(|&i| i != idx);
+            if bucket.is_empty() {
+                self.map.remove(&hash);
+            }
+        }
+        // Drop the payload now; the slot itself is recycled.
+        self.slots[idx as usize].limbs = Box::new([]);
+        self.slots[idx as usize].meta = Arc::clone(&self.placeholder);
+        self.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+#[path = "cache_tests.rs"]
+mod tests;

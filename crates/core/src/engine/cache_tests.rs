@@ -1,0 +1,122 @@
+//! Unit tests (kept beside the module, out of its main file).
+
+use super::*;
+
+fn tile_of(rows: &[&[u8]]) -> SpikeMatrix {
+    SpikeMatrix::from_rows_of_bits(rows)
+}
+
+#[test]
+fn streaming_hash_equals_flat_hash() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(3);
+    for (m, k) in [(1, 1), (3, 70), (16, 129), (64, 64), (5, 256)] {
+        let t = SpikeMatrix::random(m, k, 0.4, &mut rng);
+        let flat: Vec<u64> = t
+            .row_slice()
+            .iter()
+            .flat_map(|r| r.limbs().iter().copied())
+            .collect();
+        assert_eq!(hash_tile(&t), hash_limbs(&flat), "{m}x{k}");
+    }
+}
+
+#[test]
+fn hash_collisions_cannot_alias_plans() {
+    // Force two distinct tiles into one bucket: plans still resolve by
+    // full limb comparison.
+    let t1 = tile_of(&[&[1, 0], &[0, 1]]);
+    let t2 = tile_of(&[&[0, 1], &[1, 0]]);
+    let tz = SpikeMatrix::zeros(2, 2);
+    let m1 = Arc::new(TileMeta::build(&t1, 0, 0));
+    let m2 = Arc::new(TileMeta::build(&t2, 0, 0));
+    let mut cache = PlanCache::new(8, None);
+    cache.insert(42, &t1, Arc::clone(&m1));
+    cache.insert(42, &t2, Arc::clone(&m2)); // same hash, different bits
+    let got1 = cache.lookup(42, &t1).expect("t1 resident");
+    let got2 = cache.lookup(42, &t2).expect("t2 resident");
+    assert!(Arc::ptr_eq(&got1, &m1));
+    assert!(Arc::ptr_eq(&got2, &m2));
+    assert!(cache.lookup(42, &tz).is_none());
+}
+
+#[test]
+fn lru_evicts_oldest() {
+    let tiles: Vec<SpikeMatrix> = (0..3u8)
+        .map(|i| tile_of(&[&[i & 1, (i >> 1) & 1, 1]]))
+        .collect();
+    let mut cache = PlanCache::new(2, None);
+    for t in &tiles {
+        let meta = Arc::new(TileMeta::build(t, 0, 0));
+        cache.insert(hash_tile(t), t, meta);
+    }
+    assert_eq!(cache.len(), 2);
+    // First-inserted tile was LRU and is gone; the other two remain.
+    assert!(cache.lookup(hash_tile(&tiles[0]), &tiles[0]).is_none());
+    assert!(cache.lookup(hash_tile(&tiles[1]), &tiles[1]).is_some());
+    assert!(cache.lookup(hash_tile(&tiles[2]), &tiles[2]).is_some());
+}
+
+#[test]
+fn admission_closes_on_cold_stream_and_probes() {
+    let cfg = AdmissionConfig {
+        window: 4,
+        min_hit_permille: 500,
+        probe_period: 3,
+    };
+    let mut a = Admission::new(cfg);
+    // First window: open regardless.
+    assert!(a.should_insert());
+    for _ in 0..4 {
+        a.record(false);
+    }
+    assert!(!a.open, "all-miss window must close admission");
+    // Bypassing, with every 3rd miss probing through.
+    let pattern: Vec<bool> = (0..6).map(|_| a.should_insert()).collect();
+    assert_eq!(pattern, [false, false, true, false, false, true]);
+    // A hot window re-opens admission.
+    for _ in 0..4 {
+        a.record(true);
+    }
+    assert!(a.open);
+    assert!(a.should_insert());
+}
+
+#[test]
+fn zero_probe_period_never_probes() {
+    let mut a = Admission::new(AdmissionConfig {
+        window: 2,
+        min_hit_permille: 1000,
+        probe_period: 0,
+    });
+    a.record(false);
+    a.record(false);
+    assert!((0..10).all(|_| !a.should_insert()));
+}
+
+#[test]
+fn cache_bypasses_insertions_once_closed() {
+    let cfg = AdmissionConfig {
+        window: 2,
+        min_hit_permille: 500,
+        probe_period: 0,
+    };
+    let mut cache = PlanCache::new(16, Some(cfg));
+    let mut tiles = Vec::new();
+    for i in 0..6u8 {
+        tiles.push(tile_of(&[&[1, i & 1, (i >> 1) & 1, (i >> 2) & 1]]));
+    }
+    let mut outcomes = Vec::new();
+    for t in &tiles {
+        let h = hash_tile(t);
+        assert!(cache.lookup(h, t).is_none());
+        outcomes.push(cache.insert(h, t, Arc::new(TileMeta::build(t, 0, 0))));
+    }
+    // The window rolls during the lookup that completes it, so the
+    // second miss of the all-miss window is already bypassed; only the
+    // first insertion lands.
+    assert_eq!(outcomes[0], InsertOutcome::Inserted);
+    assert!(outcomes[1..].iter().all(|&o| o == InsertOutcome::Bypassed));
+    assert_eq!(cache.len(), 1);
+}

@@ -1,0 +1,171 @@
+//! The serving runtime: end-to-end trace execution for one stream or many
+//! concurrent streams, layered as
+//!
+//! | module | layer |
+//! |---|---|
+//! | [`cache`] | content-addressed plan LRU + adaptive admission |
+//! | [`shared`] | the sharded concurrent [`SharedPlanCache`] |
+//! | `pool` | recycled executor buffers (internal) |
+//! | [`session`] | one stream's state: [`Session`] (= the historical [`Engine`]) |
+//! | [`batch`] | [`BatchScheduler`] interleaving many traces over one shared cache |
+//! | [`stats`] | mergeable per-session counters + shared-cache aggregates |
+//!
+//! [`crate::exec::prosparsity_gemm`] re-plans and re-allocates everything on
+//! every call. That is the right shape for one-shot algorithm studies but
+//! wrong for serving model traces, where the same layer geometry recurs
+//! every timestep and the spike matrices are *temporally correlated*: SNN
+//! neurons tend to keep (or barely change) their firing pattern across
+//! adjacent timesteps, so whole spike tiles repeat verbatim — across
+//! timesteps, across layers, and across concurrent requests running the
+//! same model. The runtime exploits every form of that redundancy:
+//!
+//! * **Plan cache** — per-tile meta information is keyed by a fast hash of
+//!   the tile's raw bit limbs (verified by full limb comparison, so a hash
+//!   collision can never substitute a wrong plan) and held in an LRU. A
+//!   repeated tile skips the Detector/Pruner/Dispatcher entirely. Cached
+//!   plans are position-independent: the same entry serves a tile wherever
+//!   it appears in the grid — or in whichever *session* it appears, when
+//!   sessions plan through one [`SharedPlanCache`] (sharded by the top
+//!   bits of the content hash, one lock per shard, misses planned outside
+//!   the lock and deduplicated on insert).
+//! * **Adaptive admission** — a sliding-window hit-rate estimator
+//!   ([`AdmissionConfig`]) bypasses cache insertion when the stream is
+//!   uncorrelated, so miss-heavy traffic stops paying key-copy + LRU +
+//!   eviction bookkeeping for reuse that never materializes; a sparse
+//!   probe stream re-opens admission when correlation returns.
+//! * **Scratch reuse** — cache misses are planned through one persistent
+//!   [`PlanScratch`](crate::plan::PlanScratch), so steady-state planning
+//!   allocates only for the meta it emits.
+//! * **Buffer pooling** — output matrices, executor arenas, and the
+//!   spike-chain ping-pong buffers are recycled across layers, calls, and
+//!   (via the [`BatchScheduler`]'s persistent lanes) whole traces.
+//! * **Row-tile parallelism** — with the `parallel` feature (default),
+//!   execution distributes row-tiles across threads exactly like
+//!   [`crate::exec::execute_plan`], with bit-identical results; the
+//!   `*_serial` entry points remain the oracle.
+//!
+//! Losslessness is preserved throughout: for any input,
+//! [`Session::gemm_into`] produces bit-for-bit the output of
+//! [`crate::exec::prosparsity_gemm`] (and thus of the reference
+//! [`spikemat::gemm::spiking_gemm`]) — whatever the cache backend,
+//! admission decisions, scheduling policy, or number of concurrent
+//! sessions. Plans are pure functions of tile content, so sharing them can
+//! change *who* plans, never *what* runs. Cache effectiveness is surfaced
+//! through [`EngineStats`] / [`SharedCacheStats`].
+
+pub mod batch;
+pub mod cache;
+pub(crate) mod pool;
+pub mod session;
+pub mod shared;
+pub mod stats;
+
+pub use batch::{BatchPolicy, BatchScheduler, TraceStep};
+pub use cache::AdmissionConfig;
+pub use session::{Engine, Session};
+pub use shared::SharedPlanCache;
+pub use stats::{EngineStats, SharedCacheStats};
+
+use serde::{Deserialize, Serialize};
+use spikemat::gemm::OutputMatrix;
+use spikemat::{SpikeMatrix, TileShape};
+use std::ops::AddAssign;
+
+/// Element types the engine can accumulate.
+///
+/// With the `parallel` feature this additionally requires `Send + Sync` so
+/// row-tiles can execute across threads; every integer and float type
+/// qualifies either way.
+#[cfg(feature = "parallel")]
+pub trait Element: Copy + Default + AddAssign + Send + Sync {}
+#[cfg(feature = "parallel")]
+impl<T: Copy + Default + AddAssign + Send + Sync> Element for T {}
+
+/// Element types the engine can accumulate (serial build).
+#[cfg(not(feature = "parallel"))]
+pub trait Element: Copy + Default + AddAssign {}
+#[cfg(not(feature = "parallel"))]
+impl<T: Copy + Default + AddAssign> Element for T {}
+
+/// Session construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Accelerator tile geometry every GeMM is decomposed under.
+    pub tile: TileShape,
+    /// Maximum number of cached tile plans (LRU evicted beyond this);
+    /// 0 disables the cache entirely. For a session created with
+    /// [`Session::with_shared`], capacity belongs to the shared cache and
+    /// this field is ignored.
+    pub cache_capacity: usize,
+    /// Adaptive cache-insertion bypass; `None` always admits (the
+    /// historical behaviour).
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl EngineConfig {
+    /// Config with the given tile geometry and cache capacity, no
+    /// admission policy.
+    pub fn new(tile: TileShape, cache_capacity: usize) -> Self {
+        Self {
+            tile,
+            cache_capacity,
+            admission: None,
+        }
+    }
+
+    /// Enables the adaptive insertion-bypass policy.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    /// The paper's default tile geometry with a 1024-plan cache (roughly
+    /// 25 MB of meta information at the default 256×16 tile).
+    fn default() -> Self {
+        Self::new(TileShape::prosperity_default(), 1024)
+    }
+}
+
+/// Binarizes an integer/float output into spikes: bit `(i, j)` fires iff
+/// `values[i][j] >= threshold`. `out` is resized in place (the session's
+/// pooled layer-chaining step).
+pub fn threshold_spikes<T: Copy + Default + AddAssign + PartialOrd>(
+    values: &OutputMatrix<T>,
+    threshold: T,
+    out: &mut SpikeMatrix,
+) {
+    out.reset(values.rows(), values.cols());
+    for i in 0..values.rows() {
+        for (j, v) in values.row(i).iter().enumerate() {
+            if *v >= threshold {
+                out.set(i, j, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_spikes_binarizes() {
+        let mut o = OutputMatrix::<i64>::zeros(2, 3);
+        o.accumulate_row(0, &[3, -1, 2]);
+        o.accumulate_row(1, &[0, 2, 1]);
+        let mut s = SpikeMatrix::zeros(9, 9);
+        threshold_spikes(&o, 2, &mut s);
+        assert_eq!(s, SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[0, 1, 0]]));
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let c =
+            EngineConfig::new(TileShape::new(4, 4), 8).with_admission(AdmissionConfig::default());
+        assert_eq!(c.cache_capacity, 8);
+        assert!(c.admission.is_some());
+        assert_eq!(EngineConfig::default().admission, None);
+    }
+}

@@ -1,0 +1,524 @@
+//! One serving session: plan cache handle, planner scratch, and pooled
+//! buffers that persist across GeMMs, layers, and timesteps.
+
+use std::sync::Arc;
+
+use crate::exec::{execute_row_tile, TileExec};
+use crate::plan::{PlanScratch, TileMeta};
+use spikemat::gemm::{OutputMatrix, WeightMatrix};
+use spikemat::SpikeMatrix;
+
+use super::cache::{hash_tile, InsertOutcome, PlanCache};
+use super::pool::BufferPool;
+use super::shared::SharedPlanCache;
+use super::stats::EngineStats;
+use super::{Element, EngineConfig};
+
+/// A cached plan placed at a concrete grid position.
+#[derive(Debug, Clone)]
+struct PlacedTile {
+    meta: Arc<TileMeta>,
+    col_start: usize,
+    valid_rows: usize,
+}
+
+impl TileExec for PlacedTile {
+    fn meta(&self) -> &TileMeta {
+        &self.meta
+    }
+    fn col_start(&self) -> usize {
+        self.col_start
+    }
+    fn valid_rows(&self) -> usize {
+        self.valid_rows
+    }
+}
+
+/// The session's plan-cache backend.
+#[derive(Debug)]
+enum CacheSlot {
+    /// Caching disabled (`cache_capacity == 0`): every tile is planned.
+    Off,
+    /// A session-private LRU.
+    Private(PlanCache),
+    /// A handle onto a concurrent cache shared with other sessions.
+    Shared(Arc<SharedPlanCache>),
+}
+
+/// Cached geometry of the last [`Session::forward_chain`] call: the
+/// validated layer dimensions, so repeated chain executions (the serving
+/// steady state) compare a few integers instead of re-deriving and
+/// re-asserting every layer's shape inside the hot loop.
+#[derive(Debug, Default)]
+struct ChainLayout {
+    input_k: usize,
+    /// `(k, n)` per layer, in chain order.
+    dims: Vec<(usize, usize)>,
+}
+
+impl ChainLayout {
+    /// Whether the cached layout covers exactly this input/layer geometry.
+    fn matches<T: Copy>(&self, input: &SpikeMatrix, layers: &[WeightMatrix<T>]) -> bool {
+        self.input_k == input.cols()
+            && self.dims.len() == layers.len()
+            && self
+                .dims
+                .iter()
+                .zip(layers)
+                .all(|(&(k, n), w)| k == w.rows() && n == w.cols())
+    }
+
+    /// Validates the chain once (input matches layer 0, adjacent layers
+    /// chain) and caches its dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any geometry mismatch.
+    fn rebuild<T: Copy>(&mut self, input: &SpikeMatrix, layers: &[WeightMatrix<T>]) {
+        assert_eq!(
+            input.cols(),
+            layers[0].rows(),
+            "forward_chain: input K={} does not match weight rows {}",
+            input.cols(),
+            layers[0].rows()
+        );
+        for (i, pair) in layers.windows(2).enumerate() {
+            assert_eq!(
+                pair[0].cols(),
+                pair[1].rows(),
+                "forward_chain: layer {} output N={} does not chain into layer {} K={}",
+                i,
+                pair[0].cols(),
+                i + 1,
+                pair[1].rows()
+            );
+        }
+        self.input_k = input.cols();
+        self.dims.clear();
+        self.dims
+            .extend(layers.iter().map(|w| (w.rows(), w.cols())));
+    }
+}
+
+/// A reusable end-to-end execution session: plan cache, planner scratch, and
+/// buffer pools that persist across GeMMs, layers, and timesteps.
+///
+/// One session serves one logical stream of spiking GeMMs (a model being
+/// replayed timestep after timestep). It is `&mut self` throughout — share
+/// *streams* across threads by giving each its own session; *within* one
+/// call the session parallelizes across row-tiles. To share planning work
+/// across concurrent streams, construct the sessions over one
+/// [`SharedPlanCache`] ([`Session::with_shared`]) or drive them through a
+/// [`BatchScheduler`](super::BatchScheduler).
+///
+/// ```
+/// use prosperity_core::engine::Engine;
+/// use spikemat::gemm::{spiking_gemm, OutputMatrix, WeightMatrix};
+/// use spikemat::SpikeMatrix;
+///
+/// let mut engine = Engine::<i64>::default();
+/// let spikes = SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[1, 0, 1]]);
+/// let weights = WeightMatrix::from_fn(3, 2, |r, c| (r + c) as i64);
+/// let mut out = OutputMatrix::zeros(0, 0);
+/// engine.gemm_into(&spikes, &weights, &mut out);
+/// assert_eq!(out, spiking_gemm(&spikes, &weights));
+/// ```
+#[derive(Debug)]
+pub struct Session<T = i64> {
+    config: EngineConfig,
+    cache: CacheSlot,
+    plan_scratch: PlanScratch,
+    /// Scratch tile for extraction + hashing.
+    tile_buf: SpikeMatrix,
+    /// The current GeMM's placed tiles, row-major; reused across calls.
+    tiles: Vec<PlacedTile>,
+    /// k-tiles per row group of the current GeMM.
+    gk: usize,
+    pool: BufferPool<T>,
+    /// Pooled output recycled by [`Session::run_layers`] / chaining.
+    chain_out: OutputMatrix<T>,
+    /// Spike-chain ping-pong buffers for [`Session::forward_chain`].
+    chain_a: SpikeMatrix,
+    chain_b: SpikeMatrix,
+    /// Validated geometry of the last chain call.
+    chain_layout: ChainLayout,
+    stats: EngineStats,
+}
+
+/// The historical name of [`Session`]: PR 2 introduced the engine as a
+/// single-stream type; the serving refactor split it into the
+/// `engine::{cache, shared, pool, session, batch, stats}` tree and `Engine` now
+/// aliases the session layer.
+pub type Engine<T = i64> = Session<T>;
+
+impl<T: Element> Default for Session<T> {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl<T: Element> Session<T> {
+    /// Creates a session with a private plan cache (or none when
+    /// `config.cache_capacity == 0`).
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = if config.cache_capacity == 0 {
+            CacheSlot::Off
+        } else {
+            CacheSlot::Private(PlanCache::new(config.cache_capacity, config.admission))
+        };
+        Self::build(config, cache)
+    }
+
+    /// Creates a session planning through a cache shared with other
+    /// sessions. The shared cache owns capacity and admission policy;
+    /// `config.cache_capacity`/`config.admission` are ignored in this mode.
+    pub fn with_shared(config: EngineConfig, shared: Arc<SharedPlanCache>) -> Self {
+        Self::build(config, CacheSlot::Shared(shared))
+    }
+
+    fn build(config: EngineConfig, cache: CacheSlot) -> Self {
+        Self {
+            config,
+            cache,
+            plan_scratch: PlanScratch::new(),
+            tile_buf: SpikeMatrix::zeros(0, 0),
+            tiles: Vec::new(),
+            gk: 0,
+            pool: BufferPool::default(),
+            chain_out: OutputMatrix::zeros(0, 0),
+            chain_a: SpikeMatrix::zeros(0, 0),
+            chain_b: SpikeMatrix::zeros(0, 0),
+            chain_layout: ChainLayout::default(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The shared cache this session plans through, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedPlanCache>> {
+        match &self.cache {
+            CacheSlot::Shared(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Cache/reuse counters accumulated since the last
+    /// [`Session::reset_stats`].
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics counters (the cache itself is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Number of tile plans currently resident in this session's cache
+    /// (for a shared cache: all sessions' plans).
+    pub fn cached_plans(&self) -> usize {
+        match &self.cache {
+            CacheSlot::Off => 0,
+            CacheSlot::Private(c) => c.len(),
+            CacheSlot::Shared(s) => s.len(),
+        }
+    }
+
+    /// Drops every cached plan (capacity is unchanged). On a shared cache
+    /// this clears the plans of *every* session sharing it.
+    pub fn clear_cache(&mut self) {
+        match &mut self.cache {
+            CacheSlot::Off => {}
+            CacheSlot::Private(c) => c.clear(),
+            CacheSlot::Shared(s) => s.clear(),
+        }
+    }
+
+    /// Plans one spike matrix through the tile cache, leaving the placed
+    /// tiles in `self.tiles` (row-major).
+    fn plan(&mut self, spikes: &SpikeMatrix) {
+        let shape = self.config.tile;
+        let (gm, gk) = shape.grid(spikes.rows(), spikes.cols());
+        self.gk = gk;
+        self.tiles.clear();
+        let mut tile_buf = std::mem::take(&mut self.tile_buf);
+        for ti in 0..gm {
+            let row_start = ti * shape.m;
+            let valid_rows = (spikes.rows() - row_start).min(shape.m);
+            for tj in 0..gk {
+                let col_start = tj * shape.k;
+                spikes.submatrix_into(row_start, col_start, shape.m, shape.k, &mut tile_buf);
+                self.stats.tiles += 1;
+                let meta = Self::plan_tile(
+                    &mut self.cache,
+                    &mut self.plan_scratch,
+                    &mut self.stats,
+                    &tile_buf,
+                );
+                self.tiles.push(PlacedTile {
+                    meta,
+                    col_start,
+                    valid_rows,
+                });
+            }
+        }
+        self.tile_buf = tile_buf;
+    }
+
+    /// Resolves one extracted tile to a plan: cache hit, or plan-and-offer.
+    ///
+    /// For the shared backend, planning happens *outside* the shard lock so
+    /// concurrent sessions overlap their Detector/Pruner work; the offer
+    /// afterwards deduplicates racing planners (identical by construction —
+    /// planning is a pure function of the tile bits).
+    fn plan_tile(
+        cache: &mut CacheSlot,
+        scratch: &mut PlanScratch,
+        stats: &mut EngineStats,
+        tile: &SpikeMatrix,
+    ) -> Arc<TileMeta> {
+        let fresh = |scratch: &mut PlanScratch| {
+            let (meta, _) = TileMeta::build_with(tile, 0, 0, scratch);
+            Arc::new(meta)
+        };
+        match cache {
+            CacheSlot::Off => {
+                stats.cache_misses += 1;
+                fresh(scratch)
+            }
+            CacheSlot::Private(cache) => {
+                let hash = hash_tile(tile);
+                if let Some(meta) = cache.lookup(hash, tile) {
+                    stats.cache_hits += 1;
+                    return meta;
+                }
+                stats.cache_misses += 1;
+                let meta = fresh(scratch);
+                match cache.insert(hash, tile, Arc::clone(&meta)) {
+                    InsertOutcome::Inserted => {}
+                    InsertOutcome::Evicted => stats.cache_evictions += 1,
+                    InsertOutcome::Bypassed => stats.cache_bypasses += 1,
+                    InsertOutcome::Deduplicated => unreachable!("private cache never dedups"),
+                }
+                meta
+            }
+            CacheSlot::Shared(shared) => {
+                let hash = hash_tile(tile);
+                if let Some(meta) = shared.lookup(hash, tile) {
+                    stats.cache_hits += 1;
+                    return meta;
+                }
+                stats.cache_misses += 1;
+                let (meta, outcome) = shared.insert(hash, tile, fresh(scratch));
+                match outcome {
+                    // Deduplicated: a racing session won the insert; the
+                    // resident plan is used and no admission bypass is
+                    // recorded (none happened).
+                    InsertOutcome::Inserted | InsertOutcome::Deduplicated => {}
+                    InsertOutcome::Evicted => stats.cache_evictions += 1,
+                    InsertOutcome::Bypassed => stats.cache_bypasses += 1,
+                }
+                meta
+            }
+        }
+    }
+
+    /// Executes one spiking GeMM into `out` (resized in place, so a reused
+    /// buffer makes the call allocation-free apart from cache insertions).
+    ///
+    /// Bit-identical to [`crate::exec::prosparsity_gemm`] with this
+    /// session's tile shape; row-tiles run across threads with the
+    /// `parallel` feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.cols() != weights.rows()`.
+    pub fn gemm_into(
+        &mut self,
+        spikes: &SpikeMatrix,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+    ) {
+        self.gemm_prepare(spikes, weights, out, true);
+        self.execute_current(weights, out);
+    }
+
+    /// Strictly single-threaded [`Session::gemm_into`]; the oracle the
+    /// parallel path is property-tested against. Cache behaviour (and thus
+    /// [`EngineStats`]) is identical.
+    pub fn gemm_into_serial(
+        &mut self,
+        spikes: &SpikeMatrix,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+    ) {
+        self.gemm_prepare(spikes, weights, out, true);
+        self.execute_current_serial(weights, out);
+    }
+
+    /// Convenience [`Session::gemm_into`] allocating a fresh output.
+    pub fn gemm(&mut self, spikes: &SpikeMatrix, weights: &WeightMatrix<T>) -> OutputMatrix<T> {
+        let mut out = OutputMatrix::zeros(0, 0);
+        self.gemm_into(spikes, weights, &mut out);
+        out
+    }
+
+    /// Shared plan + output-shape phase of the `gemm_into*` entry points.
+    /// `check_dims` is false only on chain-internal calls whose geometry
+    /// the cached [`ChainLayout`] already validated.
+    fn gemm_prepare(
+        &mut self,
+        spikes: &SpikeMatrix,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+        check_dims: bool,
+    ) {
+        if check_dims {
+            assert_eq!(
+                spikes.cols(),
+                weights.rows(),
+                "engine: spike K={} does not match weight rows {}",
+                spikes.cols(),
+                weights.rows()
+            );
+        } else {
+            debug_assert_eq!(spikes.cols(), weights.rows());
+        }
+        self.stats.gemms += 1;
+        self.plan(spikes);
+        out.reset(spikes.rows(), weights.cols());
+    }
+
+    /// Executes the tiles placed by the last `plan` call into `out`.
+    #[cfg(feature = "parallel")]
+    fn execute_current(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
+        use rayon::prelude::*;
+        let n = weights.cols();
+        if self.tiles.is_empty() || n == 0 {
+            return;
+        }
+        let chunk_elems = self.config.tile.m * n;
+        let gk = self.gk;
+        let row_chunks: Vec<(usize, &mut [T])> = out
+            .as_mut_slice()
+            .chunks_mut(chunk_elems)
+            .enumerate()
+            .collect();
+        row_chunks.into_par_iter().for_each(|(ti, chunk)| {
+            let mut s = self.pool.take_exec();
+            execute_row_tile(
+                &self.tiles[ti * gk..(ti + 1) * gk],
+                weights,
+                chunk,
+                &mut s.arena,
+                &mut s.parents,
+                &mut s.simple,
+                n,
+            );
+            self.pool.put_exec(s);
+        });
+    }
+
+    /// Executes the tiles placed by the last `plan` call into `out`.
+    #[cfg(not(feature = "parallel"))]
+    fn execute_current(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
+        self.execute_current_serial(weights, out);
+    }
+
+    /// Serial row-tile sweep over the placed tiles.
+    fn execute_current_serial(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
+        let n = weights.cols();
+        if self.tiles.is_empty() || n == 0 {
+            return;
+        }
+        let chunk_elems = self.config.tile.m * n;
+        let gk = self.gk;
+        let mut s = self.pool.take_exec();
+        for (ti, chunk) in out.as_mut_slice().chunks_mut(chunk_elems).enumerate() {
+            execute_row_tile(
+                &self.tiles[ti * gk..(ti + 1) * gk],
+                weights,
+                chunk,
+                &mut s.arena,
+                &mut s.parents,
+                &mut s.simple,
+                n,
+            );
+        }
+        self.pool.put_exec(s);
+    }
+
+    /// Executes a stream of recorded `(spikes, weights)` GeMMs — e.g. the
+    /// layers of a model trace — through one pooled output buffer. `sink`
+    /// observes each layer's output before the buffer is recycled for the
+    /// next layer.
+    pub fn run_layers<'a, I, F>(&mut self, layers: I, mut sink: F)
+    where
+        T: 'a,
+        I: IntoIterator<Item = (&'a SpikeMatrix, &'a WeightMatrix<T>)>,
+        F: FnMut(usize, &OutputMatrix<T>),
+    {
+        let mut out = std::mem::take(&mut self.chain_out);
+        for (i, (spikes, weights)) in layers.into_iter().enumerate() {
+            self.gemm_into(spikes, weights, &mut out);
+            sink(i, &out);
+        }
+        self.chain_out = out;
+    }
+
+    /// Runs a feed-forward chain: layer `ℓ`'s integer output is thresholded
+    /// (`v >= threshold` fires) into the spike input of layer `ℓ+1`, using
+    /// the session's pooled ping-pong buffers, and the final layer's spikes
+    /// are left in `out_spikes` (resized in place). No steady-state
+    /// allocation once the pools are warm.
+    ///
+    /// Chain geometry is validated once and cached in a `ChainLayout`;
+    /// repeated calls with the same layer shapes (the serving steady state)
+    /// skip per-layer shape re-derivation inside the hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, the input does not match the first
+    /// layer, or adjacent layer shapes do not chain (`N_ℓ != K_{ℓ+1}`).
+    pub fn forward_chain(
+        &mut self,
+        input: &SpikeMatrix,
+        layers: &[WeightMatrix<T>],
+        threshold: T,
+        out_spikes: &mut SpikeMatrix,
+    ) where
+        T: PartialOrd,
+    {
+        assert!(!layers.is_empty(), "forward_chain needs at least one layer");
+        if !self.chain_layout.matches(input, layers) {
+            let mut layout = std::mem::take(&mut self.chain_layout);
+            layout.rebuild(input, layers);
+            self.chain_layout = layout;
+        }
+        let mut acc = std::mem::take(&mut self.chain_out);
+        let mut ping = std::mem::take(&mut self.chain_a);
+        let mut pong = std::mem::take(&mut self.chain_b);
+        for (i, weights) in layers.iter().enumerate() {
+            {
+                let src: &SpikeMatrix = if i == 0 { input } else { &ping };
+                self.gemm_prepare(src, weights, &mut acc, false);
+                self.execute_current(weights, &mut acc);
+            }
+            super::threshold_spikes(&acc, threshold, &mut pong);
+            std::mem::swap(&mut ping, &mut pong);
+        }
+        // Final spikes are in `ping`; hand them to the caller and keep the
+        // other buffer (plus whatever the caller passed in) pooled.
+        std::mem::swap(out_spikes, &mut ping);
+        self.chain_out = acc;
+        self.chain_a = ping;
+        self.chain_b = pong;
+    }
+}
+
+#[cfg(test)]
+#[path = "session_tests.rs"]
+mod tests;

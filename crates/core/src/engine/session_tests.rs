@@ -1,0 +1,285 @@
+//! Unit tests (kept beside the module, out of its main file).
+
+use super::super::threshold_spikes;
+use super::*;
+use crate::exec::prosparsity_gemm;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spikemat::gemm::spiking_gemm;
+use spikemat::TileShape;
+
+fn random_case(rng: &mut StdRng) -> (SpikeMatrix, WeightMatrix<i64>) {
+    let m = rng.gen_range(1..50);
+    let k = rng.gen_range(1..40);
+    let n = rng.gen_range(1..8);
+    let s = SpikeMatrix::random(m, k, rng.gen_range(0.05..0.6), rng);
+    let w = WeightMatrix::from_fn(k, n, |_, _| rng.gen_range(-50i64..50));
+    (s, w)
+}
+
+#[test]
+fn engine_matches_reference_across_random_cases() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for trial in 0..20 {
+        let (s, w) = random_case(&mut rng);
+        let tile = TileShape::new(rng.gen_range(1..=16), rng.gen_range(1..=16));
+        let mut engine = Engine::new(EngineConfig::new(tile, rng.gen_range(0..8)));
+        let mut out = OutputMatrix::zeros(0, 0);
+        engine.gemm_into(&s, &w, &mut out);
+        assert_eq!(out, spiking_gemm(&s, &w), "trial {trial}");
+        assert_eq!(out, prosparsity_gemm(&s, &w, tile), "trial {trial}");
+    }
+}
+
+#[test]
+fn serial_and_parallel_paths_agree() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..10 {
+        let (s, w) = random_case(&mut rng);
+        let tile = TileShape::new(rng.gen_range(1..=12), rng.gen_range(1..=12));
+        let mut engine = Engine::new(EngineConfig::new(tile, 16));
+        let mut a = OutputMatrix::zeros(0, 0);
+        let mut b = OutputMatrix::zeros(0, 0);
+        engine.gemm_into(&s, &w, &mut a);
+        engine.gemm_into_serial(&s, &w, &mut b);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn repeated_matrix_hits_cache_and_stays_lossless() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let s = SpikeMatrix::random(64, 32, 0.3, &mut rng);
+    let w = WeightMatrix::from_fn(32, 4, |r, c| (r * 7 + c) as i64 - 9);
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(16, 16), 64));
+    let reference = spiking_gemm(&s, &w);
+    let mut out = OutputMatrix::zeros(0, 0);
+    engine.gemm_into(&s, &w, &mut out);
+    let misses_first = engine.stats().cache_misses;
+    assert_eq!(out, reference);
+    engine.gemm_into(&s, &w, &mut out);
+    assert_eq!(out, reference);
+    let stats = engine.stats();
+    assert_eq!(stats.gemms, 2);
+    // Second pass must be all hits.
+    assert_eq!(stats.cache_misses, misses_first);
+    assert_eq!(stats.cache_hits, misses_first);
+    assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+}
+
+#[test]
+fn identical_tiles_within_one_matrix_share_a_plan() {
+    // Two identical 4-row bands → the second band's tile is a hit even
+    // on the very first GeMM.
+    let band = [
+        &[1u8, 0, 1, 0][..],
+        &[1, 0, 0, 1],
+        &[1, 0, 1, 1],
+        &[0, 1, 0, 0],
+    ];
+    let rows: Vec<&[u8]> = band.iter().chain(band.iter()).copied().collect();
+    let s = SpikeMatrix::from_rows_of_bits(&rows);
+    let w = WeightMatrix::from_fn(4, 3, |r, c| (r + 2 * c) as i64);
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(4, 4), 8));
+    let mut out = OutputMatrix::zeros(0, 0);
+    engine.gemm_into(&s, &w, &mut out);
+    assert_eq!(out, spiking_gemm(&s, &w));
+    let stats = engine.stats();
+    assert_eq!(stats.tiles, 2);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn lru_evicts_oldest_and_result_stays_exact() {
+    let mut rng = StdRng::seed_from_u64(14);
+    // Capacity 2 with 4 distinct tiles per GeMM → constant eviction.
+    let s = SpikeMatrix::random(16, 16, 0.4, &mut rng);
+    let w = WeightMatrix::from_fn(16, 3, |r, c| (r * 3 + c) as i64 - 20);
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(4, 16), 2));
+    let reference = spiking_gemm(&s, &w);
+    let mut out = OutputMatrix::zeros(0, 0);
+    for _ in 0..3 {
+        engine.gemm_into(&s, &w, &mut out);
+        assert_eq!(out, reference);
+    }
+    let stats = engine.stats();
+    assert!(stats.cache_evictions > 0, "{stats:?}");
+    assert!(engine.cached_plans() <= 2);
+}
+
+#[test]
+fn zero_capacity_disables_cache() {
+    let mut rng = StdRng::seed_from_u64(15);
+    let s = SpikeMatrix::random(20, 10, 0.3, &mut rng);
+    let w = WeightMatrix::from_fn(10, 2, |r, c| (r + c) as i64);
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(8, 8), 0));
+    let mut out = OutputMatrix::zeros(0, 0);
+    engine.gemm_into(&s, &w, &mut out);
+    engine.gemm_into(&s, &w, &mut out);
+    assert_eq!(out, spiking_gemm(&s, &w));
+    assert_eq!(engine.stats().cache_hits, 0);
+    assert_eq!(engine.cached_plans(), 0);
+}
+
+#[test]
+fn shared_sessions_see_each_others_plans() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let s = SpikeMatrix::random(64, 32, 0.3, &mut rng);
+    let w = WeightMatrix::from_fn(32, 4, |r, c| (r * 5 + c) as i64 - 7);
+    let shared = Arc::new(SharedPlanCache::new(256));
+    let config = EngineConfig::new(TileShape::new(16, 16), 0);
+    let mut a = Session::with_shared(config, Arc::clone(&shared));
+    let mut b = Session::with_shared(config, Arc::clone(&shared));
+    let reference = spiking_gemm(&s, &w);
+    let mut out = OutputMatrix::zeros(0, 0);
+    a.gemm_into(&s, &w, &mut out);
+    assert_eq!(out, reference);
+    let a_misses = a.stats().cache_misses;
+    assert!(a_misses > 0);
+    // Session B planned nothing: every tile was warmed by A.
+    b.gemm_into(&s, &w, &mut out);
+    assert_eq!(out, reference);
+    assert_eq!(b.stats().cache_misses, 0);
+    assert_eq!(b.stats().cache_hits, a_misses + a.stats().cache_hits);
+    assert!(a.shared_cache().is_some());
+    assert_eq!(a.cached_plans(), shared.len());
+    // Shared-cache counters audit the combined traffic.
+    let cs = shared.stats();
+    assert_eq!(cs.misses, a_misses);
+    assert_eq!(cs.insertions, a_misses);
+}
+
+#[test]
+fn admission_bypass_keeps_results_exact() {
+    // A stream of all-distinct matrices: admission closes after the
+    // first window, bypassed tiles still execute losslessly.
+    let mut rng = StdRng::seed_from_u64(33);
+    let config =
+        EngineConfig::new(TileShape::new(8, 8), 64).with_admission(super::super::AdmissionConfig {
+            window: 16,
+            min_hit_permille: 100,
+            probe_period: 8,
+        });
+    let mut engine = Engine::new(config);
+    let mut out = OutputMatrix::zeros(0, 0);
+    for _ in 0..12 {
+        let s = SpikeMatrix::random(24, 24, 0.5, &mut rng);
+        let w = WeightMatrix::from_fn(24, 3, |r, c| (r + c) as i64 - 11);
+        engine.gemm_into(&s, &w, &mut out);
+        assert_eq!(out, spiking_gemm(&s, &w));
+    }
+    let stats = engine.stats();
+    assert!(stats.cache_bypasses > 0, "{stats:?}");
+    // Bypassed plans never displaced anything.
+    assert!(engine.cached_plans() <= 64);
+}
+
+#[test]
+fn run_layers_recycles_one_output_buffer() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let layers: Vec<(SpikeMatrix, WeightMatrix<i64>)> =
+        (0..4).map(|_| random_case(&mut rng)).collect();
+    let mut engine = Engine::<i64>::default();
+    let mut seen = 0;
+    engine.run_layers(layers.iter().map(|(s, w)| (s, w)), |i, out| {
+        assert_eq!(out, &spiking_gemm(&layers[i].0, &layers[i].1));
+        seen += 1;
+    });
+    assert_eq!(seen, 4);
+    assert_eq!(engine.stats().gemms, 4);
+}
+
+#[test]
+fn forward_chain_matches_manual_loop() {
+    let mut rng = StdRng::seed_from_u64(18);
+    let input = SpikeMatrix::random(24, 12, 0.35, &mut rng);
+    let dims = [12usize, 9, 7, 5];
+    let layers: Vec<WeightMatrix<i64>> = dims
+        .windows(2)
+        .map(|d| WeightMatrix::from_fn(d[0], d[1], |_, _| rng.gen_range(-3i64..4)))
+        .collect();
+    let threshold = 2i64;
+
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(8, 8), 32));
+    let mut got = SpikeMatrix::zeros(0, 0);
+    engine.forward_chain(&input, &layers, threshold, &mut got);
+
+    // Manual reference: gemm + threshold per layer.
+    let mut cur = input.clone();
+    for w in &layers {
+        let out = spiking_gemm(&cur, w);
+        let mut next = SpikeMatrix::zeros(0, 0);
+        threshold_spikes(&out, threshold, &mut next);
+        cur = next;
+    }
+    assert_eq!(got, cur);
+    // A second pass through the warmed engine (and cached ChainLayout)
+    // is identical.
+    let mut again = SpikeMatrix::zeros(0, 0);
+    engine.forward_chain(&input, &layers, threshold, &mut again);
+    assert_eq!(again, cur);
+    assert!(engine.stats().cache_hits > 0);
+}
+
+#[test]
+#[should_panic(expected = "does not chain")]
+fn forward_chain_rejects_broken_adjacency() {
+    let mut engine = Engine::<i64>::default();
+    let input = SpikeMatrix::zeros(4, 8);
+    let layers = vec![
+        WeightMatrix::from_fn(8, 6, |_, _| 1i64),
+        WeightMatrix::from_fn(5, 3, |_, _| 1i64), // 6 != 5
+    ];
+    let mut out = SpikeMatrix::zeros(0, 0);
+    engine.forward_chain(&input, &layers, 1, &mut out);
+}
+
+#[test]
+fn chain_layout_revalidates_on_geometry_change() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(8, 8), 32));
+    let mut got = SpikeMatrix::zeros(0, 0);
+    for dims in [[10usize, 8, 6], [12usize, 5, 9]] {
+        let input = SpikeMatrix::random(16, dims[0], 0.3, &mut rng);
+        let layers: Vec<WeightMatrix<i64>> = dims
+            .windows(2)
+            .map(|d| WeightMatrix::from_fn(d[0], d[1], |_, _| rng.gen_range(-3i64..4)))
+            .collect();
+        engine.forward_chain(&input, &layers, 1, &mut got);
+        let mut cur = input.clone();
+        for w in &layers {
+            let out = spiking_gemm(&cur, w);
+            let mut next = SpikeMatrix::zeros(0, 0);
+            threshold_spikes(&out, 1, &mut next);
+            cur = next;
+        }
+        assert_eq!(got, cur, "dims {dims:?}");
+    }
+}
+
+#[test]
+fn empty_and_degenerate_shapes() {
+    let mut engine = Engine::<i64>::default();
+    let mut out = OutputMatrix::zeros(0, 0);
+    // Zero output columns.
+    let s = SpikeMatrix::random(5, 4, 0.5, &mut StdRng::seed_from_u64(1));
+    let w0 = WeightMatrix::from_fn(4, 0, |_, _| 0i64);
+    engine.gemm_into(&s, &w0, &mut out);
+    assert_eq!((out.rows(), out.cols()), (5, 0));
+    // Zero-row spike matrix.
+    let empty = SpikeMatrix::zeros(0, 4);
+    let w = WeightMatrix::from_fn(4, 3, |_, _| 1i64);
+    engine.gemm_into(&empty, &w, &mut out);
+    assert_eq!((out.rows(), out.cols()), (0, 3));
+}
+
+#[test]
+#[should_panic(expected = "does not match weight rows")]
+fn shape_mismatch_panics() {
+    let mut engine = Engine::<i64>::default();
+    let s = SpikeMatrix::zeros(2, 3);
+    let w = WeightMatrix::from_fn(4, 2, |_, _| 0i64);
+    let mut out = OutputMatrix::zeros(0, 0);
+    engine.gemm_into(&s, &w, &mut out);
+}

@@ -1,0 +1,213 @@
+//! The concurrent shard layer over the plan cache: a [`SharedPlanCache`]
+//! any number of sessions hit together.
+
+use crate::plan::TileMeta;
+use spikemat::SpikeMatrix;
+use std::sync::{Arc, Mutex};
+
+use super::cache::{AdmissionConfig, InsertOutcome, PlanCache};
+use super::stats::SharedCacheStats;
+
+/// Per-shard aggregate counters, updated under the shard lock.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardCounters {
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    bypasses: u64,
+    dedups: u64,
+}
+
+/// One lock domain of the shared cache.
+#[derive(Debug)]
+struct Shard {
+    cache: PlanCache,
+    counters: ShardCounters,
+}
+
+/// A concurrent tile-plan cache shared by any number of sessions.
+///
+/// The key space is split across `2^shard_bits` independent shards by the
+/// top bits of the content hash; each shard is a content-addressed LRU
+/// behind its
+/// own mutex, so sessions planning concurrently contend only when their
+/// tiles land in the same shard. Misses are planned *outside* the lock and
+/// offered afterwards through an insert that deduplicates racing
+/// planners: if another session inserted the same tile first, the resident
+/// plan is returned and the duplicate dropped, so memory is shared and
+/// results are (trivially — planning is deterministic) bit-identical.
+///
+/// Eviction is per shard (capacity is divided evenly), so global recency is
+/// approximate; with a content-addressed cache this only affects *which*
+/// plan is evicted, never correctness.
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_bits: u32,
+    capacity: usize,
+}
+
+impl SharedPlanCache {
+    /// Default shard count: enough lanes that a handful of concurrent
+    /// sessions rarely collide, without fragmenting small capacities.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates a shared cache with `capacity` total plans across
+    /// [`SharedPlanCache::DEFAULT_SHARDS`] shards and no admission policy.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::DEFAULT_SHARDS, None)
+    }
+
+    /// Creates a shared cache with an explicit shard count (rounded up to a
+    /// power of two, at least 1) and optional admission policy. The
+    /// requested `capacity` is divided evenly across shards, rounding each
+    /// shard *up* so a tiny capacity still gives every shard at least one
+    /// slot; [`SharedPlanCache::capacity`] reports the resulting effective
+    /// total (`per_shard × shards`, ≥ the request), so `resident` can never
+    /// exceed the advertised capacity.
+    pub fn with_shards(capacity: usize, shards: usize, admission: Option<AdmissionConfig>) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shard_bits = n.trailing_zeros();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(n)
+        };
+        let capacity = per_shard * n;
+        let shards = (0..n)
+            .map(|_| {
+                Mutex::new(Shard {
+                    cache: PlanCache::new(per_shard, admission),
+                    counters: ShardCounters::default(),
+                })
+            })
+            .collect();
+        Self {
+            shards,
+            shard_bits,
+            capacity,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Effective total plan capacity across all shards (the construction
+    /// request rounded up to a whole number of slots per shard).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Plans currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").cache.len())
+            .sum()
+    }
+
+    /// Whether no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan in every shard (capacity unchanged). Affects
+    /// all sessions sharing this cache.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().expect("shard poisoned").cache.clear();
+        }
+    }
+
+    /// Aggregate counters summed over shards at this instant.
+    pub fn stats(&self) -> SharedCacheStats {
+        let mut out = SharedCacheStats {
+            shards: self.shards.len(),
+            capacity: self.capacity,
+            ..SharedCacheStats::default()
+        };
+        for s in self.shards.iter() {
+            let s = s.lock().expect("shard poisoned");
+            out.hits += s.counters.hits;
+            out.misses += s.counters.misses;
+            out.insertions += s.counters.insertions;
+            out.evictions += s.counters.evictions;
+            out.bypasses += s.counters.bypasses;
+            out.dedups += s.counters.dedups;
+            out.resident += s.cache.len();
+        }
+        out
+    }
+
+    #[inline]
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+        // Top bits: decorrelated from the HashMap bucket index, which uses
+        // the low bits of the same hash.
+        let idx = if self.shard_bits == 0 {
+            0
+        } else {
+            (hash >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[idx]
+    }
+
+    /// Shard-locked lookup; refreshes recency and feeds that shard's
+    /// admission estimator.
+    pub(crate) fn lookup(&self, hash: u64, tile: &SpikeMatrix) -> Option<Arc<TileMeta>> {
+        let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
+        let found = shard.cache.lookup(hash, tile);
+        match found {
+            Some(_) => shard.counters.hits += 1,
+            None => shard.counters.misses += 1,
+        }
+        found
+    }
+
+    /// Lock-free-of-side-effects residency probe (affinity scheduling).
+    pub(crate) fn peek(&self, hash: u64, tile: &SpikeMatrix) -> bool {
+        self.shard_of(hash)
+            .lock()
+            .expect("shard poisoned")
+            .cache
+            .peek(hash, tile)
+    }
+
+    /// Offers a freshly planned tile; returns the plan to use plus the
+    /// insertion outcome. If a racing session inserted the same tile while
+    /// this one was planning, the resident plan wins (deduplication) and
+    /// the offer is dropped without counting as an insertion.
+    pub(crate) fn insert(
+        &self,
+        hash: u64,
+        tile: &SpikeMatrix,
+        meta: Arc<TileMeta>,
+    ) -> (Arc<TileMeta>, InsertOutcome) {
+        let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
+        // Dedup check: the offering session already counted its miss in
+        // `lookup`, so this probe feeds neither hit/miss counters nor
+        // admission; the race is recorded as its own outcome so the ledger
+        // stays balanced (insertions + bypasses + dedups == misses).
+        if let Some(resident) = shard.cache.get(hash, tile) {
+            shard.counters.dedups += 1;
+            return (resident, InsertOutcome::Deduplicated);
+        }
+        let outcome = shard.cache.insert(hash, tile, Arc::clone(&meta));
+        match outcome {
+            InsertOutcome::Inserted => shard.counters.insertions += 1,
+            InsertOutcome::Evicted => {
+                shard.counters.insertions += 1;
+                shard.counters.evictions += 1;
+            }
+            InsertOutcome::Bypassed => shard.counters.bypasses += 1,
+            InsertOutcome::Deduplicated => unreachable!("PlanCache never dedups"),
+        }
+        (meta, outcome)
+    }
+}
+
+#[cfg(test)]
+#[path = "shared_tests.rs"]
+mod tests;

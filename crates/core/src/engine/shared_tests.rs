@@ -1,0 +1,71 @@
+//! Unit tests (kept beside the module, out of its main file).
+
+use super::super::cache::hash_tile;
+use super::*;
+use spikemat::TileShape;
+
+fn tile_of(rows: &[&[u8]]) -> SpikeMatrix {
+    SpikeMatrix::from_rows_of_bits(rows)
+}
+
+#[test]
+fn shared_cache_dedupes_racing_inserts() {
+    let shared = SharedPlanCache::with_shards(64, 4, None);
+    let t = tile_of(&[&[1, 0, 1], &[1, 1, 0]]);
+    let h = hash_tile(&t);
+    let m1 = Arc::new(TileMeta::build(&t, 0, 0));
+    let m2 = Arc::new(TileMeta::build(&t, 0, 0));
+    let (kept1, o1) = shared.insert(h, &t, Arc::clone(&m1));
+    assert_eq!(o1, InsertOutcome::Inserted);
+    assert!(Arc::ptr_eq(&kept1, &m1));
+    // A racing planner offering the same tile gets the resident plan, and
+    // the race is ledgered as a dedup, not an admission bypass.
+    let (kept2, o2) = shared.insert(h, &t, m2);
+    assert_eq!(o2, InsertOutcome::Deduplicated);
+    assert!(Arc::ptr_eq(&kept2, &m1));
+    assert_eq!(shared.len(), 1);
+    let s = shared.stats();
+    assert_eq!(s.insertions, 1);
+    assert_eq!(s.bypasses, 0);
+    assert_eq!(s.dedups, 1);
+    assert_eq!(s.resident, 1);
+}
+
+#[test]
+fn shared_cache_spreads_and_clears() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let shared = SharedPlanCache::with_shards(256, 8, None);
+    assert_eq!(shared.shard_count(), 8);
+    let mut rng = StdRng::seed_from_u64(11);
+    let shape = TileShape::new(8, 16);
+    let mut resident = 0;
+    for _ in 0..64 {
+        let t = SpikeMatrix::random(shape.m, shape.k, 0.5, &mut rng);
+        let h = hash_tile(&t);
+        if shared.lookup(h, &t).is_none() {
+            let (_, o) = shared.insert(h, &t, Arc::new(TileMeta::build(&t, 0, 0)));
+            if o != InsertOutcome::Bypassed {
+                resident += 1;
+            }
+        }
+    }
+    assert_eq!(shared.len(), resident);
+    assert!(shared.stats().hits + shared.stats().misses >= 64);
+    shared.clear();
+    assert!(shared.is_empty());
+    assert_eq!(shared.stats().resident, 0);
+}
+
+#[test]
+fn shard_rounding_is_a_power_of_two() {
+    assert_eq!(SharedPlanCache::with_shards(16, 3, None).shard_count(), 4);
+    assert_eq!(SharedPlanCache::with_shards(16, 0, None).shard_count(), 1);
+    assert_eq!(SharedPlanCache::with_shards(0, 8, None).capacity(), 0);
+    // Effective capacity is the per-shard rounding times the shard count,
+    // so residency can never exceed what capacity() advertises.
+    let c = SharedPlanCache::with_shards(10, 8, None);
+    assert_eq!(c.capacity(), 16);
+    assert_eq!(c.stats().capacity, 16);
+    assert_eq!(SharedPlanCache::with_shards(4096, 8, None).capacity(), 4096);
+}

@@ -1,0 +1,157 @@
+//! Reuse counters for sessions and the shared plan cache.
+//!
+//! Every [`Session`](super::Session) keeps its own [`EngineStats`]; a
+//! serving deployment additionally snapshots the aggregate
+//! [`SharedCacheStats`] of its [`SharedPlanCache`](super::SharedPlanCache).
+//! Per-session counters are mergeable ([`EngineStats::merge`]) so a batch
+//! scheduler can report one fleet-wide row next to the per-session ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing how effectively one session is reusing work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// GeMMs executed.
+    pub gemms: u64,
+    /// Tiles encountered across all GeMMs.
+    pub tiles: u64,
+    /// Tiles whose plan was served from the cache (private or shared).
+    pub cache_hits: u64,
+    /// Tiles that had to be planned (includes every tile when the cache is
+    /// disabled).
+    pub cache_misses: u64,
+    /// Cached plans evicted to make room for this session's insertions.
+    pub cache_evictions: u64,
+    /// Freshly planned tiles whose insertion was skipped by the admission
+    /// policy (uncorrelated-stream bypass).
+    pub cache_bypasses: u64,
+}
+
+impl EngineStats {
+    /// Fraction of tiles served from the plan cache (0 when no tiles ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.tiles == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.tiles as f64
+        }
+    }
+
+    /// Accumulates another session's counters into this one — the batch
+    /// scheduler's fleet-wide view, and the way per-shard or per-worker
+    /// stats fold into one auditable row.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.gemms += other.gemms;
+        self.tiles += other.tiles;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_bypasses += other.cache_bypasses;
+    }
+
+    /// [`EngineStats::merge`] over any number of per-session stats.
+    pub fn merged<'a, I: IntoIterator<Item = &'a EngineStats>>(stats: I) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// Aggregate counters of a [`SharedPlanCache`](super::SharedPlanCache),
+/// summed over its shards at snapshot time.
+///
+/// Shared-cache counters are accumulated under the per-shard locks, so they
+/// see every session's traffic; they equal the merged per-session counters
+/// for lookups/insertions but additionally expose residency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedCacheStats {
+    /// Lookups answered from a shard.
+    pub hits: u64,
+    /// Lookups that missed every resident plan.
+    pub misses: u64,
+    /// Plans inserted (including re-insertions after eviction).
+    pub insertions: u64,
+    /// Plans evicted under capacity pressure.
+    pub evictions: u64,
+    /// Insertions skipped by the admission policy.
+    pub bypasses: u64,
+    /// Offers dropped because a racing session inserted the same tile
+    /// first (its resident plan was reused instead).
+    pub dedups: u64,
+    /// Plans resident at snapshot time.
+    pub resident: usize,
+    /// Number of shards the cache is split across.
+    pub shards: usize,
+    /// Total plan capacity across all shards.
+    pub capacity: usize,
+}
+
+impl SharedCacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = EngineStats {
+            gemms: 1,
+            tiles: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            cache_evictions: 2,
+            cache_bypasses: 1,
+        };
+        let b = EngineStats {
+            gemms: 2,
+            tiles: 30,
+            cache_hits: 20,
+            cache_misses: 10,
+            cache_evictions: 0,
+            cache_bypasses: 5,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(
+            m,
+            EngineStats {
+                gemms: 3,
+                tiles: 40,
+                cache_hits: 24,
+                cache_misses: 16,
+                cache_evictions: 2,
+                cache_bypasses: 6,
+            }
+        );
+        assert_eq!(EngineStats::merged([a, b].iter()), m);
+        assert!((m.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        assert_eq!(EngineStats::default().hit_rate(), 0.0);
+        assert_eq!(SharedCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_hit_rate() {
+        let s = SharedCacheStats {
+            hits: 3,
+            misses: 1,
+            ..SharedCacheStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

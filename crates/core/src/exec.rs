@@ -187,10 +187,12 @@ fn col_tile_count(plan: &ProSparsityPlan) -> usize {
 /// A planned tile the executor can replay: its meta information plus its
 /// placement in the source matrix.
 ///
-/// [`TileMeta`] carries its own placement; the execution engine instead
+/// [`TileMeta`] carries its own placement; the serving runtime instead
 /// replays *cached*, position-independent metas under per-instance
-/// placements, so the executor core is generic over this view.
-pub(crate) trait TileExec {
+/// placements — possibly borrowed (via `Arc`) from a plan cache shared
+/// with other sessions — so the executor core is generic over this view
+/// rather than over one concrete meta lifetime.
+pub trait TileExec {
     /// The planned meta information (rows, packed patterns, order).
     fn meta(&self) -> &TileMeta;
     /// First weight row this tile's patterns address.

@@ -28,10 +28,15 @@
 //!    same ProSparsity pipeline (transformer support, Sec. IV).
 //! 8. [`policy`] — prefix-selection policy ablation (largest-subset vs
 //!    cheaper alternatives; EM-only / PM-only contribution split).
-//! 9. [`engine`] — the end-to-end trace execution engine: a reusable
-//!    session that runs whole models through the kernels with a tile-level
+//! 9. [`engine`] — the serving runtime, a layered module tree
+//!    (`engine::{cache, shared, pool, session, batch, stats}`): reusable
+//!    [`Session`]s run whole models through the kernels with a tile-level
 //!    plan cache (temporally correlated tiles skip planning), pooled
-//!    buffers, and zero steady-state allocation.
+//!    buffers, and zero steady-state allocation; a sharded
+//!    [`SharedPlanCache`] lets concurrent sessions reuse each other's
+//!    plans, a [`BatchScheduler`] interleaves many traces through it, and
+//!    an adaptive admission policy protects uncorrelated streams from
+//!    cache-bookkeeping overhead.
 //!
 //! # Losslessness
 //!
@@ -71,7 +76,10 @@ pub mod relation;
 pub mod stats;
 
 pub use detect::{DetectedTile, TcamDetector};
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{
+    BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, Session, SharedCacheStats,
+    SharedPlanCache,
+};
 
 /// Whether this build of the crate distributes planning/execution across
 /// threads (the `parallel` feature, on by default).

@@ -83,6 +83,23 @@ pub struct TileMeta {
 }
 
 impl TileMeta {
+    /// The meta of a zero-row, zero-column tile: no rows, no patterns, no
+    /// order. Allocation-free — the plan cache parks this in freed slots so
+    /// evicted payloads drop immediately, and every shard of a sharded
+    /// cache can hold its own placeholder without planning anything.
+    pub fn empty() -> Self {
+        Self {
+            row_start: 0,
+            col_start: 0,
+            valid_rows: 0,
+            valid_cols: 0,
+            rows: Vec::new(),
+            pattern_limbs: Vec::new(),
+            order: Vec::new(),
+            sorter_stages: 0,
+        }
+    }
+
     /// Builds meta information for one padded tile.
     pub fn build(tile: &SpikeMatrix, row_start: usize, col_start: usize) -> Self {
         let (meta, _) = build_tile_meta(tile, row_start, col_start, &mut PlanScratch::default());
@@ -621,6 +638,16 @@ mod tests {
                 assert_eq!(a.pattern_limbs, b.pattern_limbs);
             }
         }
+    }
+
+    #[test]
+    fn empty_meta_matches_built_empty_tile() {
+        let built = TileMeta::build(&SpikeMatrix::zeros(0, 0), 0, 0);
+        let empty = TileMeta::empty();
+        assert_eq!(empty.rows, built.rows);
+        assert_eq!(empty.order, built.order);
+        assert_eq!(empty.pattern_limbs, built.pattern_limbs);
+        assert_eq!(empty.pattern_words(), 0);
     }
 
     #[test]

@@ -181,6 +181,67 @@ impl TraceGen {
         out
     }
 
+    /// Generates `tenants` temporally-correlated timestep streams that are
+    /// additionally correlated *across* tenants — the multi-user serving
+    /// workload where concurrent requests run the same model on similar
+    /// inputs.
+    ///
+    /// A base stream is sampled with [`TraceGen::generate_timesteps`];
+    /// tenant 0 is the base itself, and every other tenant derives each
+    /// timestep from the base: a row is copied verbatim with probability
+    /// `tenant_correlation` and otherwise resampled at the generator's bit
+    /// density. A spike tile whose rows all copied is bit-identical across
+    /// tenants, which is exactly the redundancy a shared plan cache turns
+    /// into cross-request hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `persistence` or `tenant_correlation` is outside `[0, 1]`.
+    // The stream geometry really is six orthogonal knobs; a params struct
+    // would just restate the argument list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_tenant_streams<R: Rng + ?Sized>(
+        &self,
+        tenants: usize,
+        steps: usize,
+        rows: usize,
+        k: usize,
+        persistence: f64,
+        tenant_correlation: f64,
+        rng: &mut R,
+    ) -> Vec<Vec<SpikeMatrix>> {
+        assert!(
+            (0.0..=1.0).contains(&tenant_correlation),
+            "tenant_correlation must be in [0,1]"
+        );
+        if tenants == 0 {
+            return Vec::new();
+        }
+        let base = self.generate_timesteps(steps, rows, k, persistence, rng);
+        let density = self.params.bit_density;
+        let mut out = Vec::with_capacity(tenants);
+        for _ in 1..tenants {
+            let stream = base
+                .iter()
+                .map(|b| {
+                    let mut step = b.clone();
+                    for i in 0..rows {
+                        if rng.gen_bool(tenant_correlation) {
+                            continue; // row shared with the base tenant
+                        }
+                        for j in 0..k {
+                            step.set(i, j, rng.gen_bool(density));
+                        }
+                    }
+                    step
+                })
+                .collect();
+            out.push(stream);
+        }
+        out.insert(0, base);
+        out
+    }
+
     /// Generates an `m × k` spike matrix.
     pub fn generate<R: Rng + ?Sized>(&self, m: usize, k: usize, rng: &mut R) -> SpikeMatrix {
         let p = &self.params;
@@ -361,6 +422,56 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(24);
         let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
         let _ = g.generate_timesteps(2, 8, 8, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn tenant_streams_share_rows_with_the_base() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.3));
+        let streams = g.generate_tenant_streams(4, 3, 128, 32, 0.95, 0.9, &mut rng);
+        assert_eq!(streams.len(), 4);
+        assert!(streams.iter().all(|s| s.len() == 3));
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for tenant in &streams[1..] {
+            for (t, step) in tenant.iter().enumerate() {
+                for i in 0..128 {
+                    total += 1;
+                    if step.row(i) == streams[0][t].row(i) {
+                        shared += 1;
+                    }
+                }
+            }
+        }
+        let rate = shared as f64 / total as f64;
+        assert!(rate > 0.85 && rate < 0.97, "cross-tenant share rate {rate}");
+    }
+
+    #[test]
+    fn full_tenant_correlation_duplicates_the_base() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+        let streams = g.generate_tenant_streams(3, 2, 32, 16, 0.9, 1.0, &mut rng);
+        for tenant in &streams[1..] {
+            assert_eq!(tenant, &streams[0]);
+        }
+    }
+
+    #[test]
+    fn zero_tenants_is_empty() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+        assert!(g
+            .generate_tenant_streams(0, 2, 8, 8, 0.5, 0.5, &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant_correlation must be in [0,1]")]
+    fn invalid_tenant_correlation_panics() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let g = TraceGen::new(TraceGenParams::uncorrelated(0.25));
+        let _ = g.generate_tenant_streams(2, 2, 8, 8, 0.5, -0.1, &mut rng);
     }
 
     #[test]

@@ -127,6 +127,48 @@ impl ModelTrace {
         self.workload.arch.time_steps()
     }
 
+    /// A correlated sibling of this trace: per layer, each spike row is
+    /// kept verbatim with probability `1 - divergence` and otherwise
+    /// resampled at that layer's observed bit density. This models another
+    /// tenant running the same model on a similar input — kept rows give a
+    /// shared plan cache cross-request hits, resampled rows do not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divergence` is outside `[0, 1]`.
+    pub fn perturbed(&self, divergence: f64, seed: u64) -> ModelTrace {
+        assert!(
+            (0.0..=1.0).contains(&divergence),
+            "divergence must be in [0,1]"
+        );
+        let layers = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(li, layer)| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (li as u64).wrapping_mul(0x9E37));
+                let density = layer.spikes.density();
+                let mut spikes = layer.spikes.clone();
+                for i in 0..spikes.rows() {
+                    if !rng.gen_bool(divergence) {
+                        continue;
+                    }
+                    for j in 0..spikes.cols() {
+                        spikes.set(i, j, rng.gen_bool(density));
+                    }
+                }
+                LayerTrace {
+                    spec: layer.spec.clone(),
+                    spikes,
+                }
+            })
+            .collect();
+        ModelTrace {
+            workload: self.workload,
+            layers,
+        }
+    }
+
     /// Matrix-wide bit density across all layers (spike-weighted).
     pub fn bit_density(&self) -> f64 {
         let (mut ones, mut cells) = (0u64, 0u64);
@@ -195,6 +237,28 @@ impl Workload {
             workload: *self,
             layers,
         }
+    }
+
+    /// A multi-tenant batch of this workload: the base trace plus
+    /// `tenants - 1` correlated siblings ([`ModelTrace::perturbed`] with
+    /// the given `divergence`), the input set for cross-request batch
+    /// serving through one shared plan cache.
+    pub fn generate_tenant_traces(
+        &self,
+        scale: f64,
+        tenants: usize,
+        divergence: f64,
+    ) -> Vec<ModelTrace> {
+        if tenants == 0 {
+            return Vec::new();
+        }
+        let base = self.generate_trace(scale);
+        let mut out = Vec::with_capacity(tenants);
+        for t in 1..tenants {
+            out.push(base.perturbed(divergence, self.seed ^ ((t as u64) << 32)));
+        }
+        out.insert(0, base);
+        out
     }
 
     /// The 16 model × dataset pairs of the end-to-end evaluation (Fig. 8).
@@ -334,6 +398,52 @@ mod tests {
         assert_eq!((a.rows(), a.cols()), (l.spec.shape.k, l.spec.shape.n));
         assert_eq!(a, b);
         assert_ne!(a, c); // different seed, different weights
+    }
+
+    #[test]
+    fn perturbed_trace_keeps_most_rows_and_all_shapes() {
+        let w = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 31);
+        let base = w.generate_trace(0.3);
+        let sib = base.perturbed(0.2, 99);
+        assert_eq!(sib.layers.len(), base.layers.len());
+        let (mut kept, mut total) = (0usize, 0usize);
+        for (a, b) in base.layers.iter().zip(&sib.layers) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.spikes.rows(), b.spikes.rows());
+            assert_eq!(a.spikes.cols(), b.spikes.cols());
+            for i in 0..a.spikes.rows() {
+                total += 1;
+                kept += usize::from(a.spikes.row(i) == b.spikes.row(i));
+            }
+        }
+        let rate = kept as f64 / total as f64;
+        assert!(rate > 0.7 && rate < 0.95, "kept-row rate {rate}");
+        // Zero divergence is an exact copy.
+        let same = base.perturbed(0.0, 7);
+        for (a, b) in base.layers.iter().zip(&same.layers) {
+            assert_eq!(a.spikes, b.spikes);
+        }
+    }
+
+    #[test]
+    fn tenant_traces_are_reproducible_and_distinct() {
+        let w = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 31);
+        let a = w.generate_tenant_traces(0.25, 3, 0.3);
+        let b = w.generate_tenant_traces(0.25, 3, 0.3);
+        assert_eq!(a.len(), 3);
+        assert!(w.generate_tenant_traces(0.25, 0, 0.3).is_empty());
+        for (x, y) in a.iter().zip(&b) {
+            for (lx, ly) in x.layers.iter().zip(&y.layers) {
+                assert_eq!(lx.spikes, ly.spikes);
+            }
+        }
+        // Tenants differ from the base (divergence > 0 on non-trivial rows).
+        let differs = a[1]
+            .layers
+            .iter()
+            .zip(&a[0].layers)
+            .any(|(s, b)| s.spikes != b.spikes);
+        assert!(differs, "tenant 1 should diverge from the base");
     }
 
     #[test]

@@ -23,10 +23,7 @@ fn engine_is_bit_identical_to_per_call_loop_on_model_trace() {
     let workload = Workload::spikingbert_sst2();
     let trace = workload.generate_trace(0.04);
     let tile = TileShape::prosperity_default();
-    let mut engine = Engine::new(EngineConfig {
-        tile,
-        cache_capacity: 256,
-    });
+    let mut engine = Engine::new(EngineConfig::new(tile, 256));
     let weights: Vec<_> = trace
         .layers
         .iter()
@@ -57,10 +54,7 @@ fn correlated_timesteps_hit_cache_and_stay_exact() {
     let w = prosperity::spikemat::gemm::WeightMatrix::from_fn(32, 8, |r, c| {
         (r * 13 + c * 5) as i64 - 40
     });
-    let mut engine = Engine::new(EngineConfig {
-        tile: TileShape::new(64, 16),
-        cache_capacity: 512,
-    });
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(64, 16), 512));
     let mut out = OutputMatrix::zeros(0, 0);
     for (t, spikes) in steps.iter().enumerate() {
         engine.gemm_into(spikes, &w, &mut out);
@@ -78,14 +72,8 @@ fn correlated_timesteps_hit_cache_and_stay_exact() {
 #[test]
 fn engine_serial_and_parallel_agree_under_eviction() {
     let mut rng = StdRng::seed_from_u64(99);
-    let mut par = Engine::new(EngineConfig {
-        tile: TileShape::new(16, 8),
-        cache_capacity: 3,
-    });
-    let mut ser = Engine::new(EngineConfig {
-        tile: TileShape::new(16, 8),
-        cache_capacity: 3,
-    });
+    let mut par = Engine::new(EngineConfig::new(TileShape::new(16, 8), 3));
+    let mut ser = Engine::new(EngineConfig::new(TileShape::new(16, 8), 3));
     for _ in 0..8 {
         let m = rng.gen_range(1..80);
         let k = rng.gen_range(1..40);
@@ -109,10 +97,7 @@ fn engine_serial_and_parallel_agree_under_eviction() {
 fn engine_attention_is_exact_and_reuses_tiles() {
     let mut rng = StdRng::seed_from_u64(1234);
     let tile = TileShape::new(32, 16);
-    let mut engine = Engine::new(EngineConfig {
-        tile,
-        cache_capacity: 128,
-    });
+    let mut engine = Engine::new(EngineConfig::new(tile, 128));
     let gen = TraceGen::new(TraceGenParams::uncorrelated(0.2));
     let keys = SpikeMatrix::random(24, 48, 0.25, &mut rng);
     let qs = gen.generate_timesteps(4, 64, 48, 0.95, &mut rng);
@@ -147,10 +132,7 @@ fn engine_chain_is_stable_across_repeated_runs() {
         threshold_spikes(&out, 3, &mut next);
         cur = next;
     }
-    let mut engine = Engine::new(EngineConfig {
-        tile: TileShape::new(16, 16),
-        cache_capacity: 64,
-    });
+    let mut engine = Engine::new(EngineConfig::new(TileShape::new(16, 16), 64));
     let mut got = SpikeMatrix::zeros(0, 0);
     for _ in 0..3 {
         engine.forward_chain(&input, &layers, 3, &mut got);

@@ -1,0 +1,295 @@
+//! Serving-runtime correctness: N sessions sharing one sharded plan cache
+//! — interleaved by the batch scheduler or running on real threads — must
+//! produce outputs bit-identical to each session run serially with a
+//! private cache, across ragged tilings, eviction-pressure-sized caches,
+//! and adaptive-admission bypass decisions. Plans are pure functions of
+//! tile content, so sharing may only ever change *who* plans a tile.
+
+use prosperity::core::engine::{
+    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, Session,
+    SharedPlanCache, TraceStep,
+};
+use prosperity::models::tracegen::{TraceGen, TraceGenParams};
+use prosperity::models::Workload;
+use prosperity::spikemat::gemm::{OutputMatrix, WeightMatrix};
+use prosperity::spikemat::TileShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A multi-tenant batch: per tenant, a timestep stream and its own weights
+/// (plan sharing is keyed on spikes only, so weights may differ freely).
+struct TenantBatch {
+    streams: Vec<Vec<prosperity::spikemat::SpikeMatrix>>,
+    weights: Vec<WeightMatrix<i64>>,
+}
+
+fn random_batch(rng: &mut StdRng) -> TenantBatch {
+    let tenants = rng.gen_range(2..=4);
+    let steps = rng.gen_range(2..=4);
+    let rows = rng.gen_range(20..70);
+    let k = rng.gen_range(10..50);
+    let n = rng.gen_range(1..6);
+    let gen = TraceGen::new(TraceGenParams::uncorrelated(rng.gen_range(0.1..0.5)));
+    let streams = gen.generate_tenant_streams(tenants, steps, rows, k, 0.9, 0.9, rng);
+    let weights = (0..tenants)
+        .map(|_| WeightMatrix::from_fn(k, n, |_, _| rng.gen_range(-30i64..30)))
+        .collect();
+    TenantBatch { streams, weights }
+}
+
+/// The oracle: each tenant alone through a serial private-cache session.
+fn serial_private_oracle(batch: &TenantBatch, config: EngineConfig) -> Vec<Vec<OutputMatrix<i64>>> {
+    batch
+        .streams
+        .iter()
+        .zip(&batch.weights)
+        .map(|(stream, w)| {
+            let mut engine = Engine::new(config);
+            let mut outs = Vec::with_capacity(stream.len());
+            for spikes in stream {
+                let mut out = OutputMatrix::zeros(0, 0);
+                engine.gemm_into_serial(spikes, w, &mut out);
+                outs.push(out);
+            }
+            outs
+        })
+        .collect()
+}
+
+fn traces_of(batch: &TenantBatch) -> Vec<Vec<TraceStep<'_, i64>>> {
+    batch
+        .streams
+        .iter()
+        .zip(&batch.weights)
+        .map(|(stream, w)| stream.iter().map(|s| (s, w)).collect())
+        .collect()
+}
+
+/// Acceptance property: shared-cache sessions interleaved by the batch
+/// scheduler (both policies) are bit-identical to the serial private-cache
+/// oracle, across ragged tilings and eviction-pressure-sized caches.
+#[test]
+fn scheduled_shared_sessions_match_serial_private_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x5EB1);
+    for trial in 0..10 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(rng.gen_range(1..=20), rng.gen_range(1..=20));
+        // Tiny capacities put every shard under constant eviction pressure.
+        let config = EngineConfig::new(tile, rng.gen_range(1..32));
+        let oracle = serial_private_oracle(&batch, config);
+        let traces = traces_of(&batch);
+        for policy in [BatchPolicy::RoundRobin, BatchPolicy::CacheAffinity] {
+            let mut sched = BatchScheduler::new(config, policy);
+            let mut executed = 0usize;
+            sched.run(&traces, |tenant, step, out| {
+                assert_eq!(
+                    out, &oracle[tenant][step],
+                    "trial {trial} {policy:?} tenant {tenant} step {step}"
+                );
+                executed += 1;
+            });
+            assert_eq!(executed, oracle.iter().map(Vec::len).sum::<usize>());
+            // Scheduler-level stats must account for every tile exactly.
+            let merged = sched.merged_stats();
+            assert_eq!(merged.cache_hits + merged.cache_misses, merged.tiles);
+            let cs = sched.shared_cache().stats();
+            assert_eq!(cs.hits, merged.cache_hits, "trial {trial} {policy:?}");
+            assert_eq!(cs.misses, merged.cache_misses);
+            // Single-threaded scheduling cannot race: every miss was either
+            // inserted or bypassed by admission (none configured here).
+            assert_eq!(cs.insertions, cs.misses);
+            assert_eq!(cs.bypasses, 0);
+        }
+    }
+}
+
+/// The same property on real threads: one session per tenant, all planning
+/// through one shared cache concurrently.
+#[test]
+fn concurrent_shared_sessions_match_serial_private_oracle() {
+    use std::sync::Mutex;
+    let mut rng = StdRng::seed_from_u64(0xC0CC);
+    for trial in 0..6 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(rng.gen_range(1..=16), rng.gen_range(1..=16));
+        let config = EngineConfig::new(tile, rng.gen_range(1..24));
+        let oracle = serial_private_oracle(&batch, config);
+        let traces = traces_of(&batch);
+        let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+        let got: Mutex<Vec<Vec<Option<OutputMatrix<i64>>>>> =
+            Mutex::new(oracle.iter().map(|outs| vec![None; outs.len()]).collect());
+        sched.run_concurrent(&traces, |tenant, step, out| {
+            got.lock().unwrap()[tenant][step] = Some(out.clone());
+        });
+        let got = got.into_inner().unwrap();
+        for (tenant, outs) in oracle.iter().enumerate() {
+            for (step, want) in outs.iter().enumerate() {
+                assert_eq!(
+                    got[tenant][step].as_ref(),
+                    Some(want),
+                    "trial {trial} tenant {tenant} step {step}"
+                );
+            }
+        }
+        // However the threads raced, lookups balance: every tile either hit
+        // or missed, and shard counters saw exactly the sessions' traffic.
+        let merged = sched.merged_stats();
+        assert_eq!(merged.cache_hits + merged.cache_misses, merged.tiles);
+        let cs = sched.shared_cache().stats();
+        assert_eq!(cs.hits + cs.misses, merged.tiles);
+    }
+}
+
+/// Bare shared sessions (no scheduler): a session can join an already-warm
+/// cache mid-flight and stays exact; the late joiner plans strictly less.
+#[test]
+fn late_joining_session_reuses_warm_cache_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x1A7E);
+    let batch = random_batch(&mut rng);
+    let tile = TileShape::new(8, 8);
+    let config = EngineConfig::new(tile, 512);
+    let oracle = serial_private_oracle(&batch, config);
+    let shared = Arc::new(SharedPlanCache::with_shards(512, 4, None));
+    let mut first = Session::with_shared(config, Arc::clone(&shared));
+    let mut out = OutputMatrix::zeros(0, 0);
+    for (step, spikes) in batch.streams[0].iter().enumerate() {
+        first.gemm_into(spikes, &batch.weights[0], &mut out);
+        assert_eq!(out, oracle[0][step]);
+    }
+    // Tenant 1 is 90 % correlated with tenant 0: most of its plans are
+    // already resident, and its outputs are still exactly the oracle's.
+    let mut late = Session::with_shared(config, Arc::clone(&shared));
+    for (step, spikes) in batch.streams[1].iter().enumerate() {
+        late.gemm_into(spikes, &batch.weights[1], &mut out);
+        assert_eq!(out, oracle[1][step]);
+    }
+    assert!(
+        late.stats().cache_misses < first.stats().cache_misses,
+        "late joiner should plan less: {:?} vs {:?}",
+        late.stats(),
+        first.stats()
+    );
+}
+
+/// Multi-tenant fig8-style model traces through the scheduler: the
+/// workload-layer batch helpers compose with the runtime and stay exact.
+#[test]
+fn tenant_model_traces_serve_exactly() {
+    let workload = Workload::spikingbert_sst2();
+    let tenants = workload.generate_tenant_traces(0.02, 3, 0.3);
+    let weights: Vec<Vec<WeightMatrix<i64>>> = tenants
+        .iter()
+        .map(|t| t.layers.iter().map(|l| l.synthetic_weights(7)).collect())
+        .collect();
+    let traces: Vec<Vec<TraceStep<'_, i64>>> = tenants
+        .iter()
+        .zip(&weights)
+        .map(|(t, ws)| {
+            t.layers
+                .iter()
+                .zip(ws)
+                .map(|(l, w)| (&l.spikes, w))
+                .collect()
+        })
+        .collect();
+    let tile = TileShape::prosperity_default();
+    let config = EngineConfig::new(tile, 1024);
+    // Oracle: per-tenant serial private sessions.
+    let oracle: Vec<Vec<OutputMatrix<i64>>> = traces
+        .iter()
+        .map(|trace| {
+            let mut engine = Engine::new(config);
+            trace
+                .iter()
+                .map(|&(s, w)| {
+                    let mut out = OutputMatrix::zeros(0, 0);
+                    engine.gemm_into_serial(s, w, &mut out);
+                    out
+                })
+                .collect()
+        })
+        .collect();
+    let mut sched = BatchScheduler::new(config, BatchPolicy::CacheAffinity);
+    sched.run(&traces, |tenant, step, out| {
+        assert_eq!(out, &oracle[tenant][step], "tenant {tenant} step {step}");
+    });
+    let merged = sched.merged_stats();
+    assert_eq!(
+        merged.gemms as usize,
+        traces.iter().map(Vec::len).sum::<usize>()
+    );
+}
+
+/// Adaptive admission on an uncorrelated stream: results stay exact while
+/// insertions are bypassed, and a correlated stream keeps its hits.
+#[test]
+fn admission_bypass_is_lossless_and_reversible() {
+    let mut rng = StdRng::seed_from_u64(0xADA1);
+    let tile = TileShape::new(16, 16);
+    let admission = AdmissionConfig {
+        window: 64,
+        min_hit_permille: 50,
+        probe_period: 8,
+    };
+    let config = EngineConfig::new(tile, 256).with_admission(admission);
+    let oracle_config = EngineConfig::new(tile, 256);
+    let mut engine = Engine::new(config);
+    let mut oracle = Engine::new(oracle_config);
+    let mut out = OutputMatrix::zeros(0, 0);
+    let mut want = OutputMatrix::zeros(0, 0);
+    // Phase 1: uncorrelated — every matrix distinct.
+    for _ in 0..6 {
+        let s = prosperity::spikemat::SpikeMatrix::random(64, 48, 0.4, &mut rng);
+        let w = WeightMatrix::from_fn(48, 4, |r, c| (r * 3 + c) as i64 - 20);
+        engine.gemm_into(&s, &w, &mut out);
+        oracle.gemm_into_serial(&s, &w, &mut want);
+        assert_eq!(out, want);
+    }
+    assert!(
+        engine.stats().cache_bypasses > 0,
+        "uncorrelated stream should bypass: {:?}",
+        engine.stats()
+    );
+    // Phase 2: a correlated stream (repeats) keeps hitting despite the
+    // earlier bypass phase — probes re-seed the cache.
+    let s = prosperity::spikemat::SpikeMatrix::random(64, 48, 0.4, &mut rng);
+    let w = WeightMatrix::from_fn(48, 4, |r, c| (r + c) as i64);
+    let before = engine.stats().cache_hits;
+    for _ in 0..20 {
+        engine.gemm_into(&s, &w, &mut out);
+        oracle.gemm_into_serial(&s, &w, &mut want);
+        assert_eq!(out, want);
+    }
+    assert!(
+        engine.stats().cache_hits > before,
+        "correlated phase should recover hits: {:?}",
+        engine.stats()
+    );
+}
+
+/// Stats merging is the audited sum of per-session counters.
+#[test]
+fn merged_stats_account_for_every_session() {
+    let mut rng = StdRng::seed_from_u64(0x57A7);
+    let batch = random_batch(&mut rng);
+    let config = EngineConfig::new(TileShape::new(8, 8), 64);
+    let traces = traces_of(&batch);
+    let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    sched.run(&traces, |_, _, _| {});
+    let per_session = sched.session_stats();
+    assert_eq!(per_session.len(), batch.streams.len());
+    let merged = sched.merged_stats();
+    assert_eq!(merged, EngineStats::merged(per_session.iter()));
+    let by_hand = per_session
+        .iter()
+        .fold(EngineStats::default(), |mut acc, s| {
+            acc.merge(s);
+            acc
+        });
+    assert_eq!(merged, by_hand);
+    assert_eq!(
+        merged.gemms as usize,
+        batch.streams.iter().map(Vec::len).sum::<usize>()
+    );
+}
