@@ -15,6 +15,12 @@
 //! * `fig8_admission` — the fig8 SpikingBERT trace (rare tile repetition)
 //!   with the adaptive insertion-bypass admission policy on vs off: the
 //!   row that used to document the cache-bookkeeping regression.
+//! * `warm_start` — cache warm-up persistence: one correlated stream
+//!   served cold (fresh cache) vs by a process restored from the cold
+//!   run's [`PlanSnapshot`] (encoded → decoded → imported, the full
+//!   restart path). Records the per-timestep hit-rate curve of both
+//!   passes: the restored process starts at the exporting process's
+//!   steady-state hit rate instead of 0 %.
 //!
 //! Every scenario gates on bit-identical outputs against the serial
 //! private-cache oracle before timing anything. Per-session stats and the
@@ -30,8 +36,8 @@
 
 use prosperity_bench::time_ms;
 use prosperity_core::engine::{
-    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats,
-    SharedCacheStats, TraceStep,
+    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, PlanSnapshot,
+    Session, SharedCacheStats, TraceStep,
 };
 use prosperity_models::tracegen::{TraceGen, TraceGenParams};
 use prosperity_models::Workload;
@@ -268,11 +274,119 @@ fn fig8_admission(smoke: bool, reps: usize) -> AdmissionOut {
     }
 }
 
+/// Cold vs snapshot-restored serving of one correlated stream.
+struct WarmStartOut {
+    steps: usize,
+    /// Plans in the snapshot / bytes of its encoded form.
+    snapshot_plans: usize,
+    snapshot_bytes: usize,
+    /// Wall time of a full restart-to-served pass: cold constructs a fresh
+    /// session, warm imports the snapshot first (import cost included).
+    cold_ms: f64,
+    warm_ms: f64,
+    /// Per-timestep hit rate of each pass (fraction of the step's tiles
+    /// served from the cache).
+    cold_curve: Vec<f64>,
+    warm_curve: Vec<f64>,
+    stats_cold: EngineStats,
+    stats_warm: EngineStats,
+}
+
+impl WarmStartOut {
+    fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms
+    }
+}
+
+fn warm_start(smoke: bool, reps: usize) -> WarmStartOut {
+    let (steps, rows, k, n) = if smoke {
+        (6, 512, 128, 8)
+    } else {
+        (10, 1024, 256, 8)
+    };
+    let gen = TraceGen::new(TraceGenParams::uncorrelated(0.30));
+    let mut rng = StdRng::seed_from_u64(0x4A11);
+    let stream = gen.generate_timesteps(steps, rows, k, 0.999, &mut rng);
+    let weights = WeightMatrix::from_fn(k, n, |r, c| (r * 31 + c * 7) as i64 % 255 - 127);
+    let config = EngineConfig::new(TileShape::prosperity_default(), 4096);
+
+    // Correctness gate + per-step hit curves. The hit rate of step `s` is
+    // the fraction of its tiles served from the cache.
+    let curve_of = |engine: &mut Session<i64>, want: Option<&[OutputMatrix<i64>]>| {
+        let mut curve = Vec::with_capacity(steps);
+        let mut outs = Vec::with_capacity(steps);
+        let mut out = OutputMatrix::zeros(0, 0);
+        for (s, spikes) in stream.iter().enumerate() {
+            let before = engine.stats();
+            engine.gemm_into(spikes, &weights, &mut out);
+            let after = engine.stats();
+            let tiles = (after.tiles - before.tiles).max(1);
+            curve.push((after.cache_hits - before.cache_hits) as f64 / tiles as f64);
+            if let Some(want) = want {
+                assert_eq!(out, want[s], "warm start lost bits at step {s}");
+            }
+            outs.push(out.clone());
+        }
+        (curve, outs)
+    };
+    let mut cold = Engine::new(config);
+    let (cold_curve, want) = curve_of(&mut cold, None);
+    let stats_cold = cold.stats();
+
+    // The full restart path: export at "shutdown", encode to bytes, decode
+    // in the "new process", import, serve the same stream again.
+    let snapshot = cold.export_snapshot(config.cache_capacity);
+    let bytes = snapshot.encode();
+    let snapshot_bytes = bytes.len();
+    let restored = PlanSnapshot::decode(bytes).expect("snapshot roundtrip");
+    let (mut warm, report) = Session::warm_start(config, &restored);
+    assert_eq!(report.restored, snapshot.len(), "restore must be total");
+    let (warm_curve, _) = curve_of(&mut warm, Some(&want));
+    let stats_warm = warm.stats();
+    assert_eq!(
+        stats_warm.restored_hits, stats_warm.cache_hits,
+        "every warm hit comes from the snapshot"
+    );
+
+    // Timed passes measure restart-to-served wall time: session
+    // construction (cold) or snapshot import (warm) plus the whole stream.
+    let serve = |engine: &mut Session<i64>| {
+        let mut out = OutputMatrix::zeros(0, 0);
+        let mut acc = 0i64;
+        for spikes in &stream {
+            engine.gemm_into(spikes, &weights, &mut out);
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        }
+        acc
+    };
+    let cold_ms = time_ms(reps, || {
+        let mut engine = Engine::new(config);
+        serve(&mut engine)
+    });
+    let warm_ms = time_ms(reps, || {
+        let (mut engine, _) = Session::warm_start(config, &restored);
+        serve(&mut engine)
+    });
+
+    WarmStartOut {
+        steps,
+        snapshot_plans: snapshot.len(),
+        snapshot_bytes,
+        cold_ms,
+        warm_ms,
+        cold_curve,
+        warm_curve,
+        stats_cold,
+        stats_warm,
+    }
+}
+
 fn json_stats(s: &EngineStats) -> String {
     format!(
         concat!(
             "{{\"gemms\": {}, \"tiles\": {}, \"hits\": {}, \"misses\": {}, ",
-            "\"evictions\": {}, \"bypasses\": {}, \"hit_rate\": {:.4}}}"
+            "\"evictions\": {}, \"bypasses\": {}, \"restored_hits\": {}, ",
+            "\"hit_rate\": {:.4}}}"
         ),
         s.gemms,
         s.tiles,
@@ -280,6 +394,7 @@ fn json_stats(s: &EngineStats) -> String {
         s.cache_misses,
         s.cache_evictions,
         s.cache_bypasses,
+        s.restored_hits,
         s.hit_rate(),
     )
 }
@@ -288,8 +403,9 @@ fn json_shared(c: &SharedCacheStats) -> String {
     format!(
         concat!(
             "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, ",
-            "\"evictions\": {}, \"bypasses\": {}, \"dedups\": {}, \"resident\": {}, ",
-            "\"shards\": {}, \"capacity\": {}, \"hit_rate\": {:.4}}}"
+            "\"evictions\": {}, \"bypasses\": {}, \"dedups\": {}, ",
+            "\"restored_hits\": {}, \"resident\": {}, \"restored_resident\": {}, ",
+            "\"tenants\": {}, \"shards\": {}, \"capacity\": {}, \"hit_rate\": {:.4}}}"
         ),
         c.hits,
         c.misses,
@@ -297,11 +413,19 @@ fn json_shared(c: &SharedCacheStats) -> String {
         c.evictions,
         c.bypasses,
         c.dedups,
+        c.restored_hits,
         c.resident,
+        c.restored_resident,
+        c.tenants,
         c.shards,
         c.capacity,
         c.hit_rate(),
     )
+}
+
+fn json_curve(curve: &[f64]) -> String {
+    let points: Vec<String> = curve.iter().map(|v| format!("{v:.4}")).collect();
+    format!("[{}]", points.join(", "))
 }
 
 fn json_scenario(r: &ServingOut) -> String {
@@ -382,6 +506,26 @@ fn main() {
         "-",
         100.0 * adm.stats_on.hit_rate(),
     );
+    let ws = warm_start(smoke, reps);
+    println!(
+        "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>7.2}x {:>8} {:>8.1}%",
+        "warm_start",
+        1,
+        ws.steps,
+        ws.cold_ms,
+        ws.warm_ms,
+        "-",
+        ws.speedup(),
+        "-",
+        100.0 * ws.stats_warm.hit_rate(),
+    );
+    println!(
+        "  warm start: {} plans, {} KiB snapshot; step-0 hit rate {:.0}% cold -> {:.0}% restored",
+        ws.snapshot_plans,
+        ws.snapshot_bytes / 1024,
+        100.0 * ws.cold_curve.first().copied().unwrap_or(0.0),
+        100.0 * ws.warm_curve.first().copied().unwrap_or(0.0),
+    );
 
     let out_path = std::env::var("BENCH_SERVING_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string()
@@ -401,6 +545,27 @@ fn main() {
         adm.speedup(),
         json_stats(&adm.stats_off),
         json_stats(&adm.stats_on),
+    ));
+    body.push(format!(
+        concat!(
+            "    {{\"name\": \"warm_start\", \"tenants\": 1, \"gemms\": {}, ",
+            "\"snapshot_plans\": {}, \"snapshot_bytes\": {}, ",
+            "\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup_warm\": {:.2},\n",
+            "     \"cold_hit_curve\": {},\n",
+            "     \"warm_hit_curve\": {},\n",
+            "     \"stats_cold\": {},\n",
+            "     \"stats_warm\": {}}}"
+        ),
+        ws.steps,
+        ws.snapshot_plans,
+        ws.snapshot_bytes,
+        ws.cold_ms,
+        ws.warm_ms,
+        ws.speedup(),
+        json_curve(&ws.cold_curve),
+        json_curve(&ws.warm_curve),
+        json_stats(&ws.stats_cold),
+        json_stats(&ws.stats_warm),
     ));
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"unit\": \"ms\",\n  \"timing\": \

@@ -28,6 +28,7 @@ use spikemat::SpikeMatrix;
 use super::cache::hash_tile;
 use super::session::Session;
 use super::shared::SharedPlanCache;
+use super::snapshot::{ImportReport, PlanSnapshot};
 use super::stats::EngineStats;
 use super::{Element, EngineConfig};
 
@@ -52,8 +53,30 @@ const AFFINITY_PROBES: usize = 4;
 /// Interleaves multiple traces through sessions sharing one plan cache.
 ///
 /// Sessions (and their pooled buffers) persist across [`BatchScheduler::run`]
-/// calls; lane `i` always maps to session `i`, so a caller replaying the
-/// same tenant on the same lane keeps its warm state.
+/// calls; lane `i` always maps to session `i` *and* to admission tenant
+/// `i`, so a caller replaying the same tenant on the same lane keeps its
+/// warm state and its own admission window.
+///
+/// ```
+/// use prosperity_core::engine::{BatchPolicy, BatchScheduler, EngineConfig};
+/// use spikemat::gemm::{spiking_gemm, WeightMatrix};
+/// use spikemat::SpikeMatrix;
+///
+/// // Two tenants replay the same spikes against their own weights.
+/// let spikes = SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[0, 1, 1]]);
+/// let w0 = WeightMatrix::from_fn(3, 2, |r, c| (r + c) as i64);
+/// let w1 = WeightMatrix::from_fn(3, 2, |r, c| (r * 2 + c) as i64);
+/// let traces = vec![vec![(&spikes, &w0)], vec![(&spikes, &w1)]];
+///
+/// let mut sched =
+///     BatchScheduler::new(EngineConfig::default(), BatchPolicy::RoundRobin);
+/// sched.run(&traces, |lane, _step, out| {
+///     let want = if lane == 0 { &w0 } else { &w1 };
+///     assert_eq!(out, &spiking_gemm(&spikes, want));
+/// });
+/// // Lane 1 reused lane 0's plans: plan sharing is keyed on spikes only.
+/// assert_eq!(sched.session_stats()[1].cache_misses, 0);
+/// ```
 #[derive(Debug)]
 pub struct BatchScheduler<T = i64> {
     config: EngineConfig,
@@ -95,6 +118,23 @@ impl<T: Element> BatchScheduler<T> {
         }
     }
 
+    /// [`BatchScheduler::new`] pre-warmed from a snapshot exported by a
+    /// previous process ([`SharedPlanCache::export_hottest`] or
+    /// `Session::export_snapshot`), so the fleet's first pass starts at a
+    /// warm hit rate. Returns the scheduler plus what the import did (a
+    /// snapshot larger than the cache degrades to a partial restore;
+    /// entries not matching `config.tile` are dropped as
+    /// [`ImportReport::skipped_shape`]).
+    pub fn warm_start(
+        config: EngineConfig,
+        policy: BatchPolicy,
+        snapshot: &PlanSnapshot,
+    ) -> (Self, ImportReport) {
+        let sched = Self::new(config, policy);
+        let report = sched.shared.import(snapshot, config.tile);
+        (sched, report)
+    }
+
     /// The scheduling policy.
     pub fn policy(&self) -> BatchPolicy {
         self.policy
@@ -130,8 +170,14 @@ impl<T: Element> BatchScheduler<T> {
 
     fn ensure_lanes(&mut self, n: usize) {
         while self.sessions.len() < n {
-            self.sessions
-                .push(Session::with_shared(self.config, Arc::clone(&self.shared)));
+            // Lane index doubles as the admission tenant id, so each
+            // trace's stream gets its own sliding window.
+            let tenant = self.sessions.len() as u64;
+            self.sessions.push(Session::with_shared_tenant(
+                self.config,
+                Arc::clone(&self.shared),
+                tenant,
+            ));
             self.outs.push(OutputMatrix::zeros(0, 0));
         }
     }

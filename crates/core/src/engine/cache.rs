@@ -19,6 +19,8 @@ use spikemat::SpikeMatrix;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use super::snapshot::{ImportReport, SnapshotEntry};
+
 /// Pseudo-random multiplier for the limb-folding tile hash (the golden-ratio
 /// constant used by Fx-style hashers).
 const HASH_K: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -71,9 +73,10 @@ impl LimbHasher {
     }
 }
 
-/// Fast content hash of a flat limb sequence (the streaming-hash oracle).
-#[cfg(test)]
-fn hash_limbs(limbs: &[u64]) -> u64 {
+/// Fast content hash of a flat limb sequence — identical to [`hash_tile`]
+/// over the rows whose concatenated limbs these are. The snapshot codec
+/// uses it to re-derive (and cross-check) entry hashes from stored keys.
+pub(crate) fn hash_limbs(limbs: &[u64]) -> u64 {
     let mut h = LimbHasher::new();
     h.extend(limbs);
     h.finish()
@@ -168,8 +171,14 @@ impl Default for AdmissionConfig {
 }
 
 /// Sliding-window hit-rate admission state.
+///
+/// One instance tracks one *stream*: a private cache owns one for its
+/// session, and the shared cache keys one per tenant
+/// ([`super::shared::SharedPlanCache`]) so a hot tenant's hits cannot hold
+/// admission open for a cold tenant sharing the cache (and a cold tenant's
+/// misses cannot close it for a hot one).
 #[derive(Debug, Clone)]
-struct Admission {
+pub(crate) struct Admission {
     cfg: AdmissionConfig,
     lookups: u32,
     hits: u32,
@@ -181,7 +190,7 @@ struct Admission {
 }
 
 impl Admission {
-    fn new(cfg: AdmissionConfig) -> Self {
+    pub(crate) fn new(cfg: AdmissionConfig) -> Self {
         Self {
             cfg,
             lookups: 0,
@@ -192,7 +201,7 @@ impl Admission {
     }
 
     /// Records one lookup outcome, rolling the window when it fills.
-    fn record(&mut self, hit: bool) {
+    pub(crate) fn record(&mut self, hit: bool) {
         self.lookups += 1;
         self.hits += u32::from(hit);
         if self.lookups >= self.cfg.window.max(1) {
@@ -204,7 +213,7 @@ impl Admission {
     }
 
     /// Whether the miss being resolved right now should be inserted.
-    fn should_insert(&mut self) -> bool {
+    pub(crate) fn should_insert(&mut self) -> bool {
         if self.open {
             return true;
         }
@@ -244,6 +253,13 @@ struct Slot {
     /// The tile's raw limbs, row-major — the full key behind the hash.
     limbs: Box<[u64]>,
     meta: Arc<TileMeta>,
+    /// Times this plan has been served (lookup or dedup) since insertion.
+    /// Exported with the entry so a warm-started cache inherits popularity.
+    hits: u64,
+    /// Whether the entry arrived through a snapshot import rather than live
+    /// planning — hits on restored plans are the warm-start payoff and are
+    /// counted separately.
+    restored: bool,
     prev: u32,
     next: u32,
 }
@@ -265,6 +281,8 @@ pub(crate) struct PlanCache {
     /// immediately instead of lingering until slot reuse.
     placeholder: Arc<TileMeta>,
     admission: Option<Admission>,
+    /// Resident entries that came from a snapshot import.
+    restored_resident: usize,
 }
 
 impl PlanCache {
@@ -278,11 +296,18 @@ impl PlanCache {
             tail: NIL,
             placeholder: Arc::new(TileMeta::empty()),
             admission: admission.map(Admission::new),
+            restored_resident: 0,
         }
     }
 
     pub(crate) fn len(&self) -> usize {
         self.slots.len() - self.free.len()
+    }
+
+    /// Resident entries that arrived through a snapshot import (and have not
+    /// been evicted since).
+    pub(crate) fn restored_resident(&self) -> usize {
+        self.restored_resident
     }
 
     pub(crate) fn clear(&mut self) {
@@ -291,12 +316,18 @@ impl PlanCache {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.restored_resident = 0;
     }
 
     /// Looks up the plan for a tile with the given content hash, refreshing
     /// its recency and feeding the admission estimator on both outcomes.
-    pub(crate) fn lookup(&mut self, hash: u64, tile: &SpikeMatrix) -> Option<Arc<TileMeta>> {
-        let got = self.get(hash, tile);
+    /// A hit reports whether the serving entry was snapshot-restored.
+    pub(crate) fn lookup(
+        &mut self,
+        hash: u64,
+        tile: &SpikeMatrix,
+    ) -> Option<(Arc<TileMeta>, bool)> {
+        let got = self.touch(hash, tile);
         if let Some(a) = &mut self.admission {
             a.record(got.is_some());
         }
@@ -307,10 +338,18 @@ impl PlanCache {
     /// shared cache's insert-time dedup check, which must not count as a
     /// second lookup for the miss it is resolving.
     pub(crate) fn get(&mut self, hash: u64, tile: &SpikeMatrix) -> Option<Arc<TileMeta>> {
+        self.touch(hash, tile).map(|(meta, _)| meta)
+    }
+
+    /// Resolves a resident entry: recency refresh + per-slot hit count, no
+    /// admission side effects.
+    fn touch(&mut self, hash: u64, tile: &SpikeMatrix) -> Option<(Arc<TileMeta>, bool)> {
         let idx = self.find(hash, tile)?;
         self.unlink(idx);
         self.push_front(idx);
-        Some(Arc::clone(&self.slots[idx as usize].meta))
+        let slot = &mut self.slots[idx as usize];
+        slot.hits += 1;
+        Some((Arc::clone(&slot.meta), slot.restored))
     }
 
     /// Whether a plan for this tile is resident, without touching recency
@@ -349,13 +388,29 @@ impl PlanCache {
         } else {
             InsertOutcome::Inserted
         };
+        self.place(hash, key_of(tile), meta, 0, false);
+        outcome
+    }
+
+    /// Links a fully-formed slot at the MRU end of the list.
+    fn place(
+        &mut self,
+        hash: u64,
+        limbs: Box<[u64]>,
+        meta: Arc<TileMeta>,
+        hits: u64,
+        restored: bool,
+    ) {
         let slot = Slot {
             hash,
-            limbs: key_of(tile),
+            limbs,
             meta,
+            hits,
+            restored,
             prev: NIL,
             next: NIL,
         };
+        self.restored_resident += usize::from(restored);
         let idx = match self.free.pop() {
             Some(i) => {
                 self.slots[i as usize] = slot;
@@ -368,7 +423,6 @@ impl PlanCache {
         };
         self.map.entry(hash).or_default().push(idx);
         self.push_front(idx);
-        outcome
     }
 
     fn unlink(&mut self, idx: u32) {
@@ -411,10 +465,82 @@ impl PlanCache {
                 self.map.remove(&hash);
             }
         }
+        self.restored_resident -= usize::from(self.slots[idx as usize].restored);
         // Drop the payload now; the slot itself is recycled.
         self.slots[idx as usize].limbs = Box::new([]);
         self.slots[idx as usize].meta = Arc::clone(&self.placeholder);
+        self.slots[idx as usize].restored = false;
         self.free.push(idx);
+    }
+
+    /// The up-to-`n` most recently used entries, hottest first, as owned
+    /// snapshot entries (keys, metas, and hit counts cloned; the cache is
+    /// not mutated). This is the per-cache half of snapshot export; the
+    /// sharded cache interleaves these per shard.
+    pub(crate) fn export_hottest(&self, n: usize) -> Vec<SnapshotEntry> {
+        let mut out = Vec::with_capacity(n.min(self.len()));
+        let mut idx = self.head;
+        while idx != NIL && out.len() < n {
+            let slot = &self.slots[idx as usize];
+            out.push(SnapshotEntry {
+                hash: slot.hash,
+                limbs: slot.limbs.clone(),
+                meta: Arc::clone(&slot.meta),
+                hits: slot.hits,
+            });
+            idx = slot.next;
+        }
+        out
+    }
+
+    /// Whether a plan with exactly these key limbs is resident.
+    fn find_limbs(&self, hash: u64, limbs: &[u64]) -> bool {
+        self.map.get(&hash).is_some_and(|bucket| {
+            bucket
+                .iter()
+                .any(|&i| *self.slots[i as usize].limbs == *limbs)
+        })
+    }
+
+    /// Restores snapshot entries (given hottest-first) into this cache.
+    ///
+    /// Import is a *restore*, not traffic: it never consults or feeds the
+    /// admission estimator, and it never evicts live entries — when the
+    /// snapshot holds more plans than the cache has room for, the coldest
+    /// surplus is dropped (partial restore). Entries land with their
+    /// exported hit counts, marked restored, and in snapshot recency order
+    /// (the snapshot's hottest entry becomes this cache's MRU).
+    pub(crate) fn import(&mut self, entries: Vec<SnapshotEntry>) -> ImportReport {
+        let mut report = ImportReport {
+            requested: entries.len(),
+            ..ImportReport::default()
+        };
+        let room = self.capacity.saturating_sub(self.len());
+        let mut accepted: Vec<SnapshotEntry> = Vec::with_capacity(room.min(entries.len()));
+        for entry in entries {
+            // Duplicates — whether already resident or repeated *within*
+            // the snapshot (crate-exported files never repeat a key, but
+            // third-party ones may) — must be classified here, before the
+            // room check, so they never consume a slot a later unique
+            // entry was entitled to.
+            let dup = self.find_limbs(entry.hash, &entry.limbs)
+                || accepted
+                    .iter()
+                    .any(|a| a.hash == entry.hash && a.limbs == entry.limbs);
+            if dup {
+                report.skipped_duplicate += 1;
+            } else if accepted.len() < room {
+                accepted.push(entry);
+            } else {
+                report.skipped_capacity += 1;
+            }
+        }
+        // Insert coldest-first so the snapshot's hottest entry ends up MRU.
+        for entry in accepted.into_iter().rev() {
+            self.place(entry.hash, entry.limbs, entry.meta, entry.hits, true);
+            report.restored += 1;
+        }
+        report
     }
 }
 

@@ -34,10 +34,11 @@ fn hash_collisions_cannot_alias_plans() {
     let mut cache = PlanCache::new(8, None);
     cache.insert(42, &t1, Arc::clone(&m1));
     cache.insert(42, &t2, Arc::clone(&m2)); // same hash, different bits
-    let got1 = cache.lookup(42, &t1).expect("t1 resident");
-    let got2 = cache.lookup(42, &t2).expect("t2 resident");
+    let (got1, restored1) = cache.lookup(42, &t1).expect("t1 resident");
+    let (got2, _) = cache.lookup(42, &t2).expect("t2 resident");
     assert!(Arc::ptr_eq(&got1, &m1));
     assert!(Arc::ptr_eq(&got2, &m2));
+    assert!(!restored1, "live insertions are not restored entries");
     assert!(cache.lookup(42, &tz).is_none());
 }
 

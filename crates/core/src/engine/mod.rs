@@ -4,7 +4,8 @@
 //! | module | layer |
 //! |---|---|
 //! | [`cache`] | content-addressed plan LRU + adaptive admission |
-//! | [`shared`] | the sharded concurrent [`SharedPlanCache`] |
+//! | [`shared`] | the sharded concurrent [`SharedPlanCache`], per-tenant admission |
+//! | [`snapshot`] | [`PlanSnapshot`]: persist hot plans across restarts |
 //! | `pool` | recycled executor buffers (internal) |
 //! | [`session`] | one stream's state: [`Session`] (= the historical [`Engine`]) |
 //! | [`batch`] | [`BatchScheduler`] interleaving many traces over one shared cache |
@@ -32,7 +33,16 @@
 //!   ([`AdmissionConfig`]) bypasses cache insertion when the stream is
 //!   uncorrelated, so miss-heavy traffic stops paying key-copy + LRU +
 //!   eviction bookkeeping for reuse that never materializes; a sparse
-//!   probe stream re-opens admission when correlation returns.
+//!   probe stream re-opens admission when correlation returns. On a
+//!   shared cache the estimator is keyed per *tenant*
+//!   ([`Session::with_shared_tenant`]), so co-located hot and cold
+//!   streams get independent admission decisions.
+//! * **Warm-start snapshots** — the hottest plans of any cache can be
+//!   exported to a versioned, checksummed binary [`PlanSnapshot`] and
+//!   re-imported after a process restart ([`Session::warm_start`],
+//!   [`BatchScheduler::warm_start`]), so a restarted server begins at a
+//!   warm hit rate instead of re-planning its whole working set;
+//!   restored-plan hits are surfaced as [`EngineStats::restored_hits`].
 //! * **Scratch reuse** — cache misses are planned through one persistent
 //!   [`PlanScratch`](crate::plan::PlanScratch), so steady-state planning
 //!   allocates only for the meta it emits.
@@ -58,12 +68,14 @@ pub mod cache;
 pub(crate) mod pool;
 pub mod session;
 pub mod shared;
+pub mod snapshot;
 pub mod stats;
 
 pub use batch::{BatchPolicy, BatchScheduler, TraceStep};
 pub use cache::AdmissionConfig;
 pub use session::{Engine, Session};
 pub use shared::SharedPlanCache;
+pub use snapshot::{ImportReport, PlanSnapshot, SnapshotError};
 pub use stats::{EngineStats, SharedCacheStats};
 
 use serde::{Deserialize, Serialize};

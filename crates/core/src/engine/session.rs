@@ -8,11 +8,13 @@ use crate::plan::{PlanScratch, TileMeta};
 use spikemat::gemm::{OutputMatrix, WeightMatrix};
 use spikemat::SpikeMatrix;
 
-use super::cache::{hash_tile, InsertOutcome, PlanCache};
+use super::cache::{hash_tile, Admission, InsertOutcome, PlanCache};
 use super::pool::BufferPool;
 use super::shared::SharedPlanCache;
+use super::snapshot::{ImportReport, PlanSnapshot, SnapshotEntry};
 use super::stats::EngineStats;
 use super::{Element, EngineConfig};
+use std::sync::Mutex;
 
 /// A cached plan placed at a concrete grid position.
 #[derive(Debug, Clone)]
@@ -127,6 +129,13 @@ impl ChainLayout {
 pub struct Session<T = i64> {
     config: EngineConfig,
     cache: CacheSlot,
+    /// Which tenant's admission window this session's shared-cache traffic
+    /// feeds (ignored by private/disabled backends — a private cache is
+    /// single-tenant by definition).
+    tenant: u64,
+    /// The tenant's shared admission window, resolved once at construction
+    /// so the per-tile hot path locks only this window, never a registry.
+    shared_admission: Option<Arc<Mutex<Admission>>>,
     plan_scratch: PlanScratch,
     /// Scratch tile for extraction + hashing.
     tile_buf: SpikeMatrix,
@@ -170,16 +179,54 @@ impl<T: Element> Session<T> {
     }
 
     /// Creates a session planning through a cache shared with other
-    /// sessions. The shared cache owns capacity and admission policy;
-    /// `config.cache_capacity`/`config.admission` are ignored in this mode.
+    /// sessions, as tenant `0`. The shared cache owns capacity and
+    /// admission policy; `config.cache_capacity`/`config.admission` are
+    /// ignored in this mode. Multi-tenant deployments should use
+    /// [`Session::with_shared_tenant`] so each stream gets its own
+    /// admission window.
     pub fn with_shared(config: EngineConfig, shared: Arc<SharedPlanCache>) -> Self {
-        Self::build(config, CacheSlot::Shared(shared))
+        Self::with_shared_tenant(config, shared, 0)
+    }
+
+    /// [`Session::with_shared`] with an explicit tenant id.
+    ///
+    /// The shared cache's admission policy tracks one sliding window per
+    /// tenant, so sessions carrying distinct ids get independent admission
+    /// decisions: a hot tenant's hits cannot hold insertion open for a
+    /// cold tenant, and a cold tenant's misses cannot close it for a hot
+    /// one. Sessions serving the same logical stream should share an id.
+    pub fn with_shared_tenant(
+        config: EngineConfig,
+        shared: Arc<SharedPlanCache>,
+        tenant: u64,
+    ) -> Self {
+        let shared_admission = shared.admission_handle(tenant);
+        let mut session = Self::build(config, CacheSlot::Shared(shared));
+        session.tenant = tenant;
+        session.shared_admission = shared_admission;
+        session
+    }
+
+    /// Creates a private-cache session pre-warmed from a snapshot, so the
+    /// first timesteps after a process restart hit instead of re-planning.
+    /// Returns the session plus what the import did (a snapshot larger
+    /// than the cache degrades to a partial restore of the hottest plans).
+    ///
+    /// For a shared cache, import into the cache itself instead
+    /// ([`SharedPlanCache::import`], or
+    /// [`BatchScheduler::warm_start`](super::BatchScheduler::warm_start)).
+    pub fn warm_start(config: EngineConfig, snapshot: &PlanSnapshot) -> (Self, ImportReport) {
+        let mut session = Self::new(config);
+        let report = session.import_snapshot(snapshot);
+        (session, report)
     }
 
     fn build(config: EngineConfig, cache: CacheSlot) -> Self {
         Self {
             config,
             cache,
+            tenant: 0,
+            shared_admission: None,
             plan_scratch: PlanScratch::new(),
             tile_buf: SpikeMatrix::zeros(0, 0),
             tiles: Vec::new(),
@@ -203,6 +250,61 @@ impl<T: Element> Session<T> {
         match &self.cache {
             CacheSlot::Shared(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// The tenant id this session's shared-cache admission traffic is
+    /// keyed by (0 unless set via [`Session::with_shared_tenant`]).
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Exports the up-to-`n` hottest plans of this session's cache as a
+    /// [`PlanSnapshot`] (for a shared cache: the whole fleet's hottest,
+    /// exported shard by shard without a global pause). An `Off` backend
+    /// exports an empty snapshot.
+    pub fn export_snapshot(&self, n: usize) -> PlanSnapshot {
+        match &self.cache {
+            CacheSlot::Off => PlanSnapshot::default(),
+            CacheSlot::Private(c) => PlanSnapshot {
+                entries: c.export_hottest(n),
+            },
+            CacheSlot::Shared(s) => s.export_hottest(n),
+        }
+    }
+
+    /// Restores a snapshot's plans into this session's cache (see
+    /// [`Session::warm_start`] for the usual entry point). Respects
+    /// capacity — surplus entries are dropped, never evicting live ones —
+    /// and leaves admission state untouched. Entries whose tile geometry
+    /// does not match this session's `config.tile` are dropped as
+    /// [`ImportReport::skipped_shape`] (a decoded snapshot is internally
+    /// consistent, but only the importer knows the shape it serves). With
+    /// caching disabled the whole snapshot is reported as skipped.
+    pub fn import_snapshot(&mut self, snapshot: &PlanSnapshot) -> ImportReport {
+        let tile = self.config.tile;
+        match &mut self.cache {
+            CacheSlot::Off => ImportReport {
+                requested: snapshot.len(),
+                skipped_capacity: snapshot.len(),
+                ..ImportReport::default()
+            },
+            CacheSlot::Private(c) => {
+                let mut skipped_shape = 0;
+                let mut fit: Vec<SnapshotEntry> = Vec::with_capacity(snapshot.len());
+                for entry in &snapshot.entries {
+                    if entry.matches_shape(tile.m, tile.k) {
+                        fit.push(entry.clone());
+                    } else {
+                        skipped_shape += 1;
+                    }
+                }
+                let mut report = c.import(fit);
+                report.requested += skipped_shape;
+                report.skipped_shape = skipped_shape;
+                report
+            }
+            CacheSlot::Shared(s) => s.import(snapshot, tile),
         }
     }
 
@@ -257,6 +359,7 @@ impl<T: Element> Session<T> {
                     &mut self.plan_scratch,
                     &mut self.stats,
                     &tile_buf,
+                    self.shared_admission.as_deref(),
                 );
                 self.tiles.push(PlacedTile {
                     meta,
@@ -279,6 +382,7 @@ impl<T: Element> Session<T> {
         scratch: &mut PlanScratch,
         stats: &mut EngineStats,
         tile: &SpikeMatrix,
+        admission: Option<&Mutex<Admission>>,
     ) -> Arc<TileMeta> {
         let fresh = |scratch: &mut PlanScratch| {
             let (meta, _) = TileMeta::build_with(tile, 0, 0, scratch);
@@ -291,8 +395,9 @@ impl<T: Element> Session<T> {
             }
             CacheSlot::Private(cache) => {
                 let hash = hash_tile(tile);
-                if let Some(meta) = cache.lookup(hash, tile) {
+                if let Some((meta, restored)) = cache.lookup(hash, tile) {
                     stats.cache_hits += 1;
+                    stats.restored_hits += u64::from(restored);
                     return meta;
                 }
                 stats.cache_misses += 1;
@@ -307,12 +412,13 @@ impl<T: Element> Session<T> {
             }
             CacheSlot::Shared(shared) => {
                 let hash = hash_tile(tile);
-                if let Some(meta) = shared.lookup(hash, tile) {
+                if let Some((meta, restored)) = shared.lookup(hash, tile, admission) {
                     stats.cache_hits += 1;
+                    stats.restored_hits += u64::from(restored);
                     return meta;
                 }
                 stats.cache_misses += 1;
-                let (meta, outcome) = shared.insert(hash, tile, fresh(scratch));
+                let (meta, outcome) = shared.insert(hash, tile, fresh(scratch), admission);
                 match outcome {
                     // Deduplicated: a racing session won the insert; the
                     // resident plan is used and no admission bypass is

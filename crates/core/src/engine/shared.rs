@@ -1,11 +1,25 @@
 //! The concurrent shard layer over the plan cache: a [`SharedPlanCache`]
-//! any number of sessions hit together.
+//! any number of sessions hit together, with admission tracked *per
+//! tenant* and snapshot export that never stops the world.
+//!
+//! Sharding covers concurrency: the key space is split across power-of-two
+//! shards by the top bits of the content hash, one mutexed LRU per shard,
+//! so sessions contend only on same-shard tiles and misses are planned
+//! outside any lock. Admission, by contrast, is a *stream* property, not a
+//! key-space property — a tenant replaying a correlated trace should keep
+//! inserting while an uncorrelated tenant sharing the cache gets bypassed
+//! — so the sliding-window estimators live in a per-tenant table beside
+//! the shards, keyed by the session's tenant id. Snapshot export locks one
+//! shard at a time and interleaves the per-shard recency lists, so a
+//! serving fleet can checkpoint its hot plans without a global pause.
 
 use crate::plan::TileMeta;
-use spikemat::SpikeMatrix;
+use spikemat::{SpikeMatrix, TileShape};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use super::cache::{AdmissionConfig, InsertOutcome, PlanCache};
+use super::cache::{Admission, AdmissionConfig, InsertOutcome, PlanCache};
+use super::snapshot::{ImportReport, PlanSnapshot, SnapshotEntry};
 use super::stats::SharedCacheStats;
 
 /// Per-shard aggregate counters, updated under the shard lock.
@@ -17,6 +31,7 @@ struct ShardCounters {
     evictions: u64,
     bypasses: u64,
     dedups: u64,
+    restored_hits: u64,
 }
 
 /// One lock domain of the shared cache.
@@ -24,6 +39,59 @@ struct ShardCounters {
 struct Shard {
     cache: PlanCache,
     counters: ShardCounters,
+}
+
+/// Registry of per-tenant sliding-window admission estimators.
+///
+/// Every tenant gets its own [`Admission`] window behind its own mutex,
+/// created lazily when the first session for that tenant asks for a
+/// [`handle`](AdmissionTable::handle), so admission decisions are
+/// independent across tenants: one hot tenant's hits cannot hold
+/// insertion open for a cold tenant (the historical per-shard leak), and
+/// one cold tenant's misses cannot close it for a hot one.
+///
+/// Admission is consulted on every lookup and every insert, so the hot
+/// path must not funnel through any table-wide lock — that would
+/// re-introduce exactly the global serialization point the cache shards
+/// exist to avoid. Sessions therefore resolve their tenant's
+/// `Arc<Mutex<Admission>>` handle *once* at construction and hit only
+/// that mutex afterwards; the registry's own mutex is touched once per
+/// session (plus `stats()`), never per tile. Sessions of the *same*
+/// tenant still serialize on their shared window — that is the
+/// semantics, not a bottleneck to engineer away.
+///
+/// Windows are never garbage-collected (a ROADMAP item): each window is a
+/// few machine words, so this only matters if tenant ids are minted from
+/// an unbounded source (e.g. per request). Key sessions by *stable* tenant
+/// identity, not per-connection ids.
+#[derive(Debug)]
+struct AdmissionTable {
+    cfg: AdmissionConfig,
+    states: Mutex<HashMap<u64, Arc<Mutex<Admission>>>>,
+}
+
+impl AdmissionTable {
+    fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The tenant's shared admission window, created on first request.
+    fn handle(&self, tenant: u64) -> Arc<Mutex<Admission>> {
+        Arc::clone(
+            self.states
+                .lock()
+                .expect("admission table poisoned")
+                .entry(tenant)
+                .or_insert_with(|| Arc::new(Mutex::new(Admission::new(self.cfg)))),
+        )
+    }
+
+    fn tenant_count(&self) -> usize {
+        self.states.lock().expect("admission table poisoned").len()
+    }
 }
 
 /// A concurrent tile-plan cache shared by any number of sessions.
@@ -40,12 +108,39 @@ struct Shard {
 ///
 /// Eviction is per shard (capacity is divided evenly), so global recency is
 /// approximate; with a content-addressed cache this only affects *which*
-/// plan is evicted, never correctness.
+/// plan is evicted, never correctness. Admission (when configured) is
+/// tracked per *tenant*, not per shard — see
+/// [`Session::with_shared_tenant`](super::Session::with_shared_tenant).
+///
+/// ```
+/// use prosperity_core::engine::{EngineConfig, Session, SharedPlanCache};
+/// use spikemat::gemm::{spiking_gemm, OutputMatrix, WeightMatrix};
+/// use spikemat::SpikeMatrix;
+/// use std::sync::Arc;
+///
+/// // Two sessions plan through one cache: whichever session plans a tile
+/// // first warms it for the other, bit-identically.
+/// let shared = Arc::new(SharedPlanCache::new(1024));
+/// let config = EngineConfig::default();
+/// let mut a = Session::<i64>::with_shared(config, Arc::clone(&shared));
+/// let mut b = Session::<i64>::with_shared(config, Arc::clone(&shared));
+///
+/// let spikes = SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[1, 1, 1]]);
+/// let weights = WeightMatrix::from_fn(3, 2, |r, c| (r + 2 * c) as i64);
+/// let mut out = OutputMatrix::zeros(0, 0);
+/// a.gemm_into(&spikes, &weights, &mut out);
+/// b.gemm_into(&spikes, &weights, &mut out);
+/// assert_eq!(out, spiking_gemm(&spikes, &weights));
+/// // Session `a` planned the tiles; session `b` reused every one of them.
+/// assert_eq!(b.stats().cache_misses, 0);
+/// assert_eq!(shared.stats().dedups, 0);
+/// ```
 #[derive(Debug)]
 pub struct SharedPlanCache {
     shards: Box<[Mutex<Shard>]>,
     shard_bits: u32,
     capacity: usize,
+    admission: Option<AdmissionTable>,
 }
 
 impl SharedPlanCache {
@@ -60,12 +155,12 @@ impl SharedPlanCache {
     }
 
     /// Creates a shared cache with an explicit shard count (rounded up to a
-    /// power of two, at least 1) and optional admission policy. The
-    /// requested `capacity` is divided evenly across shards, rounding each
-    /// shard *up* so a tiny capacity still gives every shard at least one
-    /// slot; [`SharedPlanCache::capacity`] reports the resulting effective
-    /// total (`per_shard × shards`, ≥ the request), so `resident` can never
-    /// exceed the advertised capacity.
+    /// power of two, at least 1) and optional admission policy (tracked per
+    /// tenant). The requested `capacity` is divided evenly across shards,
+    /// rounding each shard *up* so a tiny capacity still gives every shard
+    /// at least one slot; [`SharedPlanCache::capacity`] reports the
+    /// resulting effective total (`per_shard × shards`, ≥ the request), so
+    /// `resident` can never exceed the advertised capacity.
     pub fn with_shards(capacity: usize, shards: usize, admission: Option<AdmissionConfig>) -> Self {
         let n = shards.max(1).next_power_of_two();
         let shard_bits = n.trailing_zeros();
@@ -78,7 +173,9 @@ impl SharedPlanCache {
         let shards = (0..n)
             .map(|_| {
                 Mutex::new(Shard {
-                    cache: PlanCache::new(per_shard, admission),
+                    // Admission lives in the per-tenant table, never in the
+                    // shard caches.
+                    cache: PlanCache::new(per_shard, None),
                     counters: ShardCounters::default(),
                 })
             })
@@ -87,6 +184,7 @@ impl SharedPlanCache {
             shards,
             shard_bits,
             capacity,
+            admission: admission.map(AdmissionTable::new),
         }
     }
 
@@ -127,6 +225,10 @@ impl SharedPlanCache {
         let mut out = SharedCacheStats {
             shards: self.shards.len(),
             capacity: self.capacity,
+            tenants: self
+                .admission
+                .as_ref()
+                .map_or(0, AdmissionTable::tenant_count),
             ..SharedCacheStats::default()
         };
         for s in self.shards.iter() {
@@ -137,31 +239,156 @@ impl SharedPlanCache {
             out.evictions += s.counters.evictions;
             out.bypasses += s.counters.bypasses;
             out.dedups += s.counters.dedups;
+            out.restored_hits += s.counters.restored_hits;
             out.resident += s.cache.len();
+            out.restored_resident += s.cache.restored_resident();
         }
         out
     }
 
+    /// Exports the up-to-`n` hottest plans across all shards as a
+    /// [`PlanSnapshot`], without stopping the world: shards are locked one
+    /// at a time, and their recency lists are interleaved rank-by-rank
+    /// (every shard's MRU entry before any shard's second entry), the same
+    /// approximation of global recency that per-shard eviction already
+    /// accepts.
+    pub fn export_hottest(&self, n: usize) -> PlanSnapshot {
+        // First pass: shard depths only, so the clone work below can be
+        // bounded — without this, every shard would have to export up to
+        // `n` entries (shards × n clones under the locks) for the merge
+        // to keep only `n`.
+        let lens: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").cache.len())
+            .collect();
+        let target = n.min(lens.iter().sum());
+        // Smallest per-shard depth whose rank interleave covers `target`
+        // entries; at most `target + shards` entries are then cloned.
+        let (mut lo, mut hi) = (0usize, lens.iter().copied().max().unwrap_or(0));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if lens.iter().map(|&l| l.min(mid)).sum::<usize>() >= target {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let depth = lo;
+        // Second pass: export and merge. A shard mutated between the
+        // passes can only make the export slightly smaller or staler —
+        // the same approximation concurrent eviction already imposes.
+        let mut per_shard: Vec<std::vec::IntoIter<SnapshotEntry>> = self
+            .shards
+            .iter()
+            .zip(&lens)
+            .map(|(s, &l)| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .cache
+                    .export_hottest(l.min(depth))
+                    .into_iter()
+            })
+            .collect();
+        let mut entries = Vec::with_capacity(target);
+        'merge: for _rank in 0..depth {
+            for shard in per_shard.iter_mut() {
+                if let Some(entry) = shard.next() {
+                    if entries.len() == n {
+                        break 'merge;
+                    }
+                    entries.push(entry);
+                }
+            }
+        }
+        PlanSnapshot { entries }
+    }
+
+    /// Restores a snapshot's plans into this cache, routing every entry to
+    /// its shard (shards are locked one at a time). `tile` is the shape
+    /// this cache's sessions serve: entries planned for a different
+    /// geometry are dropped as [`ImportReport::skipped_shape`] — a
+    /// wrong-shape plan's key can (rarely) equal a live tile's flat limbs
+    /// and would then misindex the executor at serve time. Capacity is
+    /// respected per shard — surplus entries degrade to a partial restore,
+    /// live entries are never evicted — and the admission table is
+    /// untouched: a restore is not traffic. Returns the merged per-shard
+    /// report.
+    pub fn import(&self, snapshot: &PlanSnapshot, tile: TileShape) -> ImportReport {
+        let mut routed: Vec<Vec<SnapshotEntry>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut skipped_shape = 0;
+        for entry in &snapshot.entries {
+            if entry.matches_shape(tile.m, tile.k) {
+                routed[self.shard_index(entry.hash)].push(entry.clone());
+            } else {
+                skipped_shape += 1;
+            }
+        }
+        let mut report = ImportReport {
+            requested: skipped_shape,
+            skipped_shape,
+            ..ImportReport::default()
+        };
+        for (shard, entries) in self.shards.iter().zip(routed) {
+            let delta = shard.lock().expect("shard poisoned").cache.import(entries);
+            report.merge(&delta);
+        }
+        report
+    }
+
     #[inline]
-    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+    fn shard_index(&self, hash: u64) -> usize {
         // Top bits: decorrelated from the HashMap bucket index, which uses
         // the low bits of the same hash.
-        let idx = if self.shard_bits == 0 {
+        if self.shard_bits == 0 {
             0
         } else {
             (hash >> (64 - self.shard_bits)) as usize
-        };
-        &self.shards[idx]
+        }
     }
 
-    /// Shard-locked lookup; refreshes recency and feeds that shard's
-    /// admission estimator.
-    pub(crate) fn lookup(&self, hash: u64, tile: &SpikeMatrix) -> Option<Arc<TileMeta>> {
-        let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
-        let found = shard.cache.lookup(hash, tile);
-        match found {
-            Some(_) => shard.counters.hits += 1,
-            None => shard.counters.misses += 1,
+    #[inline]
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(hash)]
+    }
+
+    /// The admission window for `tenant`, if this cache has an admission
+    /// policy. Sessions resolve this once at construction and pass it to
+    /// [`SharedPlanCache::lookup`]/[`SharedPlanCache::insert`], so the per-
+    /// tile hot path touches only the tenant's own mutex, never a table.
+    pub(crate) fn admission_handle(&self, tenant: u64) -> Option<Arc<Mutex<Admission>>> {
+        self.admission.as_ref().map(|t| t.handle(tenant))
+    }
+
+    /// Shard-locked lookup; refreshes recency and feeds the caller's
+    /// admission window (its session's tenant — see
+    /// [`SharedPlanCache::admission_handle`]). A hit reports whether the
+    /// serving entry was snapshot-restored.
+    pub(crate) fn lookup(
+        &self,
+        hash: u64,
+        tile: &SpikeMatrix,
+        admission: Option<&Mutex<Admission>>,
+    ) -> Option<(Arc<TileMeta>, bool)> {
+        let found = {
+            let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
+            let found = shard.cache.lookup(hash, tile);
+            match &found {
+                Some((_, restored)) => {
+                    shard.counters.hits += 1;
+                    shard.counters.restored_hits += u64::from(*restored);
+                }
+                None => shard.counters.misses += 1,
+            }
+            found
+        };
+        // The shard lock is already released; the tenant's window is its
+        // own (brief) lock domain.
+        if let Some(a) = admission {
+            a.lock()
+                .expect("admission poisoned")
+                .record(found.is_some());
         }
         found
     }
@@ -176,14 +403,17 @@ impl SharedPlanCache {
     }
 
     /// Offers a freshly planned tile; returns the plan to use plus the
-    /// insertion outcome. If a racing session inserted the same tile while
-    /// this one was planning, the resident plan wins (deduplication) and
-    /// the offer is dropped without counting as an insertion.
+    /// insertion outcome. If a racing session inserted the same tile
+    /// while this one was planning, the resident plan wins (deduplication)
+    /// and the offer is dropped without counting as an insertion;
+    /// otherwise the caller's tenant admission window (if any) decides
+    /// whether the plan is stored or bypassed.
     pub(crate) fn insert(
         &self,
         hash: u64,
         tile: &SpikeMatrix,
         meta: Arc<TileMeta>,
+        admission: Option<&Mutex<Admission>>,
     ) -> (Arc<TileMeta>, InsertOutcome) {
         let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
         // Dedup check: the offering session already counted its miss in
@@ -193,6 +423,15 @@ impl SharedPlanCache {
         if let Some(resident) = shard.cache.get(hash, tile) {
             shard.counters.dedups += 1;
             return (resident, InsertOutcome::Deduplicated);
+        }
+        // Tenant admission, consulted only for a real (non-dedup) offer.
+        // Lock order is always shard → admission window, so the nesting
+        // cannot deadlock against `lookup` (which takes them disjointly).
+        if let Some(a) = admission {
+            if !a.lock().expect("admission poisoned").should_insert() {
+                shard.counters.bypasses += 1;
+                return (meta, InsertOutcome::Bypassed);
+            }
         }
         let outcome = shard.cache.insert(hash, tile, Arc::clone(&meta));
         match outcome {

@@ -15,12 +15,12 @@ fn shared_cache_dedupes_racing_inserts() {
     let h = hash_tile(&t);
     let m1 = Arc::new(TileMeta::build(&t, 0, 0));
     let m2 = Arc::new(TileMeta::build(&t, 0, 0));
-    let (kept1, o1) = shared.insert(h, &t, Arc::clone(&m1));
+    let (kept1, o1) = shared.insert(h, &t, Arc::clone(&m1), None);
     assert_eq!(o1, InsertOutcome::Inserted);
     assert!(Arc::ptr_eq(&kept1, &m1));
     // A racing planner offering the same tile gets the resident plan, and
     // the race is ledgered as a dedup, not an admission bypass.
-    let (kept2, o2) = shared.insert(h, &t, m2);
+    let (kept2, o2) = shared.insert(h, &t, m2, None);
     assert_eq!(o2, InsertOutcome::Deduplicated);
     assert!(Arc::ptr_eq(&kept2, &m1));
     assert_eq!(shared.len(), 1);
@@ -43,8 +43,8 @@ fn shared_cache_spreads_and_clears() {
     for _ in 0..64 {
         let t = SpikeMatrix::random(shape.m, shape.k, 0.5, &mut rng);
         let h = hash_tile(&t);
-        if shared.lookup(h, &t).is_none() {
-            let (_, o) = shared.insert(h, &t, Arc::new(TileMeta::build(&t, 0, 0)));
+        if shared.lookup(h, &t, None).is_none() {
+            let (_, o) = shared.insert(h, &t, Arc::new(TileMeta::build(&t, 0, 0)), None);
             if o != InsertOutcome::Bypassed {
                 resident += 1;
             }
@@ -55,6 +55,105 @@ fn shared_cache_spreads_and_clears() {
     shared.clear();
     assert!(shared.is_empty());
     assert_eq!(shared.stats().resident, 0);
+}
+
+#[test]
+fn admission_is_tracked_per_tenant_not_per_shard() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let cfg = AdmissionConfig {
+        window: 8,
+        min_hit_permille: 500,
+        probe_period: 0,
+    };
+    // One shard: under the historical per-shard policy both tenants would
+    // share a single admission window and the hot tenant's hits would keep
+    // it open for everyone.
+    let shared = SharedPlanCache::with_shards(256, 1, Some(cfg));
+    // Each tenant's session resolves its own admission handle once, the
+    // way `Session::with_shared_tenant` does.
+    let hot_adm = shared.admission_handle(0);
+    let cold_adm = shared.admission_handle(1);
+    let mut rng = StdRng::seed_from_u64(0x7E2A);
+    let hot_tile = SpikeMatrix::random(4, 16, 0.4, &mut rng);
+    let hot_hash = hash_tile(&hot_tile);
+    let plan = |t: &SpikeMatrix| Arc::new(TileMeta::build(t, 0, 0));
+    shared.insert(hot_hash, &hot_tile, plan(&hot_tile), hot_adm.as_deref());
+    let mut cold_bypassed = 0u64;
+    let mut hot_inserted = 0u64;
+    for i in 0..64 {
+        // Tenant 0 replays one tile forever: a 100 % hit stream.
+        assert!(shared
+            .lookup(hot_hash, &hot_tile, hot_adm.as_deref())
+            .is_some());
+        // Tenant 1 never repeats a tile: a 0 % hit stream.
+        let cold = SpikeMatrix::random(4, 16, 0.4, &mut rng);
+        let cold_hash = hash_tile(&cold);
+        assert!(shared
+            .lookup(cold_hash, &cold, cold_adm.as_deref())
+            .is_none());
+        let (_, outcome) = shared.insert(cold_hash, &cold, plan(&cold), cold_adm.as_deref());
+        cold_bypassed += u64::from(outcome == InsertOutcome::Bypassed);
+        // The hot tenant occasionally plans something new of its own; its
+        // window must stay open despite the cold tenant's misses.
+        if i % 8 == 7 {
+            let fresh = SpikeMatrix::random(4, 16, 0.6, &mut rng);
+            let (_, o) = shared.insert(hash_tile(&fresh), &fresh, plan(&fresh), hot_adm.as_deref());
+            hot_inserted += u64::from(o == InsertOutcome::Inserted);
+        }
+    }
+    assert!(
+        cold_bypassed > 0,
+        "cold tenant must close its own admission: {:?}",
+        shared.stats()
+    );
+    assert_eq!(
+        hot_inserted,
+        8,
+        "hot tenant must keep inserting: {:?}",
+        shared.stats()
+    );
+    assert_eq!(shared.stats().tenants, 2);
+}
+
+#[test]
+fn sharded_export_interleaves_recency_and_respects_n() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let shared = SharedPlanCache::with_shards(256, 4, None);
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..32 {
+        let t = SpikeMatrix::random(8, 16, 0.5, &mut rng);
+        let h = hash_tile(&t);
+        if shared.lookup(h, &t, None).is_none() {
+            shared.insert(h, &t, Arc::new(TileMeta::build(&t, 0, 0)), None);
+        }
+    }
+    let tile = TileShape::new(8, 16);
+    let resident = shared.len();
+    assert!(resident > 8);
+    let full = shared.export_hottest(usize::MAX);
+    assert_eq!(full.len(), resident);
+    let capped = shared.export_hottest(5);
+    assert_eq!(capped.len(), 5);
+    // Re-importing a full export into the same cache is a no-op: every key
+    // is already resident.
+    let report = shared.import(&full, tile);
+    assert_eq!(report.restored, 0);
+    assert_eq!(report.skipped_duplicate, resident);
+    // A fresh cache with a different shard layout restores everything.
+    let other = SharedPlanCache::with_shards(256, 8, None);
+    let report = other.import(&full, tile);
+    assert_eq!(report.restored, resident);
+    assert_eq!(other.len(), resident);
+    assert_eq!(other.stats().restored_resident, resident);
+    // Declaring a different serving shape drops everything instead of
+    // planting plans the executor could misindex on a key collision.
+    let misfit = SharedPlanCache::with_shards(256, 8, None);
+    let report = misfit.import(&full, TileShape::new(16, 8));
+    assert_eq!(report.skipped_shape, resident);
+    assert_eq!(report.restored, 0);
+    assert!(misfit.is_empty());
 }
 
 #[test]

@@ -1,0 +1,712 @@
+//! Plan-cache snapshots: persist the hottest plans across process restarts.
+//!
+//! The serving runtime's whole advantage is a warm plan cache — but the
+//! cache dies with the process, so every restart pays the full cold
+//! planning cost again until the hit rate recovers. A [`PlanSnapshot`]
+//! captures the hottest N entries of a cache (keys, tile metas, pattern
+//! limbs, recency order, and per-entry hit counts) in a versioned,
+//! checksummed binary format, and a restarted process imports it to start
+//! at a warm hit rate instead of zero.
+//!
+//! The codec follows the `trace_io` style: a hand-rolled little-endian
+//! layout over [`bytes`], no `serde` on the hot types, and decode paths
+//! that fail cleanly (never panic) on truncated, corrupt, or
+//! version-skewed input. Restores are *exact*: an imported entry is
+//! bit-identical to the exported one — same key limbs, same
+//! [`TileMeta`] down to the packed pattern limbs —
+//! so a warm-started cache serves exactly the plans the original process
+//! would have (property-tested in `tests/serving.rs`).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "PSNP" | version u32 | entry count u32 | payload checksum u64
+//! payload, per entry (hottest first):
+//!   hash u64 | hits u64 | key limb count u32 | key limbs (u64 each)
+//!   row_start u64 | col_start u64 | valid_rows u32 | valid_cols u32
+//!   sorter_stages u32 | row count u32 | pattern bit-length u32
+//!   per row: prefix u32 (u32::MAX = none) | kind u8
+//!            | pattern limbs (⌈bits/64⌉ u64 each)
+//!   order: row count × u32
+//! ```
+//!
+//! The checksum (FNV-1a over the payload) is verified before any payload
+//! field is trusted; the per-entry hash is additionally re-derived from
+//! the key limbs on decode, so a flipped bit in either is caught twice.
+//! `pattern_limbs` is not stored — it is by construction the
+//! concatenation of the per-row patterns and is rebuilt on decode.
+//!
+//! Typical lifecycle:
+//!
+//! ```
+//! use prosperity_core::engine::{Engine, PlanSnapshot, Session};
+//! use spikemat::gemm::{OutputMatrix, WeightMatrix};
+//! use spikemat::SpikeMatrix;
+//!
+//! // A serving process warms its cache...
+//! let mut engine = Engine::<i64>::default();
+//! let spikes = SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[1, 0, 1]]);
+//! let weights = WeightMatrix::from_fn(3, 2, |r, c| (r + c) as i64);
+//! let mut out = OutputMatrix::zeros(0, 0);
+//! engine.gemm_into(&spikes, &weights, &mut out);
+//!
+//! // ...snapshots the hottest plans at shutdown...
+//! let bytes = engine.export_snapshot(1024).encode();
+//!
+//! // ...and the next process starts warm instead of cold.
+//! let snapshot = PlanSnapshot::decode(bytes).expect("valid snapshot");
+//! let (mut warm, report) = Session::<i64>::warm_start(*engine.config(), &snapshot);
+//! assert_eq!(report.restored, snapshot.len());
+//! warm.gemm_into(&spikes, &weights, &mut out);
+//! assert_eq!(warm.stats().restored_hits, warm.stats().cache_hits);
+//! ```
+
+use crate::plan::{RowMeta, TileMeta};
+use crate::prune::MatchKind;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spikemat::BitRow;
+use std::fmt;
+use std::sync::Arc;
+
+use super::cache::hash_limbs;
+
+const MAGIC: &[u8; 4] = b"PSNP";
+const VERSION: u32 = 1;
+/// Sentinel for "no prefix" in the on-disk row encoding.
+const NO_PREFIX: u32 = u32::MAX;
+
+/// Errors raised while decoding or loading a serialized snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the `PSNP` magic.
+    BadMagic,
+    /// Unsupported format version (older/newer writer).
+    BadVersion(u32),
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// The payload checksum does not match its contents.
+    ChecksumMismatch,
+    /// A field held an invalid value (e.g. an out-of-range prefix index).
+    Corrupt(&'static str),
+    /// Reading the snapshot file failed.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a plan snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot buffer truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
+            SnapshotError::Io(err) => write!(f, "snapshot io: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// What an import did with the snapshot's entries.
+///
+/// `requested == restored + skipped_capacity + skipped_duplicate +
+/// skipped_shape` always holds; a partial restore (snapshot larger than
+/// the restoring cache) shows up as `skipped_capacity > 0`, never as an
+/// error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Entries the snapshot offered.
+    pub requested: usize,
+    /// Entries now resident because of this import.
+    pub restored: usize,
+    /// Hottest-first surplus dropped because the cache ran out of room
+    /// (import never evicts live entries).
+    pub skipped_capacity: usize,
+    /// Entries whose key was already resident (e.g. importing into an
+    /// already-warm cache).
+    pub skipped_duplicate: usize,
+    /// Entries whose tile geometry does not match the importing session's
+    /// configured tile shape (a snapshot from a differently-configured
+    /// process — its plans could never be looked up here, and a
+    /// wrong-shape plan must never be served).
+    pub skipped_shape: usize,
+}
+
+impl ImportReport {
+    /// Accumulates another shard's or session's report into this one.
+    pub fn merge(&mut self, other: &ImportReport) {
+        self.requested += other.requested;
+        self.restored += other.restored;
+        self.skipped_capacity += other.skipped_capacity;
+        self.skipped_duplicate += other.skipped_duplicate;
+        self.skipped_shape += other.skipped_shape;
+    }
+}
+
+/// One exported cache entry: the full content key, the plan, and its
+/// popularity metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct SnapshotEntry {
+    /// Content hash of `limbs` (redundant — re-derived and cross-checked on
+    /// decode).
+    pub(crate) hash: u64,
+    /// The tile's raw limbs, row-major — the cache key.
+    pub(crate) limbs: Box<[u64]>,
+    pub(crate) meta: Arc<TileMeta>,
+    /// Times the original cache served this plan.
+    pub(crate) hits: u64,
+}
+
+impl SnapshotEntry {
+    /// Whether this entry's plan was built for an `m × k` tile.
+    ///
+    /// The decoder can only check that an entry is *internally*
+    /// consistent; whether it fits the importing cache's tile shape is
+    /// known only at import time. A wrong-shape plan is worse than
+    /// useless — its key can (rarely) collide with a live tile's flat
+    /// limbs and then the executor would index out of bounds — so every
+    /// import path drops mismatches, reported as
+    /// [`ImportReport::skipped_shape`].
+    pub(crate) fn matches_shape(&self, m: usize, k: usize) -> bool {
+        self.meta.rows.len() == m && self.meta.rows.iter().all(|r| r.pattern.len() == k)
+    }
+}
+
+/// The hottest plans of a cache, in recency order (hottest first), ready to
+/// be encoded to bytes or imported into a fresh cache.
+///
+/// Produced by `Session::export_snapshot` /
+/// [`SharedPlanCache::export_hottest`](super::SharedPlanCache::export_hottest);
+/// consumed by the `warm_start` constructors and `import_snapshot` methods.
+/// See the [module docs](self) for the lifecycle and format.
+#[derive(Debug, Clone, Default)]
+pub struct PlanSnapshot {
+    pub(crate) entries: Vec<SnapshotEntry>,
+}
+
+impl PlanSnapshot {
+    /// Number of plans captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the snapshot into the versioned, checksummed binary
+    /// format.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::new();
+        for entry in &self.entries {
+            encode_entry(&mut payload, entry);
+        }
+        let payload = payload.freeze();
+        let mut buf = BytesMut::with_capacity(payload.len() + 20);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.entries.len() as u32);
+        buf.put_u64_le(fnv1a(&payload));
+        buf.put_slice(&payload);
+        buf.freeze()
+    }
+
+    /// Decodes a snapshot previously written by [`PlanSnapshot::encode`].
+    ///
+    /// Never panics on malformed input: truncation, bit flips (caught by
+    /// the payload checksum and the per-entry hash cross-check), version
+    /// skew, and out-of-range fields all surface as [`SnapshotError`]s.
+    pub fn decode(mut buf: Bytes) -> Result<Self, SnapshotError> {
+        need(&buf, 4)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        need(&buf, 16)?;
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let count = buf.get_u32_le() as usize;
+        let checksum = buf.get_u64_le();
+        if fnv1a(&buf) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut entries = Vec::with_capacity(count.min(buf.remaining() / MIN_ENTRY_BYTES));
+        for _ in 0..count {
+            entries.push(decode_entry(&mut buf)?);
+        }
+        if buf.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Writes [`PlanSnapshot::encode`]'s bytes to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, &self.encode()[..]).map_err(|e| SnapshotError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a snapshot file written by [`PlanSnapshot::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Self::decode(Bytes::from(bytes))
+    }
+}
+
+/// Smallest possible encoded entry (all counts zero) — bounds the upfront
+/// `Vec` reservation against a corrupt entry count.
+const MIN_ENTRY_BYTES: usize = 8 + 8 + 4 + 8 + 8 + 4 + 4 + 4 + 4 + 4;
+
+/// FNV-1a over the payload; cheap, order-sensitive, and enough to catch
+/// the accidental corruption this format defends against (bit rot,
+/// truncated writes) — it is not a cryptographic integrity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), SnapshotError> {
+    if buf.remaining() < n {
+        Err(SnapshotError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn encode_entry(buf: &mut BytesMut, entry: &SnapshotEntry) {
+    buf.put_u64_le(entry.hash);
+    buf.put_u64_le(entry.hits);
+    buf.put_u32_le(entry.limbs.len() as u32);
+    for &limb in entry.limbs.iter() {
+        buf.put_u64_le(limb);
+    }
+    let meta = &entry.meta;
+    buf.put_u64_le(meta.row_start as u64);
+    buf.put_u64_le(meta.col_start as u64);
+    buf.put_u32_le(meta.valid_rows as u32);
+    buf.put_u32_le(meta.valid_cols as u32);
+    buf.put_u32_le(meta.sorter_stages as u32);
+    buf.put_u32_le(meta.rows.len() as u32);
+    let pattern_bits = meta.rows.first().map_or(0, |r| r.pattern.len());
+    buf.put_u32_le(pattern_bits as u32);
+    for row in &meta.rows {
+        buf.put_u32_le(row.prefix.map_or(NO_PREFIX, |p| p as u32));
+        buf.put_u8(match row.kind {
+            MatchKind::None => 0,
+            MatchKind::Partial => 1,
+            MatchKind::Exact => 2,
+        });
+        for &limb in row.pattern.limbs() {
+            buf.put_u64_le(limb);
+        }
+    }
+    for &i in &meta.order {
+        buf.put_u32_le(i as u32);
+    }
+}
+
+fn decode_entry(buf: &mut Bytes) -> Result<SnapshotEntry, SnapshotError> {
+    need(buf, 20)?;
+    let hash = buf.get_u64_le();
+    let hits = buf.get_u64_le();
+    let limb_count = buf.get_u32_le() as usize;
+    need(buf, limb_count * 8)?;
+    let limbs: Box<[u64]> = (0..limb_count).map(|_| buf.get_u64_le()).collect();
+    if hash_limbs(&limbs) != hash {
+        return Err(SnapshotError::Corrupt("entry hash"));
+    }
+    need(buf, 8 + 8 + 4 + 4 + 4 + 4 + 4)?;
+    let row_start = buf.get_u64_le() as usize;
+    let col_start = buf.get_u64_le() as usize;
+    let valid_rows = buf.get_u32_le() as usize;
+    let valid_cols = buf.get_u32_le() as usize;
+    let sorter_stages = buf.get_u32_le() as usize;
+    let row_count = buf.get_u32_le() as usize;
+    let pattern_bits = buf.get_u32_le() as usize;
+    let pattern_words = pattern_bits.div_ceil(64);
+    // Cross-field consistency: the key is `row_count` rows of
+    // `pattern_words` limbs each, and the valid (non-padding) region can
+    // never exceed the padded tile. A file that lies about any of these
+    // must fail here, not panic later inside the executor.
+    if limb_count != row_count * pattern_words {
+        return Err(SnapshotError::Corrupt("key geometry"));
+    }
+    if valid_rows > row_count {
+        return Err(SnapshotError::Corrupt("valid rows"));
+    }
+    if valid_cols > pattern_bits {
+        return Err(SnapshotError::Corrupt("valid cols"));
+    }
+    // Reservations are clamped by the bytes actually present, so a
+    // malformed count cannot force a huge upfront allocation.
+    let mut rows = Vec::with_capacity(row_count.min(buf.remaining() / (5 + pattern_words * 8)));
+    let mut pattern_limbs =
+        Vec::with_capacity((row_count * pattern_words).min(buf.remaining() / 8));
+    for _ in 0..row_count {
+        need(buf, 5 + pattern_words * 8)?;
+        let prefix = match buf.get_u32_le() {
+            NO_PREFIX => None,
+            p if (p as usize) < row_count => Some(p as usize),
+            _ => return Err(SnapshotError::Corrupt("row prefix")),
+        };
+        let kind = match buf.get_u8() {
+            0 => MatchKind::None,
+            1 => MatchKind::Partial,
+            2 => MatchKind::Exact,
+            _ => return Err(SnapshotError::Corrupt("row kind")),
+        };
+        let mut pattern = BitRow::zeros(pattern_bits);
+        for limb_idx in 0..pattern_words {
+            let limb = buf.get_u64_le();
+            pattern_limbs.push(limb);
+            for bit in 0..64 {
+                let j = limb_idx * 64 + bit;
+                if j < pattern_bits && (limb >> bit) & 1 == 1 {
+                    pattern.set(j, true);
+                }
+            }
+        }
+        // A stored limb may only carry bits within the declared pattern
+        // length (the BitRow invariant the executor kernels rely on).
+        if pattern.limbs() != &pattern_limbs[pattern_limbs.len() - pattern_words..] {
+            return Err(SnapshotError::Corrupt("pattern tail bits"));
+        }
+        rows.push(RowMeta {
+            prefix,
+            kind,
+            pattern,
+        });
+    }
+    need(buf, row_count * 4)?;
+    let mut position = vec![usize::MAX; row_count];
+    let mut order = Vec::with_capacity(row_count);
+    for pos in 0..row_count {
+        let i = buf.get_u32_le() as usize;
+        if i >= row_count || position[i] != usize::MAX {
+            return Err(SnapshotError::Corrupt("execution order"));
+        }
+        position[i] = pos;
+        order.push(i);
+    }
+    // The order must be *topological*, not just a permutation: the
+    // executor computes each row on top of its prefix's already-finished
+    // output, so a prefix scheduled after (or equal to) its dependent row
+    // would silently read garbage — reject it here instead.
+    for (i, row) in rows.iter().enumerate() {
+        if let Some(p) = row.prefix {
+            if p == i || position[p] >= position[i] {
+                return Err(SnapshotError::Corrupt("execution order"));
+            }
+        }
+    }
+    Ok(SnapshotEntry {
+        hash,
+        limbs,
+        meta: Arc::new(TileMeta {
+            row_start,
+            col_start,
+            valid_rows,
+            valid_cols,
+            rows,
+            pattern_limbs,
+            order,
+            sorter_stages,
+        }),
+        hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, Session};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spikemat::gemm::{OutputMatrix, WeightMatrix};
+    use spikemat::{SpikeMatrix, TileShape};
+
+    /// A session warmed on a few random matrices, plus its traffic.
+    fn warm_session(seed: u64, cache_capacity: usize) -> (Session<i64>, Vec<SpikeMatrix>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = EngineConfig::new(TileShape::new(8, 8), cache_capacity);
+        let mut engine = Engine::new(config);
+        let w = WeightMatrix::from_fn(24, 3, |r, c| (r * 5 + c) as i64 - 11);
+        let mut out = OutputMatrix::zeros(0, 0);
+        let spikes: Vec<SpikeMatrix> = (0..6)
+            .map(|_| SpikeMatrix::random(20, 24, rng.gen_range(0.1..0.5), &mut rng))
+            .collect();
+        for s in &spikes {
+            engine.gemm_into(s, &w, &mut out);
+            engine.gemm_into(s, &w, &mut out); // second pass: per-slot hits
+        }
+        (engine, spikes)
+    }
+
+    fn entry_eq(a: &SnapshotEntry, b: &SnapshotEntry) -> bool {
+        a.hash == b.hash
+            && a.limbs == b.limbs
+            && a.hits == b.hits
+            && a.meta.row_start == b.meta.row_start
+            && a.meta.col_start == b.meta.col_start
+            && a.meta.valid_rows == b.meta.valid_rows
+            && a.meta.valid_cols == b.meta.valid_cols
+            && a.meta.sorter_stages == b.meta.sorter_stages
+            && a.meta.rows == b.meta.rows
+            && a.meta.pattern_limbs == b.meta.pattern_limbs
+            && a.meta.order == b.meta.order
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        for seed in 0..8u64 {
+            let (engine, _) = warm_session(0x500 + seed, 256);
+            let snap = engine.export_snapshot(256);
+            assert!(!snap.is_empty(), "seed {seed}");
+            let decoded = PlanSnapshot::decode(snap.encode()).expect("roundtrip");
+            assert_eq!(decoded.len(), snap.len(), "seed {seed}");
+            for (i, (a, b)) in snap.entries.iter().zip(&decoded.entries).enumerate() {
+                assert!(entry_eq(a, b), "seed {seed} entry {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = PlanSnapshot::default();
+        let bytes = snap.encode();
+        assert_eq!(PlanSnapshot::decode(bytes).expect("empty ok").len(), 0);
+    }
+
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let (engine, _) = warm_session(0x77, 64);
+        let bytes = engine.export_snapshot(4).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                PlanSnapshot::decode(bytes.slice(0..cut)).is_err(),
+                "cut at {cut}/{} must fail",
+                bytes.len()
+            );
+        }
+        assert!(PlanSnapshot::decode(bytes).is_ok());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let (engine, _) = warm_session(0x99, 64);
+        let clean = engine.export_snapshot(3).encode().to_vec();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                PlanSnapshot::decode(Bytes::from(bad)).is_err(),
+                "flip at byte {i} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_rejected() {
+        let (engine, _) = warm_session(0xAB, 64);
+        let mut bytes = engine.export_snapshot(2).encode().to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            PlanSnapshot::decode(Bytes::from(bytes)),
+            Err(SnapshotError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = PlanSnapshot::default().encode().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            PlanSnapshot::decode(Bytes::from(bytes)),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn forged_checksum_cannot_smuggle_inconsistent_geometry() {
+        // A writer can recompute the (non-cryptographic) checksum, so the
+        // decoder must reject cross-field lies on its own — at decode
+        // time, not as an executor panic at serve time.
+        let (engine, _) = warm_session(0xBEEF, 64);
+        let clean = engine.export_snapshot(1).encode().to_vec();
+        // Entry layout after the 20-byte header: hash u64 | hits u64 |
+        // limb_count u32 | limbs | row_start u64 | col_start u64 |
+        // valid_rows u32 | valid_cols u32 | ...
+        let limb_count = u32::from_le_bytes(clean[36..40].try_into().unwrap()) as usize;
+        let valid_rows_at = 40 + limb_count * 8 + 16;
+        let reforge = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut bytes = clean.clone();
+            mutate(&mut bytes);
+            let sum = fnv1a(&bytes[20..]);
+            bytes[12..20].copy_from_slice(&sum.to_le_bytes());
+            PlanSnapshot::decode(Bytes::from(bytes))
+        };
+        assert!(matches!(
+            reforge(
+                &|b| b[valid_rows_at..valid_rows_at + 4].copy_from_slice(&u32::MAX.to_le_bytes())
+            ),
+            Err(SnapshotError::Corrupt("valid rows"))
+        ));
+        assert!(matches!(
+            reforge(&|b| b[valid_rows_at + 4..valid_rows_at + 8]
+                .copy_from_slice(&u32::MAX.to_le_bytes())),
+            Err(SnapshotError::Corrupt("valid cols"))
+        ));
+        // Huge declared counts must error, never attempt the allocation.
+        let row_count_at = valid_rows_at + 12;
+        assert!(matches!(
+            reforge(&|b| {
+                b[row_count_at..row_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+                b[row_count_at + 4..row_count_at + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+            }),
+            Err(SnapshotError::Corrupt("key geometry"))
+        ));
+        // Untouched, the same reforge pipeline decodes fine.
+        assert!(reforge(&|_| {}).is_ok());
+    }
+
+    #[test]
+    fn forged_non_topological_order_is_rejected() {
+        // A permutation is not enough: the executor computes each row on
+        // top of its prefix, so a prefix ordered after its dependent row
+        // (or a self-prefix) must fail at decode, not corrupt outputs at
+        // serve time. Build a tile guaranteed to contain a prefix pair.
+        let tile = SpikeMatrix::from_rows_of_bits(&[&[1, 0, 0, 1], &[1, 1, 0, 1]]);
+        let config = EngineConfig::new(TileShape::new(2, 4), 16);
+        let mut engine = Engine::<i64>::new(config);
+        let w = WeightMatrix::from_fn(4, 2, |r, c| (r + c) as i64);
+        let mut out = OutputMatrix::zeros(0, 0);
+        engine.gemm_into(&tile, &w, &mut out);
+        let snap = engine.export_snapshot(16);
+        assert_eq!(snap.len(), 1);
+        let meta = &snap.entries[0].meta;
+        assert_eq!(meta.rows[1].prefix, Some(0), "row 1 must depend on row 0");
+        assert_eq!(meta.order, vec![0, 1]);
+        let clean = snap.encode().to_vec();
+        // The two order u32s are the last 8 bytes; swap them (prefix now
+        // scheduled after its dependent) and re-forge the checksum.
+        let order_at = clean.len() - 8;
+        let reforge = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut bytes = clean.clone();
+            mutate(&mut bytes);
+            let sum = fnv1a(&bytes[20..]);
+            bytes[12..20].copy_from_slice(&sum.to_le_bytes());
+            PlanSnapshot::decode(Bytes::from(bytes))
+        };
+        assert!(matches!(
+            reforge(&|b| {
+                b[order_at..order_at + 4].copy_from_slice(&1u32.to_le_bytes());
+                b[order_at + 4..order_at + 8].copy_from_slice(&0u32.to_le_bytes());
+            }),
+            Err(SnapshotError::Corrupt("execution order"))
+        ));
+        assert!(reforge(&|_| {}).is_ok());
+    }
+
+    #[test]
+    fn import_drops_entries_of_a_different_tile_shape() {
+        // A snapshot from a process configured with another tile geometry
+        // must not be served here: its plans could never be looked up, and
+        // a (freak) key collision with a live tile would misindex the
+        // executor. The session import path drops them, reported as such.
+        let (engine, _) = warm_session(0x51A9, 256);
+        let snap = engine.export_snapshot(256);
+        let other = EngineConfig::new(TileShape::new(16, 4), 256);
+        let (warm, report) = Session::<i64>::warm_start(other, &snap);
+        assert_eq!(report.requested, snap.len());
+        assert_eq!(report.skipped_shape, snap.len());
+        assert_eq!(report.restored, 0);
+        assert_eq!(warm.cached_plans(), 0);
+        // Matching shape restores everything, skipping nothing.
+        let (_, report) = Session::<i64>::warm_start(*engine.config(), &snap);
+        assert_eq!(report.skipped_shape, 0);
+        assert_eq!(report.restored, snap.len());
+    }
+
+    #[test]
+    fn oversized_snapshot_degrades_to_partial_restore() {
+        let (engine, spikes) = warm_session(0xCA, 256);
+        let snap = engine.export_snapshot(256);
+        let total = snap.len();
+        assert!(total > 4, "need eviction pressure for this test");
+        // Restore into a cache with room for only 4 plans: the 4 hottest
+        // land, the rest are reported skipped, nothing panics.
+        let small = EngineConfig::new(TileShape::new(8, 8), 4);
+        let (mut warm, report) = Session::<i64>::warm_start(small, &snap);
+        assert_eq!(report.requested, total);
+        assert_eq!(report.restored, 4);
+        assert_eq!(report.skipped_capacity, total - 4);
+        assert_eq!(report.skipped_duplicate, 0);
+        assert_eq!(warm.cached_plans(), 4);
+        // The partially-restored session still serves correctly.
+        let w = WeightMatrix::from_fn(24, 3, |r, c| (r * 5 + c) as i64 - 11);
+        let mut out = OutputMatrix::zeros(0, 0);
+        warm.gemm_into(&spikes[0], &w, &mut out);
+        assert_eq!(out, spikemat::gemm::spiking_gemm(&spikes[0], &w));
+    }
+
+    #[test]
+    fn import_into_warm_cache_skips_duplicates() {
+        let (engine, _) = warm_session(0xD0, 256);
+        let snap = engine.export_snapshot(256);
+        let config = *engine.config();
+        let (mut warm, first) = Session::<i64>::warm_start(config, &snap);
+        assert_eq!(first.restored, snap.len());
+        let again = warm.import_snapshot(&snap);
+        assert_eq!(again.restored, 0);
+        assert_eq!(again.skipped_duplicate, snap.len());
+        assert_eq!(warm.cached_plans(), snap.len());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_through_a_file() {
+        let (engine, _) = warm_session(0xF1, 64);
+        let snap = engine.export_snapshot(8);
+        let path = std::env::temp_dir().join("prosperity_snapshot_test.psnp");
+        snap.save(&path).expect("save");
+        let loaded = PlanSnapshot::load(&path).expect("load");
+        assert_eq!(loaded.len(), snap.len());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            PlanSnapshot::load(&path),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn report_merge_sums_every_field() {
+        let mut a = ImportReport {
+            requested: 5,
+            restored: 3,
+            skipped_capacity: 1,
+            skipped_duplicate: 1,
+            skipped_shape: 0,
+        };
+        a.merge(&ImportReport {
+            requested: 2,
+            restored: 2,
+            ..ImportReport::default()
+        });
+        assert_eq!(
+            a,
+            ImportReport {
+                requested: 7,
+                restored: 5,
+                skipped_capacity: 1,
+                skipped_duplicate: 1,
+                skipped_shape: 0,
+            }
+        );
+    }
+}

@@ -25,6 +25,10 @@ pub struct EngineStats {
     /// Freshly planned tiles whose insertion was skipped by the admission
     /// policy (uncorrelated-stream bypass).
     pub cache_bypasses: u64,
+    /// Subset of `cache_hits` served by plans that entered the cache
+    /// through a snapshot import rather than live planning — the measured
+    /// payoff of warm-starting (see [`super::snapshot`]).
+    pub restored_hits: u64,
 }
 
 impl EngineStats {
@@ -47,6 +51,7 @@ impl EngineStats {
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
         self.cache_bypasses += other.cache_bypasses;
+        self.restored_hits += other.restored_hits;
     }
 
     /// [`EngineStats::merge`] over any number of per-session stats.
@@ -80,8 +85,15 @@ pub struct SharedCacheStats {
     /// Offers dropped because a racing session inserted the same tile
     /// first (its resident plan was reused instead).
     pub dedups: u64,
+    /// Subset of `hits` served by snapshot-restored plans.
+    pub restored_hits: u64,
     /// Plans resident at snapshot time.
     pub resident: usize,
+    /// Resident plans that arrived through a snapshot import (and have
+    /// not been evicted since).
+    pub restored_resident: usize,
+    /// Tenants with live admission windows (0 when admission is off).
+    pub tenants: usize,
     /// Number of shards the cache is split across.
     pub shards: usize,
     /// Total plan capacity across all shards.
@@ -113,6 +125,7 @@ mod tests {
             cache_misses: 6,
             cache_evictions: 2,
             cache_bypasses: 1,
+            restored_hits: 3,
         };
         let b = EngineStats {
             gemms: 2,
@@ -121,6 +134,7 @@ mod tests {
             cache_misses: 10,
             cache_evictions: 0,
             cache_bypasses: 5,
+            restored_hits: 1,
         };
         let mut m = a;
         m.merge(&b);
@@ -133,6 +147,7 @@ mod tests {
                 cache_misses: 16,
                 cache_evictions: 2,
                 cache_bypasses: 6,
+                restored_hits: 4,
             }
         );
         assert_eq!(EngineStats::merged([a, b].iter()), m);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Checks that intra-repo markdown links resolve to real files.
+#
+# Scans the given markdown files (default: the top-level docs) for inline
+# links `[text](target)`, ignores external (scheme://, mailto:) and
+# pure-anchor (#...) targets, strips any #fragment, and verifies the
+# remaining path exists relative to the repo root. Offline and
+# dependency-free by design (grep/sed only) so CI can run it anywhere.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ARCHITECTURE.md BENCHMARKS.md ROADMAP.md)
+fi
+
+status=0
+for file in "${files[@]}"; do
+    if [ ! -f "$file" ]; then
+        echo "MISSING FILE: $file (listed for link checking)"
+        status=1
+        continue
+    fi
+    # Inline links only; reference-style links are not used in this repo.
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*(\(.*\))/\1/')
+    while IFS= read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+            *://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        # Relative targets resolve against the containing file's directory
+        # (absolute ones against the repo root).
+        case "$path" in
+            /*) resolved=".$path" ;;
+            *) resolved="$(dirname "$file")/$path" ;;
+        esac
+        if [ ! -e "$resolved" ]; then
+            echo "BROKEN LINK: $file -> $target"
+            status=1
+        fi
+    done <<< "$targets"
+done
+
+if [ $status -eq 0 ]; then
+    echo "all intra-repo links resolve (${files[*]})"
+fi
+exit $status

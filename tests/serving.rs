@@ -6,8 +6,8 @@
 //! tile content, so sharing may only ever change *who* plans a tile.
 
 use prosperity::core::engine::{
-    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, Session,
-    SharedPlanCache, TraceStep,
+    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, PlanSnapshot,
+    Session, SharedPlanCache, TraceStep,
 };
 use prosperity::models::tracegen::{TraceGen, TraceGenParams};
 use prosperity::models::Workload;
@@ -266,6 +266,150 @@ fn admission_bypass_is_lossless_and_reversible() {
         "correlated phase should recover hits: {:?}",
         engine.stats()
     );
+}
+
+/// Snapshot warm-start property: encode → decode → import reproduces the
+/// exporting cache exactly. A warm-started session serves the same outputs
+/// as the original *and* as a cold session, but its first pass over the
+/// trace hits on restored plans instead of re-planning.
+#[test]
+fn snapshot_restored_sessions_serve_identically_but_warmer() {
+    let mut rng = StdRng::seed_from_u64(0x5A9D);
+    for trial in 0..8 {
+        let tile = TileShape::new(rng.gen_range(2..=16), rng.gen_range(2..=16));
+        let config = EngineConfig::new(tile, rng.gen_range(16..512));
+        let steps = rng.gen_range(2..=4);
+        let rows = rng.gen_range(20..60);
+        let k = rng.gen_range(10..40);
+        let gen = TraceGen::new(TraceGenParams::uncorrelated(rng.gen_range(0.1..0.5)));
+        let stream = &gen.generate_tenant_streams(1, steps, rows, k, 0.95, 1.0, &mut rng)[0];
+        let w = WeightMatrix::from_fn(k, 3, |r, c| (r * 7 + c) as i64 - 9);
+
+        // Process 1: serve cold, then snapshot at "shutdown".
+        let mut original = Engine::new(config);
+        let mut out = OutputMatrix::zeros(0, 0);
+        let mut want = Vec::new();
+        for s in stream {
+            original.gemm_into(s, &w, &mut out);
+            want.push(out.clone());
+        }
+        let snapshot = original.export_snapshot(config.cache_capacity);
+        let resident = original.cached_plans();
+        assert_eq!(snapshot.len(), resident, "trial {trial}");
+
+        // The snapshot survives its binary format bit-for-bit: a restored
+        // cache re-exports the identical byte stream.
+        let bytes = snapshot.encode();
+        let decoded = PlanSnapshot::decode(bytes.clone()).expect("decode");
+        let (mut warm, report) = Session::warm_start(config, &decoded);
+        assert_eq!(report.restored, resident, "trial {trial}: {report:?}");
+        assert_eq!(warm.cached_plans(), resident);
+        let re_encoded = warm.export_snapshot(config.cache_capacity).encode();
+        assert_eq!(
+            bytes.to_vec(),
+            re_encoded.to_vec(),
+            "trial {trial}: restored cache must re-export the identical snapshot"
+        );
+
+        // Process 2: the warm session's first pass serves from restored
+        // plans; every output is still exactly the original's.
+        for (step, s) in stream.iter().enumerate() {
+            warm.gemm_into(s, &w, &mut out);
+            assert_eq!(out, want[step], "trial {trial} step {step}");
+        }
+        let stats = warm.stats();
+        assert_eq!(
+            stats.cache_misses, 0,
+            "trial {trial}: nothing the original planned may be re-planned"
+        );
+        assert_eq!(
+            stats.restored_hits, stats.cache_hits,
+            "trial {trial}: first-pass hits all come from the snapshot"
+        );
+    }
+}
+
+/// Warm-starting a whole scheduler fleet: the shared cache restored from a
+/// previous fleet's snapshot starts at that fleet's steady-state hit rate.
+#[test]
+fn scheduler_warm_start_erases_cold_misses() {
+    let mut rng = StdRng::seed_from_u64(0xF1EE);
+    let batch = random_batch(&mut rng);
+    let config = EngineConfig::new(TileShape::new(8, 8), 2048);
+    let oracle = serial_private_oracle(&batch, config);
+    let traces = traces_of(&batch);
+    let mut fleet1 = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    fleet1.run(&traces, |_, _, _| {});
+    let cold_misses = fleet1.merged_stats().cache_misses;
+    assert!(cold_misses > 0);
+    let snapshot = fleet1.shared_cache().export_hottest(2048);
+
+    let (mut fleet2, report) =
+        BatchScheduler::warm_start(config, BatchPolicy::RoundRobin, &snapshot);
+    assert_eq!(report.restored, snapshot.len());
+    fleet2.run(&traces, |tenant, step, out| {
+        assert_eq!(out, &oracle[tenant][step], "tenant {tenant} step {step}");
+    });
+    let warm = fleet2.merged_stats();
+    assert_eq!(
+        warm.cache_misses, 0,
+        "the restored fleet replays entirely from the snapshot: {warm:?}"
+    );
+    assert!(warm.restored_hits > 0);
+    let cache = fleet2.shared_cache().stats();
+    assert_eq!(cache.restored_hits, warm.restored_hits);
+    assert_eq!(cache.restored_resident, snapshot.len());
+}
+
+/// The ROADMAP-documented cross-tenant admission leak, as a regression
+/// test: a correlated tenant and an uncorrelated tenant sharing one cache
+/// get *independent* admission decisions — the cold tenant's insertions
+/// close while the hot tenant's stay open, and both stay bit-exact.
+#[test]
+fn per_tenant_admission_isolates_hot_and_cold_tenants() {
+    let mut rng = StdRng::seed_from_u64(0x7E4A);
+    let tile = TileShape::new(16, 16);
+    let admission = AdmissionConfig {
+        window: 32,
+        min_hit_permille: 100,
+        probe_period: 0,
+    };
+    let config = EngineConfig::new(tile, 4096);
+    let shared = Arc::new(SharedPlanCache::with_shards(4096, 8, Some(admission)));
+    let mut hot = Session::with_shared_tenant(config, Arc::clone(&shared), 0);
+    let mut cold = Session::with_shared_tenant(config, Arc::clone(&shared), 1);
+    assert_eq!((hot.tenant(), cold.tenant()), (0, 1));
+    let w = WeightMatrix::from_fn(48, 4, |r, c| (r * 3 + c) as i64 - 20);
+    let mut out = OutputMatrix::zeros(0, 0);
+    let mut want = OutputMatrix::zeros(0, 0);
+    let mut oracle = Engine::new(config);
+    // The hot tenant replays one matrix; the cold tenant never repeats.
+    let hot_spikes = prosperity::spikemat::SpikeMatrix::random(64, 48, 0.4, &mut rng);
+    for _ in 0..24 {
+        hot.gemm_into(&hot_spikes, &w, &mut out);
+        oracle.gemm_into_serial(&hot_spikes, &w, &mut want);
+        assert_eq!(out, want);
+        let cold_spikes = prosperity::spikemat::SpikeMatrix::random(64, 48, 0.4, &mut rng);
+        cold.gemm_into(&cold_spikes, &w, &mut out);
+        oracle.gemm_into_serial(&cold_spikes, &w, &mut want);
+        assert_eq!(out, want);
+    }
+    // Independent decisions: the cold tenant's stream closed its own
+    // admission window, while the hot tenant (a ~100 % hit stream sharing
+    // the same shards) never bypassed anything.
+    assert!(
+        cold.stats().cache_bypasses > 0,
+        "cold tenant must be bypassed despite the hot tenant's hits: {:?}",
+        cold.stats()
+    );
+    assert_eq!(
+        hot.stats().cache_bypasses,
+        0,
+        "hot tenant must not inherit the cold tenant's closed window: {:?}",
+        hot.stats()
+    );
+    assert!(hot.stats().cache_hits > 0);
+    assert_eq!(shared.stats().tenants, 2);
 }
 
 /// Stats merging is the audited sum of per-session counters.
