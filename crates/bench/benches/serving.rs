@@ -21,6 +21,13 @@
 //!   restart path). Records the per-timestep hit-rate curve of both
 //!   passes: the restored process starts at the exporting process's
 //!   steady-state hit rate instead of 0 %.
+//! * `qos` — the scheduling policies beyond throughput: a weighted 1:1:4
+//!   tenant mix (deficit round robin must hand the weight-4 tenant ≥2.5×
+//!   the step share of a weight-1 tenant while all lanes are runnable, at
+//!   unchanged aggregate throughput vs round-robin), a feasible deadline
+//!   mix (EDF must record zero misses where round-robin misses the tight
+//!   budgets), and a skewed-length round-robin guard (1000:10:10 — the
+//!   live-lane list keeps long-tail batches linear in executed steps).
 //!
 //! Every scenario gates on bit-identical outputs against the serial
 //! private-cache oracle before timing anything. Per-session stats and the
@@ -28,7 +35,8 @@
 //! eviction / bypass behaviour is auditable per scenario. Results are
 //! printed and written to `BENCH_serving.json` (override with
 //! `BENCH_SERVING_OUT`); `PROSPERITY_SERVING_SMOKE=1` shrinks sizes for
-//! CI. Run:
+//! CI, and `PROSPERITY_SERVING_ONLY=<substring>` runs just the matching
+//! scenarios (correctness gates included, JSON write skipped). Run:
 //!
 //! ```text
 //! cargo bench -p prosperity-bench --bench serving
@@ -381,6 +389,172 @@ fn warm_start(smoke: bool, reps: usize) -> WarmStartOut {
     }
 }
 
+/// The `qos` scenario's measurements: weighted share, deadline misses,
+/// and the skewed round-robin guard.
+struct QosOut {
+    /// GeMMs per tenant in the weighted/deadline mixes (3 equal traces).
+    steps: usize,
+    weights: Vec<u32>,
+    /// Wall time of the same 3-tenant mix under each policy.
+    rr_ms: f64,
+    weighted_ms: f64,
+    deadline_ms: f64,
+    /// Step share of the weight-4 lane relative to the mean weight-1 lane,
+    /// measured while every lane was still runnable.
+    weighted_share_ratio: f64,
+    rr_share_ratio: f64,
+    /// Total steps per lane of the weighted pass (everything completes).
+    weighted_lane_steps: Vec<u64>,
+    /// The feasible deadline mix (global-step budgets per lane).
+    budgets: Vec<u64>,
+    edf_misses: u64,
+    rr_misses: u64,
+    edf_completion: Vec<u64>,
+    rr_completion: Vec<u64>,
+    /// Skewed-length round-robin guard.
+    skew_lengths: Vec<usize>,
+    skew_gemms: usize,
+    skew_rr_ms: f64,
+}
+
+fn qos(smoke: bool, reps: usize) -> QosOut {
+    let case = tenant_case(3, smoke);
+    let tile = TileShape::prosperity_default();
+    let config = EngineConfig::new(tile, 4096);
+    let traces = case.traces();
+    let steps = traces[0].len();
+    let want = oracle(&case, config);
+
+    let weights = vec![1u32, 1, 4];
+    let weighted = BatchPolicy::Weighted {
+        weights: weights.clone(),
+    };
+
+    // Correctness gate + live-window share accounting: per-lane step
+    // counts captured at the moment the first lane completes (while every
+    // lane was still contending for steps).
+    let share_of = |policy: BatchPolicy| {
+        let mut sched = BatchScheduler::new(config, policy);
+        let mut counts = vec![0u64; traces.len()];
+        let mut live = None;
+        sched.run(&traces, |t, s, out| {
+            assert_eq!(out, &want[t][s], "qos lost bits: tenant {t} step {s}");
+            counts[t] += 1;
+            if s + 1 == traces[t].len() && live.is_none() {
+                live = Some(counts.clone());
+            }
+        });
+        (
+            live.expect("some lane completes"),
+            sched.scheduler_stats().clone(),
+        )
+    };
+    let share_ratio = |live: &[u64]| live[2] as f64 / ((live[0] + live[1]) as f64 / 2.0);
+    let (w_live, w_stats) = share_of(weighted.clone());
+    let (rr_live, rr_stats) = share_of(BatchPolicy::RoundRobin);
+    let weighted_share_ratio = share_ratio(&w_live);
+    let rr_share_ratio = share_ratio(&rr_live);
+    assert!(
+        weighted_share_ratio >= 2.5,
+        "weight-4 tenant must receive >= 2.5x the weight-1 share while \
+         contended, got {weighted_share_ratio:.2} ({w_live:?})"
+    );
+
+    // Feasible deadline mix: EDF serves the tightest budget first and
+    // meets all three; round-robin drags every completion to the end and
+    // must miss the tight ones. Budgets are in global executed steps.
+    let l = steps as u64;
+    let budgets = vec![l + 1, 2 * l + 1, 3 * l];
+    let mut edf = BatchScheduler::new(
+        config,
+        BatchPolicy::Deadline {
+            budgets: budgets.clone(),
+        },
+    );
+    edf.run(&traces, |t, s, out| {
+        assert_eq!(out, &want[t][s], "qos edf lost bits: tenant {t} step {s}");
+    });
+    let edf_stats = edf.scheduler_stats().clone();
+    let edf_misses = edf_stats.deadline_misses;
+    let rr_misses = rr_stats.misses_against(&budgets);
+    assert_eq!(edf_misses, 0, "EDF must meet a feasible budget mix");
+    assert!(
+        rr_misses >= 1,
+        "round robin must miss the tight budget: {:?} vs {budgets:?}",
+        rr_stats.completion_steps
+    );
+
+    // Timed passes: the same mix, fresh caches per rep, under each policy
+    // (aggregate throughput must be policy-independent on this workload).
+    let time_policy = |policy: &BatchPolicy| {
+        time_ms(reps, || {
+            let mut sched = BatchScheduler::new(config, policy.clone());
+            let mut acc = 0i64;
+            sched.run(&traces, |_, _, out| {
+                acc ^= out.as_slice().first().copied().unwrap_or(0);
+            });
+            acc
+        })
+    };
+    let rr_ms = time_policy(&BatchPolicy::RoundRobin);
+    let weighted_ms = time_policy(&weighted);
+    let deadline_ms = time_policy(&BatchPolicy::Deadline {
+        budgets: budgets.clone(),
+    });
+
+    // Skewed-length guard: one long-tail trace among finished ones. The
+    // live-lane list keeps the scheduling loop linear in executed steps
+    // (exhausted lanes used to be re-scanned every round).
+    let (long, short) = if smoke { (120, 3) } else { (1000, 10) };
+    let skew_lengths = vec![long, short, short];
+    let mut rng = StdRng::seed_from_u64(0x5E3A);
+    let skew_spikes: Vec<SpikeMatrix> = (0..3)
+        .map(|_| SpikeMatrix::random(64, 64, 0.3, &mut rng))
+        .collect();
+    let skew_w = WeightMatrix::from_fn(64, 4, |r, c| (r * 5 + c) as i64 - 9);
+    let skew_traces: Vec<Vec<TraceStep<'_, i64>>> = skew_spikes
+        .iter()
+        .zip(&skew_lengths)
+        .map(|(s, &len)| vec![(s, &skew_w); len])
+        .collect();
+    let skew_gemms: usize = skew_lengths.iter().sum();
+    let skew_config = EngineConfig::new(TileShape::new(16, 16), 1024);
+    {
+        // Gate once: skewed lengths must still cover every step exactly.
+        let mut sched = BatchScheduler::new(skew_config, BatchPolicy::RoundRobin);
+        let mut count = 0usize;
+        sched.run(&skew_traces, |_, _, _| count += 1);
+        assert_eq!(count, skew_gemms, "skewed batch must complete exactly");
+    }
+    let skew_rr_ms = time_ms(reps, || {
+        let mut sched = BatchScheduler::new(skew_config, BatchPolicy::RoundRobin);
+        let mut acc = 0i64;
+        sched.run(&skew_traces, |_, _, out| {
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+
+    QosOut {
+        steps,
+        weights,
+        rr_ms,
+        weighted_ms,
+        deadline_ms,
+        weighted_share_ratio,
+        rr_share_ratio,
+        weighted_lane_steps: w_stats.lane_steps,
+        budgets,
+        edf_misses,
+        rr_misses,
+        edf_completion: edf_stats.completion_steps,
+        rr_completion: rr_stats.completion_steps,
+        skew_lengths,
+        skew_gemms,
+        skew_rr_ms,
+    }
+}
+
 fn json_stats(s: &EngineStats) -> String {
     format!(
         concat!(
@@ -428,6 +602,45 @@ fn json_curve(curve: &[f64]) -> String {
     format!("[{}]", points.join(", "))
 }
 
+fn json_ints<I: std::fmt::Display>(values: &[I]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_qos(q: &QosOut) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"qos\", \"tenants\": 3, \"gemms\": {},\n",
+            "     \"weighted\": {{\"weights\": {}, \"rr_ms\": {:.3}, ",
+            "\"weighted_ms\": {:.3}, \"throughput_ratio\": {:.3}, ",
+            "\"share_ratio\": {:.2}, \"rr_share_ratio\": {:.2}, ",
+            "\"lane_steps\": {}}},\n",
+            "     \"deadline\": {{\"budgets\": {}, \"deadline_ms\": {:.3}, ",
+            "\"edf_misses\": {}, \"rr_misses\": {}, ",
+            "\"edf_completion\": {}, \"rr_completion\": {}}},\n",
+            "     \"rr_skew\": {{\"lengths\": {}, \"gemms\": {}, ",
+            "\"rr_ms\": {:.3}}}}}"
+        ),
+        q.steps * 3,
+        json_ints(&q.weights),
+        q.rr_ms,
+        q.weighted_ms,
+        q.rr_ms / q.weighted_ms,
+        q.weighted_share_ratio,
+        q.rr_share_ratio,
+        json_ints(&q.weighted_lane_steps),
+        json_ints(&q.budgets),
+        q.deadline_ms,
+        q.edf_misses,
+        q.rr_misses,
+        json_ints(&q.edf_completion),
+        json_ints(&q.rr_completion),
+        json_ints(&q.skew_lengths),
+        q.skew_gemms,
+        q.skew_rr_ms,
+    )
+}
+
 fn json_scenario(r: &ServingOut) -> String {
     let sessions: Vec<String> = r.per_session.iter().map(json_stats).collect();
     format!(
@@ -457,11 +670,19 @@ fn json_scenario(r: &ServingOut) -> String {
 
 fn main() {
     let smoke = std::env::var("PROSPERITY_SERVING_SMOKE").is_ok_and(|v| v != "0");
+    // Substring filter over scenario names ("qos", "shared", "warm_start",
+    // …): matching scenarios run with their correctness gates; the JSON
+    // write is skipped since the file must carry every scenario.
+    let only = std::env::var("PROSPERITY_SERVING_ONLY").ok();
+    let wanted = |name: &str| only.as_deref().is_none_or(|o| name.contains(o));
     let reps = if smoke { 2 } else { 4 };
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "Shared-cache serving benchmark (best-of-{reps} wall time, {threads} HW threads{})",
-        if smoke { ", SMOKE" } else { "" }
+        "Shared-cache serving benchmark (best-of-{reps} wall time, {threads} HW threads{}{})",
+        if smoke { ", SMOKE" } else { "" },
+        only.as_deref()
+            .map(|o| format!(", only '{o}'"))
+            .unwrap_or_default(),
     );
     println!(
         "{:<16} {:>7} {:>7} {:>11} {:>11} {:>11} {:>8} {:>8} {:>9}",
@@ -477,6 +698,7 @@ fn main() {
     );
     let results: Vec<ServingOut> = [2usize, 4, 8]
         .iter()
+        .filter(|&&t| wanted(&format!("shared_cache_{t}")))
         .map(|&t| shared_vs_private(t, smoke, reps))
         .collect();
     for r in &results {
@@ -493,43 +715,82 @@ fn main() {
             100.0 * r.merged.hit_rate(),
         );
     }
-    let adm = fig8_admission(smoke, reps);
-    println!(
-        "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>7.2}x {:>8} {:>8.1}%",
-        "fig8_admission",
-        1,
-        adm.gemms,
-        adm.off_ms,
-        adm.on_ms,
-        "-",
-        adm.speedup(),
-        "-",
-        100.0 * adm.stats_on.hit_rate(),
-    );
-    let ws = warm_start(smoke, reps);
-    println!(
-        "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>7.2}x {:>8} {:>8.1}%",
-        "warm_start",
-        1,
-        ws.steps,
-        ws.cold_ms,
-        ws.warm_ms,
-        "-",
-        ws.speedup(),
-        "-",
-        100.0 * ws.stats_warm.hit_rate(),
-    );
-    println!(
-        "  warm start: {} plans, {} KiB snapshot; step-0 hit rate {:.0}% cold -> {:.0}% restored",
-        ws.snapshot_plans,
-        ws.snapshot_bytes / 1024,
-        100.0 * ws.cold_curve.first().copied().unwrap_or(0.0),
-        100.0 * ws.warm_curve.first().copied().unwrap_or(0.0),
-    );
+    let adm = wanted("fig8_admission").then(|| fig8_admission(smoke, reps));
+    if let Some(adm) = &adm {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>7.2}x {:>8} {:>8.1}%",
+            "fig8_admission",
+            1,
+            adm.gemms,
+            adm.off_ms,
+            adm.on_ms,
+            "-",
+            adm.speedup(),
+            "-",
+            100.0 * adm.stats_on.hit_rate(),
+        );
+    }
+    let ws = wanted("warm_start").then(|| warm_start(smoke, reps));
+    if let Some(ws) = &ws {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>7.2}x {:>8} {:>8.1}%",
+            "warm_start",
+            1,
+            ws.steps,
+            ws.cold_ms,
+            ws.warm_ms,
+            "-",
+            ws.speedup(),
+            "-",
+            100.0 * ws.stats_warm.hit_rate(),
+        );
+        println!(
+            "  warm start: {} plans, {} KiB snapshot; step-0 hit rate {:.0}% cold -> {:.0}% restored",
+            ws.snapshot_plans,
+            ws.snapshot_bytes / 1024,
+            100.0 * ws.cold_curve.first().copied().unwrap_or(0.0),
+            100.0 * ws.warm_curve.first().copied().unwrap_or(0.0),
+        );
+    }
+    let q = wanted("qos").then(|| qos(smoke, reps));
+    if let Some(q) = &q {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11.2} {:>8} {:>8} {:>9}",
+            "qos",
+            3,
+            q.steps * 3,
+            q.rr_ms,
+            q.weighted_ms,
+            q.deadline_ms,
+            "-",
+            "-",
+            "-",
+        );
+        println!(
+            "  qos: weighted 1:1:4 share {:.2}x (rr {:.2}x), throughput ratio {:.2}; \
+             deadline misses edf {} vs rr {}; skew {:?} rr {:.2} ms",
+            q.weighted_share_ratio,
+            q.rr_share_ratio,
+            q.rr_ms / q.weighted_ms,
+            q.edf_misses,
+            q.rr_misses,
+            q.skew_lengths,
+            q.skew_rr_ms,
+        );
+    }
 
     let out_path = std::env::var("BENCH_SERVING_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string()
     });
+    if only.is_some() {
+        println!("\nscenario filter active: not writing {out_path}");
+        return;
+    }
+    let (adm, ws, q) = (
+        adm.expect("unfiltered run has fig8_admission"),
+        ws.expect("unfiltered run has warm_start"),
+        q.expect("unfiltered run has qos"),
+    );
     let mut body: Vec<String> = results.iter().map(json_scenario).collect();
     body.push(format!(
         concat!(
@@ -567,6 +828,7 @@ fn main() {
         json_stats(&ws.stats_cold),
         json_stats(&ws.stats_warm),
     ));
+    body.push(json_qos(&q));
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"unit\": \"ms\",\n  \"timing\": \
          \"best_of_reps\",\n  \"smoke\": {},\n  \"threads\": {},\n  \

@@ -8,8 +8,9 @@
 //! | [`snapshot`] | [`PlanSnapshot`]: persist hot plans across restarts |
 //! | `pool` | recycled executor buffers (internal) |
 //! | [`session`] | one stream's state: [`Session`] (= the historical [`Engine`]) |
-//! | [`batch`] | [`BatchScheduler`] interleaving many traces over one shared cache |
-//! | [`stats`] | mergeable per-session counters + shared-cache aggregates |
+//! | [`batch`] | [`BatchScheduler`] interleaving many traces over one shared cache (QoS policies) |
+//! | [`service`] | [`ServingLoop`]: background snapshot export + admission GC cadences |
+//! | [`stats`] | mergeable per-session counters + shared-cache/scheduler aggregates |
 //!
 //! [`crate::exec::prosparsity_gemm`] re-plans and re-allocates everything on
 //! every call. That is the right shape for one-shot algorithm studies but
@@ -53,6 +54,13 @@
 //!   execution distributes row-tiles across threads exactly like
 //!   [`crate::exec::execute_plan`], with bit-identical results; the
 //!   `*_serial` entry points remain the oracle.
+//! * **QoS scheduling + lifecycle** — beyond round-robin and
+//!   cache-affinity, the [`BatchScheduler`] offers
+//!   [`BatchPolicy::Weighted`] (deficit-round-robin step shares) and
+//!   [`BatchPolicy::Deadline`] (earliest-deadline-first over step budgets
+//!   with a starvation guard), recorded in [`SchedulerStats`]; a
+//!   [`ServingLoop`] adds the long-running-process jobs — background
+//!   snapshot export and admission-table GC on step cadences.
 //!
 //! Losslessness is preserved throughout: for any input,
 //! [`Session::gemm_into`] produces bit-for-bit the output of
@@ -66,17 +74,19 @@
 pub mod batch;
 pub mod cache;
 pub(crate) mod pool;
+pub mod service;
 pub mod session;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
 
-pub use batch::{BatchPolicy, BatchScheduler, TraceStep};
+pub use batch::{BatchPolicy, BatchScheduler, TraceStep, DEADLINE_STARVATION_GUARD};
 pub use cache::AdmissionConfig;
+pub use service::{ServiceConfig, ServingLoop};
 pub use session::{Engine, Session};
 pub use shared::SharedPlanCache;
 pub use snapshot::{ImportReport, PlanSnapshot, SnapshotError};
-pub use stats::{EngineStats, SharedCacheStats};
+pub use stats::{EngineStats, SchedulerStats, SharedCacheStats};
 
 use serde::{Deserialize, Serialize};
 use spikemat::gemm::OutputMatrix;

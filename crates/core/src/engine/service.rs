@@ -1,0 +1,421 @@
+//! The serving lifecycle layer: a [`ServingLoop`] that owns a
+//! [`BatchScheduler`] and, while traces execute, keeps the long-running
+//! process healthy — periodic **background snapshot exports** (the
+//! warm-start API existed since the snapshot layer landed, but nothing
+//! scheduled it) and **admission-table GC** (bounding the per-tenant
+//! window registry under unbounded tenant churn).
+//!
+//! Both jobs run on an executed-step cadence ([`ServiceConfig`]), counted
+//! across every run the loop serves, so a process alternating many short
+//! batches gets the same hygiene as one serving a single long trace:
+//!
+//! * **Snapshot export** spawns a real background thread over the shared
+//!   cache's `Arc` — [`SharedPlanCache::export_hottest`] locks one shard
+//!   at a time, so the lanes keep planning and executing while the export
+//!   walks the cache (no stop-the-world; the race is property-tested in
+//!   `tests/serving.rs`). Finished snapshots are collected with
+//!   [`ServingLoop::take_snapshots`]; if an export is still in flight when
+//!   the next cadence tick arrives, the tick is skipped rather than piling
+//!   up threads.
+//! * **Admission GC** calls [`SharedPlanCache::gc_tenants`]: each sweep
+//!   advances the table's generation clock and evicts windows idle for
+//!   more than [`ServiceConfig::gc_max_idle`] sweeps. Live lanes keep
+//!   their resolved window handles either way.
+//!
+//! Neither job can change results: exports only *read* plans (clones of
+//! resident entries), and admission decisions never alter outputs — the
+//! bit-identity property the whole runtime is tested for.
+//!
+//! ```
+//! use prosperity_core::engine::{
+//!     BatchPolicy, EngineConfig, ServiceConfig, ServingLoop,
+//! };
+//! use spikemat::gemm::{spiking_gemm, WeightMatrix};
+//! use spikemat::SpikeMatrix;
+//!
+//! let spikes = SpikeMatrix::from_rows_of_bits(&[&[1, 0, 1], &[0, 1, 1]]);
+//! let w = WeightMatrix::from_fn(3, 2, |r, c| (r + c) as i64);
+//! let traces = vec![vec![(&spikes, &w); 4], vec![(&spikes, &w); 4]];
+//!
+//! // Export a 64-plan snapshot every 3 executed steps.
+//! let service = ServiceConfig::default().with_snapshots(3, 64);
+//! let mut serving =
+//!     ServingLoop::new(EngineConfig::default(), BatchPolicy::RoundRobin, service);
+//! serving.run(&traces, |_, _, out| {
+//!     assert_eq!(out, &spiking_gemm(&spikes, &w));
+//! });
+//! let snapshots = serving.take_snapshots();
+//! assert!(!snapshots.is_empty());
+//! assert_eq!(serving.stats().snapshots_exported, snapshots.len() as u64);
+//! ```
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use spikemat::gemm::OutputMatrix;
+
+use super::batch::{BatchPolicy, BatchScheduler, TraceStep};
+use super::shared::SharedPlanCache;
+use super::snapshot::PlanSnapshot;
+use super::stats::SchedulerStats;
+use super::{Element, EngineConfig};
+
+/// Lifecycle cadences of a [`ServingLoop`], in executed steps (GeMMs),
+/// counted across every run the loop serves. The default disables both
+/// jobs; enable them with the builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Executed steps between background snapshot exports; 0 disables.
+    pub snapshot_every: usize,
+    /// Hottest plans captured per export.
+    pub snapshot_plans: usize,
+    /// Executed steps between admission-table GC sweeps; 0 disables.
+    pub gc_every: usize,
+    /// Sweeps a tenant window may sit idle (no handle resolution) before a
+    /// sweep evicts it.
+    pub gc_max_idle: u64,
+}
+
+impl Default for ServiceConfig {
+    /// Both jobs off; `snapshot_plans` 1024 and `gc_max_idle` 2 as the
+    /// starting points the builders inherit.
+    fn default() -> Self {
+        Self {
+            snapshot_every: 0,
+            snapshot_plans: 1024,
+            gc_every: 0,
+            gc_max_idle: 2,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Enables background snapshot export: the hottest `plans` entries
+    /// every `every` executed steps.
+    pub fn with_snapshots(mut self, every: usize, plans: usize) -> Self {
+        self.snapshot_every = every;
+        self.snapshot_plans = plans;
+        self
+    }
+
+    /// Enables admission-table GC: one sweep every `every` executed steps,
+    /// evicting windows idle for more than `max_idle` sweeps.
+    pub fn with_gc(mut self, every: usize, max_idle: u64) -> Self {
+        self.gc_every = every;
+        self.gc_max_idle = max_idle;
+        self
+    }
+}
+
+/// A [`BatchScheduler`] wrapped with the long-running-process jobs:
+/// step-cadence background snapshot export and admission-table GC.
+///
+/// The loop owns the scheduler — [`ServingLoop::scheduler_mut`] exposes it
+/// for policy switches or warm starts — and serves batches through
+/// [`ServingLoop::run`] (lanes persist, same-tenant replay) or
+/// [`ServingLoop::run_batch`]/[`run_batch_as`](ServingLoop::run_batch_as)
+/// (fresh lanes per batch — the tenant-churn shape the GC exists for).
+#[derive(Debug)]
+pub struct ServingLoop<T = i64> {
+    sched: BatchScheduler<T>,
+    service: ServiceConfig,
+    /// Executed steps since the last export / sweep (across runs).
+    since_snapshot: usize,
+    since_gc: usize,
+    /// Lifecycle counters surfaced through [`ServingLoop::stats`].
+    snapshots_exported: u64,
+    gc_evictions: u64,
+    /// The in-flight export thread, if any.
+    export: Option<JoinHandle<()>>,
+    /// Finished exports travel back over this channel.
+    snapshot_tx: Sender<PlanSnapshot>,
+    snapshot_rx: Receiver<PlanSnapshot>,
+}
+
+impl<T: Element> ServingLoop<T> {
+    /// Creates a serving loop over a fresh scheduler
+    /// ([`BatchScheduler::new`]).
+    pub fn new(config: EngineConfig, policy: BatchPolicy, service: ServiceConfig) -> Self {
+        Self::with_scheduler(BatchScheduler::new(config, policy), service)
+    }
+
+    /// Wraps an existing scheduler (e.g. one built with
+    /// [`BatchScheduler::warm_start`] or over a shared cache).
+    pub fn with_scheduler(sched: BatchScheduler<T>, service: ServiceConfig) -> Self {
+        let (snapshot_tx, snapshot_rx) = channel();
+        Self {
+            sched,
+            service,
+            since_snapshot: 0,
+            since_gc: 0,
+            snapshots_exported: 0,
+            gc_evictions: 0,
+            export: None,
+            snapshot_tx,
+            snapshot_rx,
+        }
+    }
+
+    /// The lifecycle cadences.
+    pub fn service_config(&self) -> &ServiceConfig {
+        &self.service
+    }
+
+    /// The wrapped scheduler.
+    pub fn scheduler(&self) -> &BatchScheduler<T> {
+        &self.sched
+    }
+
+    /// Mutable access to the wrapped scheduler (policy switches,
+    /// `begin_batch`, warm starts).
+    pub fn scheduler_mut(&mut self) -> &mut BatchScheduler<T> {
+        &mut self.sched
+    }
+
+    /// The shared plan cache all lanes plan through.
+    pub fn shared_cache(&self) -> &Arc<SharedPlanCache> {
+        self.sched.shared_cache()
+    }
+
+    /// The last run's scheduling record with this loop's lifecycle
+    /// counters filled in (`snapshots_exported`, `gc_evictions` — which a
+    /// bare scheduler always reports as 0).
+    pub fn stats(&self) -> SchedulerStats {
+        let mut stats = self.sched.scheduler_stats().clone();
+        stats.snapshots_exported = self.snapshots_exported;
+        stats.gc_evictions = self.gc_evictions;
+        stats
+    }
+
+    /// Runs one batch through the scheduler, lanes persisting from the
+    /// previous run (same-tenant replay — see [`BatchScheduler::run`]),
+    /// triggering the cadence jobs as steps execute.
+    pub fn run<'a, S, F>(&mut self, traces: &[S], sink: F)
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]>,
+        F: FnMut(usize, usize, &OutputMatrix<T>),
+    {
+        self.run_inner(traces, sink);
+    }
+
+    /// [`ServingLoop::run`] for a *new* batch: retires every lane first
+    /// ([`BatchScheduler::begin_batch`]), so the traces get fresh sessions,
+    /// stats, and freshly minted admission tenant ids.
+    pub fn run_batch<'a, S, F>(&mut self, traces: &[S], sink: F)
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]>,
+        F: FnMut(usize, usize, &OutputMatrix<T>),
+    {
+        self.sched.begin_batch();
+        self.run_inner(traces, sink);
+    }
+
+    /// [`ServingLoop::run_batch`] with explicit tenant ids per lane
+    /// ([`BatchScheduler::begin_batch_as`]): lane `i` serves `tenants[i]`.
+    /// Resolving the handles stamps each tenant's last-touched generation,
+    /// which is what keeps *returning* tenants alive across GC sweeps.
+    pub fn run_batch_as<'a, S, F>(&mut self, tenants: &[u64], traces: &[S], sink: F)
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]>,
+        F: FnMut(usize, usize, &OutputMatrix<T>),
+    {
+        self.sched.begin_batch_as(tenants);
+        self.run_inner(traces, sink);
+    }
+
+    fn run_inner<'a, S, F>(&mut self, traces: &[S], mut sink: F)
+    where
+        T: 'a,
+        S: AsRef<[TraceStep<'a, T>]>,
+        F: FnMut(usize, usize, &OutputMatrix<T>),
+    {
+        // The scheduler is mutably borrowed for the whole run, so the
+        // cadence jobs work through locals + the cache's `Arc` and are
+        // written back after.
+        let service = self.service;
+        let shared = Arc::clone(self.sched.shared_cache());
+        // Materialize the lanes now so this run's tenant set is known:
+        // before every GC sweep the live tenants are re-stamped, so a
+        // tenant in the middle of a batch longer than the GC horizon is
+        // never evicted as "idle" (handle resolution only marks batch
+        // starts).
+        self.sched.ensure_lanes(traces.len());
+        let live_tenants: Vec<u64> = self
+            .sched
+            .tenants()
+            .into_iter()
+            .take(traces.len())
+            .collect();
+        let tx = self.snapshot_tx.clone();
+        let mut since_snapshot = self.since_snapshot;
+        let mut since_gc = self.since_gc;
+        let mut snapshots_exported = 0u64;
+        let mut gc_evictions = 0u64;
+        let mut export = self.export.take();
+        self.sched.run(traces, |lane, step, out| {
+            sink(lane, step, out);
+            if service.snapshot_every > 0 {
+                since_snapshot += 1;
+                if since_snapshot >= service.snapshot_every {
+                    since_snapshot = 0;
+                    // One export in flight at a time: a tick landing while
+                    // the previous walk is still running is skipped, never
+                    // queued — the next tick exports a fresher cache
+                    // anyway.
+                    if export.as_ref().is_none_or(JoinHandle::is_finished) {
+                        if let Some(done) = export.take() {
+                            let _ = done.join();
+                        }
+                        let shared = Arc::clone(&shared);
+                        let tx = tx.clone();
+                        let plans = service.snapshot_plans;
+                        export = Some(std::thread::spawn(move || {
+                            // Locks one shard at a time; lanes keep
+                            // planning concurrently.
+                            let _ = tx.send(shared.export_hottest(plans));
+                        }));
+                        snapshots_exported += 1;
+                    }
+                }
+            }
+            if service.gc_every > 0 {
+                since_gc += 1;
+                if since_gc >= service.gc_every {
+                    since_gc = 0;
+                    for &tenant in &live_tenants {
+                        shared.touch_tenant(tenant);
+                    }
+                    gc_evictions += shared.gc_tenants(service.gc_max_idle) as u64;
+                }
+            }
+        });
+        self.since_snapshot = since_snapshot;
+        self.since_gc = since_gc;
+        self.snapshots_exported += snapshots_exported;
+        self.gc_evictions += gc_evictions;
+        self.export = export;
+    }
+
+    /// Collects every background export finished so far, oldest first,
+    /// joining an in-flight export thread if there is one (exports are a
+    /// bounded walk over the shards, so this blocks at most briefly).
+    /// Returns an empty vector when no cadence has fired since the last
+    /// call.
+    pub fn take_snapshots(&mut self) -> Vec<PlanSnapshot> {
+        if let Some(handle) = self.export.take() {
+            let _ = handle.join();
+        }
+        self.snapshot_rx.try_iter().collect()
+    }
+}
+
+impl<T> Drop for ServingLoop<T> {
+    fn drop(&mut self) {
+        // Never leak a running export thread past the loop's lifetime.
+        if let Some(handle) = self.export.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spikemat::gemm::{spiking_gemm, WeightMatrix};
+    use spikemat::{SpikeMatrix, TileShape};
+
+    fn test_traces() -> (SpikeMatrix, WeightMatrix<i64>) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0x5EF);
+        let spikes = SpikeMatrix::random(32, 16, 0.3, &mut rng);
+        let w = WeightMatrix::from_fn(16, 4, |r, c| (r * 3 + c) as i64 - 5);
+        (spikes, w)
+    }
+
+    #[test]
+    fn cadence_exports_decodable_snapshots() {
+        let (spikes, w) = test_traces();
+        let traces = vec![vec![(&spikes, &w); 6], vec![(&spikes, &w); 6]];
+        let service = ServiceConfig::default().with_snapshots(4, 128);
+        let mut serving = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            service,
+        );
+        serving.run(&traces, |_, _, out| {
+            assert_eq!(out, &spiking_gemm(&spikes, &w));
+        });
+        let snapshots = serving.take_snapshots();
+        assert!(!snapshots.is_empty());
+        assert_eq!(serving.stats().snapshots_exported, snapshots.len() as u64);
+        for snap in &snapshots {
+            let decoded = PlanSnapshot::decode(snap.encode()).expect("decodable");
+            assert_eq!(decoded.len(), snap.len());
+        }
+        // Cadence state persists across runs; nothing new without steps.
+        assert!(serving.take_snapshots().is_empty());
+    }
+
+    #[test]
+    fn disabled_service_never_exports_or_sweeps() {
+        let (spikes, w) = test_traces();
+        let traces = vec![vec![(&spikes, &w); 8]];
+        let mut serving = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            ServiceConfig::default(),
+        );
+        serving.run(&traces, |_, _, _| {});
+        assert!(serving.take_snapshots().is_empty());
+        let stats = serving.stats();
+        assert_eq!(stats.snapshots_exported, 0);
+        assert_eq!(stats.gc_evictions, 0);
+        assert_eq!(stats.lane_steps, vec![8]);
+    }
+
+    #[test]
+    fn gc_never_evicts_an_actively_executing_tenant() {
+        use super::super::cache::AdmissionConfig;
+        let (spikes, w) = test_traces();
+        let config =
+            EngineConfig::new(TileShape::new(8, 8), 256).with_admission(AdmissionConfig::default());
+        // The most aggressive horizon possible: sweep every step, evict
+        // anything not touched since the previous sweep. A tenant in the
+        // middle of a batch far longer than that horizon must still be
+        // alive at the end — live lanes are re-stamped before each sweep.
+        let service = ServiceConfig::default().with_gc(1, 0);
+        let mut serving = ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, service);
+        let traces = vec![vec![(&spikes, &w); 32]];
+        serving.run(&traces, |_, _, _| {});
+        assert_eq!(serving.stats().gc_evictions, 0);
+        assert_eq!(
+            serving.shared_cache().stats().tenants,
+            1,
+            "the executing tenant's window must survive mid-batch sweeps"
+        );
+    }
+
+    #[test]
+    fn gc_cadence_counts_evictions() {
+        use super::super::cache::AdmissionConfig;
+        let (spikes, w) = test_traces();
+        let config =
+            EngineConfig::new(TileShape::new(8, 8), 256).with_admission(AdmissionConfig::default());
+        let service = ServiceConfig::default().with_gc(2, 0);
+        let mut serving = ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, service);
+        // Every batch mints a fresh tenant; with max_idle 0, each sweep
+        // evicts every window not touched since the previous sweep.
+        for _ in 0..6 {
+            let traces = vec![vec![(&spikes, &w); 4]];
+            serving.run_batch(&traces, |_, _, _| {});
+        }
+        assert!(serving.stats().gc_evictions > 0);
+        let tenants = serving.shared_cache().stats().tenants;
+        assert!(tenants <= 2, "table must stay bounded, got {tenants}");
+    }
+}

@@ -195,6 +195,13 @@ impl<T: Element> Session<T> {
     /// decisions: a hot tenant's hits cannot hold insertion open for a
     /// cold tenant, and a cold tenant's misses cannot close it for a hot
     /// one. Sessions serving the same logical stream should share an id.
+    ///
+    /// Construction resolves (and generation-stamps) the tenant's window in
+    /// the cache's admission table; under admission-table GC
+    /// ([`SharedPlanCache::gc_tenants`]) that stamp is what keeps a
+    /// returning tenant's registry entry alive. A session whose entry is
+    /// GC'd keeps working unchanged — it holds the window's `Arc` — but a
+    /// *later* session for the same tenant id starts a fresh window.
     pub fn with_shared_tenant(
         config: EngineConfig,
         shared: Arc<SharedPlanCache>,

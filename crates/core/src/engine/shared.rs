@@ -16,6 +16,7 @@
 use crate::plan::TileMeta;
 use spikemat::{SpikeMatrix, TileShape};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use super::cache::{Admission, AdmissionConfig, InsertOutcome, PlanCache};
@@ -60,33 +61,85 @@ struct Shard {
 /// tenant still serialize on their shared window — that is the
 /// semantics, not a bottleneck to engineer away.
 ///
-/// Windows are never garbage-collected (a ROADMAP item): each window is a
-/// few machine words, so this only matters if tenant ids are minted from
-/// an unbounded source (e.g. per request). Key sessions by *stable* tenant
-/// identity, not per-connection ids.
+/// Deployments with *unbounded* tenant churn (ids minted per request, or a
+/// long-lived process serving an open tenant population) would otherwise
+/// grow the table forever, so windows carry a last-touched **generation**
+/// stamp: every [`handle`](AdmissionTable::handle) resolution stamps the
+/// current generation, every [`gc`](AdmissionTable::gc) sweep advances it
+/// and evicts windows idle for more than the caller's threshold. Eviction
+/// only drops the *registry entry* — sessions still holding the window's
+/// `Arc` keep functioning unchanged; a new session for the same tenant id
+/// simply starts a fresh window. The
+/// [`ServingLoop`](super::ServingLoop) schedules sweeps on a step cadence.
 #[derive(Debug)]
 struct AdmissionTable {
     cfg: AdmissionConfig,
-    states: Mutex<HashMap<u64, Arc<Mutex<Admission>>>>,
+    /// GC clock: advanced once per [`AdmissionTable::gc`] sweep.
+    generation: AtomicU64,
+    states: Mutex<HashMap<u64, TenantWindow>>,
+}
+
+/// One tenant's admission window plus its GC bookkeeping.
+#[derive(Debug)]
+struct TenantWindow {
+    window: Arc<Mutex<Admission>>,
+    /// Generation at which this tenant last resolved its handle.
+    last_touch: u64,
 }
 
 impl AdmissionTable {
     fn new(cfg: AdmissionConfig) -> Self {
         Self {
             cfg,
+            generation: AtomicU64::new(0),
             states: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The tenant's shared admission window, created on first request.
+    /// The tenant's shared admission window, created on first request and
+    /// stamped with the current GC generation either way.
     fn handle(&self, tenant: u64) -> Arc<Mutex<Admission>> {
-        Arc::clone(
-            self.states
-                .lock()
-                .expect("admission table poisoned")
-                .entry(tenant)
-                .or_insert_with(|| Arc::new(Mutex::new(Admission::new(self.cfg)))),
-        )
+        let mut states = self.states.lock().expect("admission table poisoned");
+        // Read the generation under the states lock so the stamp
+        // linearizes with concurrent `gc` sweeps (a sweep between load and
+        // stamp would otherwise record a one-generation-stale touch).
+        let generation = self.generation.load(Ordering::Relaxed);
+        let entry = states.entry(tenant).or_insert_with(|| TenantWindow {
+            window: Arc::new(Mutex::new(Admission::new(self.cfg))),
+            last_touch: generation,
+        });
+        entry.last_touch = generation;
+        Arc::clone(&entry.window)
+    }
+
+    /// Re-stamps `tenant`'s last touch to the current generation, if its
+    /// window is still registered (never creates one). The serving loop
+    /// calls this for its live lanes before each sweep so *actively
+    /// executing* tenants can never be evicted mid-batch — handle
+    /// resolution alone only marks batch starts.
+    fn touch(&self, tenant: u64) {
+        let mut states = self.states.lock().expect("admission table poisoned");
+        let generation = self.generation.load(Ordering::Relaxed);
+        if let Some(entry) = states.get_mut(&tenant) {
+            entry.last_touch = generation;
+        }
+    }
+
+    /// One GC sweep: evicts every window whose last touch is more than
+    /// `max_idle` generations old (idle 0 = touched since the previous
+    /// sweep), then advances the generation. Returns the number evicted.
+    /// The clock is read and advanced under the states lock, so stamps
+    /// ([`handle`](AdmissionTable::handle)/[`touch`](AdmissionTable::touch))
+    /// linearize with sweeps.
+    fn gc(&self, max_idle: u64) -> usize {
+        let mut states = self.states.lock().expect("admission table poisoned");
+        let generation = self.generation.load(Ordering::Relaxed);
+        let before = states.len();
+        states.retain(|_, w| generation.saturating_sub(w.last_touch) <= max_idle);
+        // Advance *after* the sweep, so a window stamped since the
+        // previous sweep measures idle 0 at this one.
+        self.generation.store(generation + 1, Ordering::Relaxed);
+        before - states.len()
     }
 
     fn tenant_count(&self) -> usize {
@@ -217,6 +270,48 @@ impl SharedPlanCache {
     pub fn clear(&self) {
         for s in self.shards.iter() {
             s.lock().expect("shard poisoned").cache.clear();
+        }
+    }
+
+    /// Zeroes the per-shard aggregate counters (hits, misses, insertions,
+    /// evictions, bypasses, dedups, restored hits). Cache contents,
+    /// residency, and admission state are untouched — this resets the
+    /// *ledger*, not the cache. Visible to every session sharing this
+    /// cache, so call it at a quiesced point (e.g.
+    /// [`BatchScheduler::reset_stats`](super::BatchScheduler::reset_stats)
+    /// between measurement windows).
+    pub fn reset_stats(&self) {
+        for s in self.shards.iter() {
+            s.lock().expect("shard poisoned").counters = ShardCounters::default();
+        }
+    }
+
+    /// One admission-table GC sweep: advances the table's generation clock
+    /// and evicts every tenant window that has not resolved a handle
+    /// (session construction, [`BatchScheduler::begin_batch_as`]) for more
+    /// than `max_idle` sweeps. Returns the number of windows evicted (0
+    /// when the cache has no admission policy).
+    ///
+    /// Sessions still holding an evicted window's handle keep working —
+    /// only the registry entry is dropped, bounding the table under
+    /// unbounded tenant churn; a later session for the same tenant id
+    /// starts a fresh window. The [`ServingLoop`](super::ServingLoop) runs
+    /// sweeps on a step cadence
+    /// ([`ServiceConfig::gc_every`](super::ServiceConfig)).
+    ///
+    /// [`BatchScheduler::begin_batch_as`]: super::BatchScheduler::begin_batch_as
+    pub fn gc_tenants(&self, max_idle: u64) -> usize {
+        self.admission.as_ref().map_or(0, |t| t.gc(max_idle))
+    }
+
+    /// Marks `tenant` as alive *now* for admission-table GC purposes,
+    /// without creating a window (a no-op for unknown tenants or without
+    /// an admission policy). Handle resolution only stamps batch starts;
+    /// the serving loop calls this for its live lanes before each sweep so
+    /// a tenant in the middle of a long batch is never treated as idle.
+    pub fn touch_tenant(&self, tenant: u64) {
+        if let Some(t) = &self.admission {
+            t.touch(tenant);
         }
     }
 

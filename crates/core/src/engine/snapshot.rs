@@ -8,6 +8,14 @@
 //! checksummed binary format, and a restarted process imports it to start
 //! at a warm hit rate instead of zero.
 //!
+//! Snapshots are taken at shutdown (`Session::export_snapshot`,
+//! [`SharedPlanCache::export_hottest`](super::SharedPlanCache::export_hottest))
+//! or *periodically while serving*: a
+//! [`ServingLoop`](super::ServingLoop) launches shard-at-a-time exports
+//! on a background thread on an executed-step cadence, so a long-running
+//! fleet always has a recent warm-start image without ever pausing its
+//! lanes.
+//!
 //! The codec follows the `trace_io` style: a hand-rolled little-endian
 //! layout over [`bytes`], no `serde` on the hot types, and decode paths
 //! that fail cleanly (never panic) on truncated, corrupt, or

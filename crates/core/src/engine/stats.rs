@@ -1,10 +1,15 @@
-//! Reuse counters for sessions and the shared plan cache.
+//! Reuse counters for sessions, the shared plan cache, and the scheduler.
 //!
 //! Every [`Session`](super::Session) keeps its own [`EngineStats`]; a
 //! serving deployment additionally snapshots the aggregate
 //! [`SharedCacheStats`] of its [`SharedPlanCache`](super::SharedPlanCache).
 //! Per-session counters are mergeable ([`EngineStats::merge`]) so a batch
 //! scheduler can report one fleet-wide row next to the per-session ones.
+//! The [`BatchScheduler`](super::BatchScheduler) additionally records
+//! *scheduling* behaviour — per-lane step counts, deficit credits, deadline
+//! misses — in a [`SchedulerStats`], which the
+//! [`ServingLoop`](super::ServingLoop) extends with its lifecycle counters
+//! (background snapshot exports, admission-table GC evictions).
 
 use serde::{Deserialize, Serialize};
 
@@ -112,6 +117,53 @@ impl SharedCacheStats {
     }
 }
 
+/// How a [`BatchScheduler`](super::BatchScheduler) run distributed steps
+/// across lanes, plus the serving-loop lifecycle counters.
+///
+/// Lane-indexed vectors describe the scheduler's **last `run` call** (the
+/// policy state is rebuilt per run); `deadline_misses` is counted by the
+/// [`Deadline`](super::BatchPolicy::Deadline) policy, and
+/// [`SchedulerStats::misses_against`] re-derives miss counts for any policy
+/// from the recorded completion steps (how the bench scores round-robin
+/// against the same budgets). `gc_evictions` / `snapshots_exported` stay 0
+/// on a bare scheduler — they are filled in by
+/// [`ServingLoop::stats`](super::ServingLoop::stats).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Steps executed per lane.
+    pub lane_steps: Vec<u64>,
+    /// Leftover deficit-round-robin credit per lane
+    /// ([`BatchPolicy::Weighted`](super::BatchPolicy::Weighted) only;
+    /// zeros under other policies).
+    pub credit_balances: Vec<u64>,
+    /// Global step count (1-based, across all lanes) at which each lane
+    /// finished its trace; 0 for a lane whose trace was empty.
+    pub completion_steps: Vec<u64>,
+    /// Lanes that completed after their step budget
+    /// ([`BatchPolicy::Deadline`](super::BatchPolicy::Deadline) only).
+    pub deadline_misses: u64,
+    /// Idle tenant admission windows evicted by the serving loop's GC.
+    pub gc_evictions: u64,
+    /// Background snapshot exports launched by the serving loop.
+    pub snapshots_exported: u64,
+}
+
+impl SchedulerStats {
+    /// Number of lanes whose recorded completion step exceeded its budget
+    /// (`budgets[lane]`; lanes beyond the slice have no deadline). Lets a
+    /// caller score *any* policy's run against a budget mix — e.g. the
+    /// round-robin baseline the `qos` bench compares EDF to.
+    pub fn misses_against(&self, budgets: &[u64]) -> u64 {
+        self.completion_steps
+            .iter()
+            .enumerate()
+            .filter(|&(lane, &done)| {
+                done > 0 && done > budgets.get(lane).copied().unwrap_or(u64::MAX)
+            })
+            .count() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +210,19 @@ mod tests {
     fn empty_rates_are_zero() {
         assert_eq!(EngineStats::default().hit_rate(), 0.0);
         assert_eq!(SharedCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn misses_against_scores_completions_not_empty_lanes() {
+        let stats = SchedulerStats {
+            completion_steps: vec![10, 0, 25, 7],
+            ..SchedulerStats::default()
+        };
+        // Lane 0 on time, lane 1 never ran (empty trace), lane 2 late,
+        // lane 3 has no budget at all.
+        assert_eq!(stats.misses_against(&[10, 1, 24]), 1);
+        assert_eq!(stats.misses_against(&[9, 1, 24]), 2);
+        assert_eq!(stats.misses_against(&[]), 0);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Validates the committed BENCH_*.json artifacts: each file must parse as
+# JSON and carry the fields BENCHMARKS.md promises, so a bench refactor
+# that silently drops a field (or a hand-edit that breaks the format) fails
+# CI instead of bit-rotting the perf audit trail. Requires jq.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "jq is required to validate BENCH_*.json (install jq and re-run)"
+    exit 1
+fi
+
+status=0
+
+# need FILE JQ_EXPR DESCRIPTION — the expression must select a truthy value.
+need() {
+    if ! jq -e "$2" "$1" >/dev/null 2>&1; then
+        echo "MISSING: $1: $2 ($3)"
+        status=1
+    fi
+}
+
+for f in BENCH_kernels.json BENCH_e2e.json BENCH_serving.json; do
+    if [ ! -f "$f" ]; then
+        echo "MISSING FILE: $f"
+        status=1
+        continue
+    fi
+    if ! jq empty "$f" >/dev/null 2>&1; then
+        echo "PARSE ERROR: $f is not valid JSON"
+        status=1
+        continue
+    fi
+    need "$f" '.unit == "ms"' "timing unit"
+    need "$f" '.scenarios | length > 0' "non-empty scenarios"
+done
+
+# BENCH_kernels.json: geometry + legacy/opt timings + speedups per scenario,
+# including the acceptance row.
+need BENCH_kernels.json \
+    '[.scenarios[] | has("m") and has("k") and has("n") and has("density")
+      and has("legacy_total_ms") and has("opt_total_ms") and has("speedup_total")] | all' \
+    "kernels per-scenario fields"
+need BENCH_kernels.json \
+    '.scenarios[] | select(.name | startswith("acceptance"))' \
+    "kernels acceptance row"
+
+# BENCH_e2e.json: naive-vs-engine timings and session stats per scenario.
+need BENCH_e2e.json \
+    '[.scenarios[] | has("gemms") and has("naive_ms") and has("engine_ms")
+      and has("speedup") and has("hit_rate")] | all' \
+    "e2e per-scenario fields"
+for name in correlated_trace fig8_spikingbert attention_stream; do
+    need BENCH_e2e.json ".scenarios[] | select(.name == \"$name\")" "e2e $name row"
+done
+
+# BENCH_serving.json: the documented scenario set, stats blocks included.
+for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos; do
+    need BENCH_serving.json ".scenarios[] | select(.name == \"$name\")" "serving $name row"
+done
+need BENCH_serving.json \
+    '[.scenarios[] | select(.name | startswith("shared_cache_"))
+      | has("private_ms") and has("shared_rr_ms") and has("shared_aff_ms")
+      and has("merged") and has("private_merged") and has("shared_cache") and has("sessions")] | all' \
+    "shared_cache row fields"
+need BENCH_serving.json \
+    '[.scenarios[] | select(.name | startswith("shared_cache_")) | .shared_cache
+      | has("hits") and has("misses") and has("insertions") and has("evictions")
+      and has("bypasses") and has("dedups") and has("restored_hits")
+      and has("resident") and has("restored_resident") and has("tenants")
+      and has("shards") and has("capacity")] | all' \
+    "SharedCacheStats block fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "fig8_admission")
+     | has("admission_off_ms") and has("admission_on_ms") and has("stats_off") and has("stats_on")' \
+    "fig8_admission fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "warm_start")
+     | has("snapshot_plans") and has("snapshot_bytes") and has("cold_ms") and has("warm_ms")
+     and has("cold_hit_curve") and has("warm_hit_curve")' \
+    "warm_start fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos") | .weighted
+     | has("weights") and has("rr_ms") and has("weighted_ms")
+     and has("throughput_ratio") and has("share_ratio") and has("lane_steps")' \
+    "qos weighted fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos") | .deadline
+     | has("budgets") and has("edf_misses") and has("rr_misses")
+     and has("edf_completion") and has("rr_completion")' \
+    "qos deadline fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos") | .rr_skew
+     | has("lengths") and has("gemms") and has("rr_ms")' \
+    "qos rr_skew fields"
+
+# The recorded qos row must also satisfy its acceptance thresholds: the
+# weight-4 tenant gets >= 2.5x the weight-1 step share at ~unchanged
+# aggregate throughput, and EDF meets the budget mix round-robin misses.
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos") | .weighted.share_ratio >= 2.5' \
+    "qos weighted share >= 2.5x"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos")
+     | .weighted.throughput_ratio >= 0.95 and .weighted.throughput_ratio <= 1.05' \
+    "qos weighted throughput within 5% of round-robin"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos") | .deadline.edf_misses == 0' \
+    "qos EDF meets the feasible mix"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "qos") | .deadline.rr_misses >= 1' \
+    "qos round-robin misses the tight budget"
+
+if [ $status -eq 0 ]; then
+    echo "all BENCH_*.json artifacts parse and carry the documented fields"
+fi
+exit $status

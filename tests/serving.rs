@@ -7,7 +7,7 @@
 
 use prosperity::core::engine::{
     AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, PlanSnapshot,
-    Session, SharedPlanCache, TraceStep,
+    ServiceConfig, ServingLoop, Session, SharedPlanCache, TraceStep,
 };
 use prosperity::models::tracegen::{TraceGen, TraceGenParams};
 use prosperity::models::Workload;
@@ -79,8 +79,22 @@ fn scheduled_shared_sessions_match_serial_private_oracle() {
         let config = EngineConfig::new(tile, rng.gen_range(1..32));
         let oracle = serial_private_oracle(&batch, config);
         let traces = traces_of(&batch);
-        for policy in [BatchPolicy::RoundRobin, BatchPolicy::CacheAffinity] {
-            let mut sched = BatchScheduler::new(config, policy);
+        let policies = [
+            BatchPolicy::RoundRobin,
+            BatchPolicy::CacheAffinity,
+            BatchPolicy::Weighted {
+                weights: (0..batch.streams.len())
+                    .map(|_| rng.gen_range(1..5))
+                    .collect(),
+            },
+            BatchPolicy::Deadline {
+                budgets: (0..batch.streams.len())
+                    .map(|_| rng.gen_range(1..200))
+                    .collect(),
+            },
+        ];
+        for policy in policies {
+            let mut sched = BatchScheduler::new(config, policy.clone());
             let mut executed = 0usize;
             sched.run(&traces, |tenant, step, out| {
                 assert_eq!(
@@ -410,6 +424,181 @@ fn per_tenant_admission_isolates_hot_and_cold_tenants() {
     );
     assert!(hot.stats().cache_hits > 0);
     assert_eq!(shared.stats().tenants, 2);
+}
+
+/// The lane-reuse leak, as a regression test: without `begin_batch`, a
+/// second `run` with a *different* trace set inherits the previous traces'
+/// admission windows under the same lane ids — run A's closed window gates
+/// run B's insertions. `begin_batch` must hand run B fresh tenants whose
+/// windows start open.
+#[test]
+fn begin_batch_stops_run_a_admission_from_gating_run_b() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let tile = TileShape::new(16, 16);
+    // No probes: once a window closes it stays closed — the sharpest
+    // version of the leak.
+    let admission = AdmissionConfig {
+        window: 32,
+        min_hit_permille: 100,
+        probe_period: 0,
+    };
+    let config = EngineConfig::new(tile, 4096).with_admission(admission);
+    let w = WeightMatrix::from_fn(48, 4, |r, c| (r * 3 + c) as i64 - 20);
+
+    // Run A: an uncorrelated tenant (every matrix distinct) closes its
+    // admission window on lane 0.
+    let cold_stream: Vec<prosperity::spikemat::SpikeMatrix> = (0..40)
+        .map(|_| prosperity::spikemat::SpikeMatrix::random(64, 48, 0.4, &mut rng))
+        .collect();
+    let run_a: Vec<Vec<TraceStep<'_, i64>>> = vec![cold_stream.iter().map(|s| (s, &w)).collect()];
+    // Run B: a correlated tenant (one matrix replayed) on the same lane.
+    let hot = prosperity::spikemat::SpikeMatrix::random(64, 48, 0.4, &mut rng);
+    let run_b: Vec<Vec<TraceStep<'_, i64>>> = vec![vec![(&hot, &w); 12]];
+
+    // Without begin_batch, run B inherits run A's closed window: its very
+    // first (cold) tiles are bypassed and it can never warm up.
+    let mut leaky = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    leaky.run(&run_a, |_, _, _| {});
+    assert!(leaky.merged_stats().cache_bypasses > 0, "run A must close");
+    leaky.reset_stats();
+    leaky.run(&run_b, |_, _, _| {});
+    let inherited = leaky.merged_stats();
+    assert!(
+        inherited.cache_bypasses > 0,
+        "without begin_batch run B is gated by run A's window: {inherited:?}"
+    );
+
+    // With begin_batch, run B gets a fresh tenant: its window starts open,
+    // the first step inserts, and every later step hits.
+    let mut clean = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    clean.run(&run_a, |_, _, _| {});
+    clean.begin_batch();
+    clean.run(&run_b, |lane, step, out| {
+        let mut oracle = Engine::new(EngineConfig::new(tile, 4096));
+        let mut want = OutputMatrix::zeros(0, 0);
+        oracle.gemm_into_serial(&hot, &w, &mut want);
+        assert_eq!(out, &want, "lane {lane} step {step}");
+    });
+    let fresh = clean.merged_stats();
+    assert_eq!(
+        fresh.cache_bypasses, 0,
+        "begin_batch must give run B an open window: {fresh:?}"
+    );
+    assert!(fresh.cache_hits > 0);
+
+    // Explicit remap: run B can also pin run A's tenant back on purpose —
+    // the remap path, not the leak, decides who inherits a window.
+    let mut pinned = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    pinned.run(&run_a, |_, _, _| {});
+    pinned.begin_batch_as(&[0]);
+    pinned.run(&run_b, |_, _, _| {});
+    assert!(
+        pinned.merged_stats().cache_bypasses > 0,
+        "begin_batch_as(0) deliberately re-attaches run A's window"
+    );
+}
+
+/// Background snapshot export racing in-flight planning: while the serving
+/// loop executes lanes, export threads walk the shared cache shard by
+/// shard. Every collected snapshot must encode → decode cleanly and import
+/// into a fresh cache as verified entries that serve bit-exact outputs.
+#[test]
+fn background_export_races_planning_and_stays_decodable() {
+    let mut rng = StdRng::seed_from_u64(0xBACE);
+    for trial in 0..4 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(rng.gen_range(4..=12), rng.gen_range(4..=12));
+        let config = EngineConfig::new(tile, 512);
+        let oracle = serial_private_oracle(&batch, config);
+        let traces = traces_of(&batch);
+        // Export every 2 executed steps so several exports overlap the run.
+        let service = ServiceConfig::default().with_snapshots(2, 512);
+        let mut serving = ServingLoop::new(config, BatchPolicy::RoundRobin, service);
+        serving.run(&traces, |tenant, step, out| {
+            assert_eq!(
+                out, &oracle[tenant][step],
+                "trial {trial} tenant {tenant} step {step}"
+            );
+        });
+        let snapshots = serving.take_snapshots();
+        assert!(!snapshots.is_empty(), "trial {trial}: cadence must fire");
+        assert_eq!(
+            serving.stats().snapshots_exported,
+            snapshots.len() as u64,
+            "trial {trial}"
+        );
+        for (i, snap) in snapshots.iter().enumerate() {
+            // The full persistence path: encode → decode (checksums and
+            // per-entry hashes verified) → import into a fresh cache.
+            let decoded = PlanSnapshot::decode(snap.encode())
+                .unwrap_or_else(|e| panic!("trial {trial} snapshot {i}: {e}"));
+            assert_eq!(decoded.len(), snap.len());
+            let restored = SharedPlanCache::new(512);
+            let report = restored.import(&decoded, tile);
+            assert_eq!(report.requested, decoded.len(), "trial {trial} snap {i}");
+            assert_eq!(
+                report.skipped_shape, 0,
+                "exports carry only this tile shape"
+            );
+            assert_eq!(
+                report.restored + report.skipped_capacity + report.skipped_duplicate,
+                report.requested,
+                "trial {trial} snap {i}: every entry accounted for"
+            );
+            assert_eq!(restored.len(), report.restored);
+        }
+        // The newest snapshot warm-starts a process that serves the same
+        // batch bit-identically.
+        let last = snapshots.last().unwrap();
+        let (mut warm, _) = BatchScheduler::warm_start(config, BatchPolicy::RoundRobin, last);
+        warm.run(&traces, |tenant, step, out| {
+            assert_eq!(
+                out, &oracle[tenant][step],
+                "trial {trial} warm tenant {tenant} step {step}"
+            );
+        });
+    }
+}
+
+/// Admission-table GC bounds the tenant registry under unbounded churn:
+/// 1000 one-shot tenants stream through the serving loop, and the table
+/// must stay within the GC's idle horizon instead of growing to 1000 —
+/// while a returning tenant's window survives every sweep.
+#[test]
+fn admission_gc_bounds_the_table_under_tenant_churn() {
+    let mut rng = StdRng::seed_from_u64(0x6C6C);
+    let tile = TileShape::new(16, 16);
+    let config = EngineConfig::new(tile, 2048).with_admission(AdmissionConfig::default());
+    // One GC sweep per batch (each batch below runs 2 steps); windows may
+    // sit idle for at most 2 sweeps.
+    let service = ServiceConfig::default().with_gc(2, 2);
+    let mut serving = ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, service);
+    let w = WeightMatrix::from_fn(32, 3, |r, c| (r + c) as i64 - 4);
+    let spikes = prosperity::spikemat::SpikeMatrix::random(32, 32, 0.3, &mut rng);
+    let keeper = 5000u64; // returns in every batch
+    let mut max_tenants = 0usize;
+    for batch_no in 0..500u64 {
+        // Two fresh tenants per batch + the keeper: 1000 distinct one-shot
+        // ids over the run.
+        let tenants = [keeper, 2 * batch_no, 2 * batch_no + 1];
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|_| vec![(&spikes, &w)]).collect();
+        serving.run_batch_as(&tenants, &traces, |_, _, _| {});
+        max_tenants = max_tenants.max(serving.shared_cache().stats().tenants);
+    }
+    let stats = serving.stats();
+    assert!(
+        stats.gc_evictions >= 900,
+        "churned windows evicted: {stats:?}"
+    );
+    // Bound: the keeper + at most (idle horizon + 1) batches of 2 one-shot
+    // tenants may be live at any instant — far below the 1000 minted.
+    assert!(
+        max_tenants <= 1 + 2 * 4,
+        "table must stay bounded under churn, peaked at {max_tenants}"
+    );
+    let final_tenants = serving.shared_cache().stats().tenants;
+    assert!(final_tenants <= 1 + 2 * 4, "final size {final_tenants}");
 }
 
 /// Stats merging is the audited sum of per-session counters.
