@@ -28,6 +28,14 @@
 //!   mix (EDF must record zero misses where round-robin misses the tight
 //!   budgets), and a skewed-length round-robin guard (1000:10:10 — the
 //!   live-lane list keeps long-tail batches linear in executed steps).
+//! * `resilience` — the fault-tolerance layer under load: one lane of a
+//!   3-tenant mix panics on its first step (the panic unwinds out of the
+//!   scheduler's isolation region, quarantining the lane), and the
+//!   surviving lanes must serve bit-exact at ≥ 0.9× the throughput of the
+//!   same two tenants with no fault at all; plus the crash-safe
+//!   [`SnapshotStore`] path — saves, a hand-corrupted newest file, and the
+//!   checksum-verified loader quarantining it and recovering the previous
+//!   good snapshot.
 //!
 //! Every scenario gates on bit-identical outputs against the serial
 //! private-cache oracle before timing anything. Per-session stats and the
@@ -45,7 +53,7 @@
 use prosperity_bench::time_ms;
 use prosperity_core::engine::{
     AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, PlanSnapshot,
-    Session, SharedCacheStats, TraceStep,
+    Session, SharedCacheStats, SnapshotStore, TraceStep,
 };
 use prosperity_models::tracegen::{TraceGen, TraceGenParams};
 use prosperity_models::Workload;
@@ -555,6 +563,140 @@ fn qos(smoke: bool, reps: usize) -> QosOut {
     }
 }
 
+/// The `resilience` scenario's measurements: lane quarantine under load
+/// and crash-safe snapshot recovery.
+struct ResilienceOut {
+    /// GeMMs the two surviving tenants execute per pass.
+    survivor_gemms: usize,
+    /// Wall time of the survivors' work with no fault anywhere.
+    clean_ms: f64,
+    /// Wall time of the same work while lane 0 panics and is quarantined.
+    faulted_ms: f64,
+    /// Scheduler fault counters of the faulted gate pass.
+    lane_faults: u64,
+    shard_resets: u64,
+    /// Crash-safe store leg: saves performed, corrupt files quarantined by
+    /// the loader, and plans recovered from the newest *valid* snapshot.
+    snapshot_saves: usize,
+    snapshots_quarantined: u64,
+    recovered_plans: usize,
+}
+
+impl ResilienceOut {
+    /// Survivor throughput under a fault relative to a fault-free fleet.
+    fn surviving_throughput_ratio(&self) -> f64 {
+        self.clean_ms / self.faulted_ms
+    }
+}
+
+fn resilience(smoke: bool, reps: usize) -> ResilienceOut {
+    let case = tenant_case(3, smoke);
+    let tile = TileShape::prosperity_default();
+    let config = EngineConfig::new(tile, 4096);
+    let traces = case.traces();
+    let want = oracle(&case, config);
+
+    // The injected fault needs no hook: the sink runs inside the
+    // scheduler's per-step isolation region, so a panic raised there is
+    // exactly a lane crash. Silence the default hook's backtrace for these
+    // expected panics (delegating everything else).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let expected = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("bench fault"))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("bench fault"))
+            })
+            .unwrap_or(false);
+        if !expected {
+            prev_hook(info);
+        }
+    }));
+
+    // Gate: lane 0 crashes on its first step; the fleet must not abort,
+    // lane 0 must be quarantined and counted, and the survivors must stay
+    // bit-identical to the serial private-cache oracle.
+    let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+    let mut seen = vec![0usize; traces.len()];
+    sched.run(&traces, |t, s, out| {
+        if t == 0 {
+            panic!("bench fault: lane 0 crashes at step {s}");
+        }
+        assert_eq!(out, &want[t][s], "survivor lost bits: tenant {t} step {s}");
+        seen[t] += 1;
+    });
+    let stats = sched.scheduler_stats().clone();
+    assert_eq!(stats.lane_faults, 1, "lane 0 must be quarantined");
+    assert_eq!(seen[1], traces[1].len(), "survivor 1 must complete");
+    assert_eq!(seen[2], traces[2].len(), "survivor 2 must complete");
+    let survivor_gemms = traces[1].len() + traces[2].len();
+
+    // Timed passes: identical survivor work with and without the crash.
+    let survivor_traces: Vec<Vec<TraceStep<'_, i64>>> = vec![traces[1].clone(), traces[2].clone()];
+    let clean_ms = time_ms(reps, || {
+        let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+        let mut acc = 0i64;
+        sched.run(&survivor_traces, |_, _, out| {
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+    let faulted_ms = time_ms(reps, || {
+        let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin);
+        let mut acc = 0i64;
+        sched.run(&traces, |t, s, out| {
+            if t == 0 {
+                panic!("bench fault: lane 0 crashes at step {s}");
+            }
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+
+    // Crash-safe store leg: persist the warmed cache a few times, rot one
+    // byte of the newest file on disk, and let the checksum-verified loader
+    // quarantine it and fall back to the previous good snapshot.
+    let dir = std::env::temp_dir().join(format!(
+        "prosperity_bench_resilience_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SnapshotStore::new(&dir, 8).expect("snapshot store");
+    let snapshot = sched.shared_cache().export_hottest(256);
+    let snapshot_saves = 3;
+    let mut newest = std::path::PathBuf::new();
+    for _ in 0..snapshot_saves {
+        newest = store.save(&snapshot).expect("save snapshot");
+    }
+    let mut bytes = std::fs::read(&newest).expect("read newest snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("write rotted snapshot");
+    let recovered = store
+        .load_latest_valid()
+        .expect("recovery must not error")
+        .expect("an older good snapshot must survive");
+    assert_eq!(recovered.len(), snapshot.len(), "recovery must be total");
+    let snapshots_quarantined = store.quarantined();
+    assert!(snapshots_quarantined >= 1, "rot must be quarantined");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ResilienceOut {
+        survivor_gemms,
+        clean_ms,
+        faulted_ms,
+        lane_faults: stats.lane_faults,
+        shard_resets: stats.shard_resets,
+        snapshot_saves,
+        snapshots_quarantined,
+        recovered_plans: recovered.len(),
+    }
+}
+
 fn json_stats(s: &EngineStats) -> String {
     format!(
         concat!(
@@ -579,7 +721,8 @@ fn json_shared(c: &SharedCacheStats) -> String {
             "{{\"hits\": {}, \"misses\": {}, \"insertions\": {}, ",
             "\"evictions\": {}, \"bypasses\": {}, \"dedups\": {}, ",
             "\"restored_hits\": {}, \"resident\": {}, \"restored_resident\": {}, ",
-            "\"tenants\": {}, \"shards\": {}, \"capacity\": {}, \"hit_rate\": {:.4}}}"
+            "\"tenants\": {}, \"shards\": {}, \"capacity\": {}, ",
+            "\"shard_resets\": {}, \"hit_rate\": {:.4}}}"
         ),
         c.hits,
         c.misses,
@@ -593,6 +736,7 @@ fn json_shared(c: &SharedCacheStats) -> String {
         c.tenants,
         c.shards,
         c.capacity,
+        c.shard_resets,
         c.hit_rate(),
     )
 }
@@ -779,6 +923,24 @@ fn main() {
         );
     }
 
+    let rz = wanted("resilience").then(|| resilience(smoke, reps));
+    if let Some(rz) = &rz {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11} {:>8} {:>8} {:>9}",
+            "resilience", 3, rz.survivor_gemms, rz.clean_ms, rz.faulted_ms, "-", "-", "-", "-",
+        );
+        println!(
+            "  resilience: surviving throughput {:.2}x of fault-free; {} lane fault(s), \
+             {} shard reset(s); store quarantined {} of {} saves, recovered {} plans",
+            rz.surviving_throughput_ratio(),
+            rz.lane_faults,
+            rz.shard_resets,
+            rz.snapshots_quarantined,
+            rz.snapshot_saves,
+            rz.recovered_plans,
+        );
+    }
+
     let out_path = std::env::var("BENCH_SERVING_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string()
     });
@@ -786,10 +948,11 @@ fn main() {
         println!("\nscenario filter active: not writing {out_path}");
         return;
     }
-    let (adm, ws, q) = (
+    let (adm, ws, q, rz) = (
         adm.expect("unfiltered run has fig8_admission"),
         ws.expect("unfiltered run has warm_start"),
         q.expect("unfiltered run has qos"),
+        rz.expect("unfiltered run has resilience"),
     );
     let mut body: Vec<String> = results.iter().map(json_scenario).collect();
     body.push(format!(
@@ -829,6 +992,25 @@ fn main() {
         json_stats(&ws.stats_warm),
     ));
     body.push(json_qos(&q));
+    body.push(format!(
+        concat!(
+            "    {{\"name\": \"resilience\", \"tenants\": 3, \"gemms\": {}, ",
+            "\"clean_ms\": {:.3}, \"faulted_ms\": {:.3}, ",
+            "\"surviving_throughput_ratio\": {:.3},\n",
+            "     \"lane_faults\": {}, \"shard_resets\": {}, ",
+            "\"snapshot_saves\": {}, \"snapshots_quarantined\": {}, ",
+            "\"recovered_plans\": {}}}"
+        ),
+        rz.survivor_gemms,
+        rz.clean_ms,
+        rz.faulted_ms,
+        rz.surviving_throughput_ratio(),
+        rz.lane_faults,
+        rz.shard_resets,
+        rz.snapshot_saves,
+        rz.snapshots_quarantined,
+        rz.recovered_plans,
+    ));
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"unit\": \"ms\",\n  \"timing\": \
          \"best_of_reps\",\n  \"smoke\": {},\n  \"threads\": {},\n  \

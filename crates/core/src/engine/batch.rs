@@ -34,6 +34,17 @@
 //! [`SchedulerStats`] (per-lane steps, completion steps, credits, deadline
 //! misses).
 //!
+//! **Fault tolerance.** A panic inside one lane's step (planning,
+//! execution, or the caller's sink) is caught at the step boundary and
+//! *quarantines* that lane — the fault is recorded as a [`LaneFault`],
+//! the lane leaves the scheduling loop, and every surviving lane keeps
+//! serving, still bit-identical to the oracle (the only cross-lane state
+//! is the content-addressed shared cache, whose poisoned shards recover
+//! by resetting — see [`SharedPlanCache`]). Quarantine persists across
+//! [`run`] calls until [`BatchScheduler::begin_batch`] retires the lanes;
+//! [`SchedulerStats::lane_faults`] counts the quarantined lanes and
+//! [`SchedulerStats::shard_resets`] the shard recoveries.
+//!
 //! [`run`]: BatchScheduler::run
 
 use std::sync::Arc;
@@ -50,6 +61,32 @@ use super::{Element, EngineConfig};
 
 /// One step of a logical trace: a spiking GeMM to execute.
 pub type TraceStep<'a, T> = (&'a SpikeMatrix, &'a WeightMatrix<T>);
+
+/// Record of a caught lane panic: which lane, at which trace-local step,
+/// and the panic payload (when it was a string). The lane is quarantined —
+/// skipped by every subsequent [`BatchScheduler::run`] — until
+/// [`BatchScheduler::begin_batch`] retires it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneFault {
+    /// Lane (trace index) that panicked.
+    pub lane: usize,
+    /// Trace-local step that was executing when the panic unwound.
+    pub step: usize,
+    /// Stringified panic payload (`"non-string panic payload"` when the
+    /// payload was not a `&str`/`String`).
+    pub reason: String,
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// How the scheduler interleaves runnable traces.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -183,6 +220,9 @@ pub struct BatchScheduler<T = i64> {
     probe_buf: SpikeMatrix,
     /// Scheduling record of the last [`BatchScheduler::run`] call.
     sched_stats: SchedulerStats,
+    /// Per-lane quarantine slot: `Some` after a caught panic, until
+    /// [`BatchScheduler::begin_batch`] retires the lanes.
+    quarantine: Vec<Option<LaneFault>>,
 }
 
 impl<T: Element> BatchScheduler<T> {
@@ -213,6 +253,7 @@ impl<T: Element> BatchScheduler<T> {
             outs: Vec::new(),
             probe_buf: SpikeMatrix::zeros(0, 0),
             sched_stats: SchedulerStats::default(),
+            quarantine: Vec::new(),
         }
     }
 
@@ -297,6 +338,21 @@ impl<T: Element> BatchScheduler<T> {
     /// way; only per-lane session state is rebuilt.
     pub fn begin_batch(&mut self) {
         self.sessions.clear();
+        self.quarantine.clear();
+    }
+
+    /// The recorded faults of currently quarantined lanes, in lane order.
+    /// Empty while every lane is healthy; cleared (with the lanes) by
+    /// [`BatchScheduler::begin_batch`].
+    pub fn quarantined(&self) -> Vec<LaneFault> {
+        self.quarantine.iter().flatten().cloned().collect()
+    }
+
+    /// Whether `lane` is quarantined after a caught panic (such a lane is
+    /// skipped by [`BatchScheduler::run`] until the next
+    /// [`BatchScheduler::begin_batch`]).
+    pub fn is_quarantined(&self, lane: usize) -> bool {
+        self.quarantine.get(lane).is_some_and(Option::is_some)
     }
 
     /// [`BatchScheduler::begin_batch`] with an explicit tenant id per lane:
@@ -306,6 +362,7 @@ impl<T: Element> BatchScheduler<T> {
     /// ever passed here.
     pub fn begin_batch_as(&mut self, tenants: &[u64]) {
         self.sessions.clear();
+        self.quarantine.clear();
         for &tenant in tenants {
             self.next_tenant = self.next_tenant.max(tenant.saturating_add(1));
             self.sessions.push(Session::with_shared_tenant(
@@ -341,6 +398,9 @@ impl<T: Element> BatchScheduler<T> {
         while self.outs.len() < n {
             self.outs.push(OutputMatrix::zeros(0, 0));
         }
+        if self.quarantine.len() < n {
+            self.quarantine.resize_with(n, || None);
+        }
     }
 
     /// Runs every trace to completion on one thread, interleaving steps
@@ -356,6 +416,12 @@ impl<T: Element> BatchScheduler<T> {
     /// Exhausted traces leave the scheduling loop entirely (a live-lane
     /// list), so long-tail batches — one long trace among many finished
     /// ones — pay O(1) per step, not O(lanes).
+    ///
+    /// A panic inside a lane's step (planning, execution, or the caller's
+    /// `sink`) does not abort the run: the lane is quarantined with a
+    /// recorded [`LaneFault`] and the surviving lanes complete normally.
+    /// Quarantined lanes (including ones from previous runs) are skipped —
+    /// their sink is never called — until [`BatchScheduler::begin_batch`].
     pub fn run<'a, S, F>(&mut self, traces: &[S], mut sink: F)
     where
         T: 'a,
@@ -367,7 +433,7 @@ impl<T: Element> BatchScheduler<T> {
         // Lanes with steps remaining, in lane order. Exhausted lanes are
         // removed so no policy ever re-scans them.
         let mut live: Vec<usize> = (0..traces.len())
-            .filter(|&i| !traces[i].as_ref().is_empty())
+            .filter(|&i| !traces[i].as_ref().is_empty() && self.quarantine[i].is_none())
             .collect();
         self.sched_stats = SchedulerStats {
             lane_steps: vec![0; traces.len()],
@@ -422,7 +488,9 @@ impl<T: Element> BatchScheduler<T> {
                     waits[lane] = 0;
                     if !self.step_lane(lane, &mut cursors, traces, &mut t, &mut sink) {
                         live.remove(pos);
-                        if t > deadlines[lane] {
+                        // A quarantined lane never completed — score only
+                        // real completions against the budget.
+                        if self.sched_stats.completion_steps[lane] > 0 && t > deadlines[lane] {
                             self.sched_stats.deadline_misses += 1;
                         }
                     }
@@ -432,11 +500,36 @@ impl<T: Element> BatchScheduler<T> {
         if let PolicyState::Weighted { credits, .. } = state {
             self.sched_stats.credit_balances = credits;
         }
+        self.settle_fault_counters();
+    }
+
+    /// Fills the fault counters of [`BatchScheduler::scheduler_stats`] at
+    /// the end of a run. Locking every shard (via `stats`) first settles
+    /// any shard left poisoned by a caught panic, so the recovery — and
+    /// its `shard_resets` increment — happens here deterministically
+    /// rather than at an arbitrary later lock site.
+    fn settle_fault_counters(&mut self) {
+        self.sched_stats.lane_faults = self.quarantine.iter().flatten().count() as u64;
+        if self.sched_stats.lane_faults > 0 {
+            let _ = self.shared.stats();
+        }
+        self.sched_stats.shard_resets = self.shared.shard_resets();
     }
 
     /// Executes lane `i`'s next step, advances its cursor and the global
     /// clock, and records per-lane accounting. Returns whether the lane
-    /// still has steps left.
+    /// still has steps left — `false` also when the step panicked and the
+    /// lane was quarantined (cursor and clock do not advance; the step is
+    /// recorded as the lane's [`LaneFault`]).
+    ///
+    /// The step body runs under `catch_unwind`. `AssertUnwindSafe` is a
+    /// deliberate, audited choice: the states the closure can leave torn
+    /// are this lane's session and output buffer — both unreachable after
+    /// quarantine except through plain-counter stats reads — and the
+    /// shared cache, whose poisoned shards recover by resetting
+    /// ([`SharedPlanCache`] fault tolerance). A panicking caller `sink`
+    /// vouches for its own captures by panicking into a scheduler that
+    /// documents continuing.
     fn step_lane<'a, S, F>(
         &mut self,
         lane: usize,
@@ -454,9 +547,22 @@ impl<T: Element> BatchScheduler<T> {
         let step = cursors[lane];
         debug_assert!(step < trace.len(), "stepping an exhausted lane");
         let (spikes, weights) = trace[step];
+        let session = &mut self.sessions[lane];
         let out = &mut self.outs[lane];
-        self.sessions[lane].gemm_into(spikes, weights, out);
-        sink(lane, step, out);
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(any(test, feature = "fault-injection"))]
+            super::faults::maybe_panic_lane(lane, step);
+            session.gemm_into(spikes, weights, out);
+            sink(lane, step, out);
+        }));
+        if let Err(payload) = stepped {
+            self.quarantine[lane] = Some(LaneFault {
+                lane,
+                step,
+                reason: panic_reason(payload.as_ref()),
+            });
+            return false;
+        }
         cursors[lane] += 1;
         *t += 1;
         self.sched_stats.lane_steps[lane] += 1;
@@ -516,11 +622,17 @@ impl<T: Element> BatchScheduler<T> {
     /// all planning through the shared cache. `sink` is called from worker
     /// threads and must synchronize its own state. The interleaving policy
     /// does not apply (every lane has its own thread), so
-    /// [`BatchScheduler::scheduler_stats`] is cleared rather than filled.
+    /// [`BatchScheduler::scheduler_stats`] is cleared rather than filled
+    /// (the fault counters are still settled at the end of the run).
     ///
     /// Bit-identical to [`BatchScheduler::run`] (and to serial per-trace
     /// execution): the only cross-thread state is the content-addressed
     /// cache, and plans are deterministic in the tile bits.
+    ///
+    /// Fault tolerance matches [`BatchScheduler::run`]: a panic in one
+    /// lane's step (caught per step, same `AssertUnwindSafe` audit as the
+    /// serial path) quarantines that lane and stops only its own worker;
+    /// the other workers — and the scope join — proceed normally.
     #[cfg(feature = "parallel")]
     pub fn run_concurrent<'a, S, F>(&mut self, traces: &[S], sink: F)
     where
@@ -531,17 +643,56 @@ impl<T: Element> BatchScheduler<T> {
         self.ensure_lanes(traces.len());
         self.sched_stats = SchedulerStats::default();
         let sink = &sink;
+        // Quarantine checks happen on this thread (the worker loop below
+        // needs `sessions` exclusively), and caught faults are collected
+        // for application after the scope joins.
+        let skip: Vec<bool> = self.quarantine.iter().map(Option::is_some).collect();
+        let caught: std::sync::Mutex<Vec<LaneFault>> = std::sync::Mutex::new(Vec::new());
+        let caught_ref = &caught;
+        #[cfg(any(test, feature = "fault-injection"))]
+        let fault_state = super::faults::snapshot();
         std::thread::scope(|scope| {
             for (lane, (session, trace)) in self.sessions.iter_mut().zip(traces).enumerate() {
+                if skip[lane] {
+                    continue;
+                }
+                #[cfg(any(test, feature = "fault-injection"))]
+                let fault_state = fault_state.clone();
                 scope.spawn(move || {
+                    // Scoped threads start with an empty fault plan;
+                    // re-adopt the installing thread's so injected faults
+                    // reach the workers.
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    let _faults = super::faults::adopt(fault_state);
                     let mut out = OutputMatrix::zeros(0, 0);
                     for (step, &(spikes, weights)) in trace.as_ref().iter().enumerate() {
-                        session.gemm_into(spikes, weights, &mut out);
-                        sink(lane, step, &out);
+                        let stepped =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                #[cfg(any(test, feature = "fault-injection"))]
+                                super::faults::maybe_panic_lane(lane, step);
+                                session.gemm_into(spikes, weights, &mut out);
+                                sink(lane, step, &out);
+                            }));
+                        if let Err(payload) = stepped {
+                            super::shared::lock_recovering(caught_ref).push(LaneFault {
+                                lane,
+                                step,
+                                reason: panic_reason(payload.as_ref()),
+                            });
+                            return;
+                        }
                     }
                 });
             }
         });
+        for fault in caught
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            let lane = fault.lane;
+            self.quarantine[lane] = Some(fault);
+        }
+        self.settle_fault_counters();
     }
 }
 
@@ -836,6 +987,143 @@ mod tests {
         sched.run(&traces, |_, _, _| count += 1);
         assert_eq!(count, 204);
         assert_eq!(sched.scheduler_stats().lane_steps, vec![200, 2, 2]);
+    }
+
+    #[test]
+    fn injected_lane_panic_quarantines_only_that_lane() {
+        use super::super::faults;
+        faults::silence_injected_panics();
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w), (t, &w)]).collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+        );
+        let guard = faults::install(faults::FaultPlan::lane_panic(1, 0));
+        let mut seen = vec![0usize; 3];
+        sched.run(&traces, |lane, _, out| {
+            assert_eq!(out, &spiking_gemm(&tenants[lane], &w));
+            seen[lane] += 1;
+        });
+        assert!(guard.fired().lane_panic);
+        drop(guard);
+        // Lane 1 never reached the sink; the survivors ran every step.
+        assert_eq!(seen, vec![2, 0, 2]);
+        assert!(sched.is_quarantined(1));
+        let faults = sched.quarantined();
+        assert_eq!((faults[0].lane, faults[0].step), (1, 0));
+        assert!(faults[0].reason.contains("injected fault"));
+        let stats = sched.scheduler_stats();
+        assert_eq!(stats.lane_faults, 1);
+        assert_eq!(stats.lane_steps, vec![2, 0, 2]);
+        assert_eq!(stats.completion_steps[1], 0, "faulted lane never completes");
+
+        // Quarantine persists across runs (no faults installed now)…
+        seen = vec![0; 3];
+        sched.run(&traces, |lane, _, _| seen[lane] += 1);
+        assert_eq!(seen, vec![2, 0, 2], "quarantined lane stays skipped");
+        assert_eq!(sched.scheduler_stats().lane_faults, 1);
+        // …until begin_batch retires the lanes.
+        sched.begin_batch();
+        assert!(sched.quarantined().is_empty());
+        seen = vec![0; 3];
+        sched.run(&traces, |lane, _, out| {
+            assert_eq!(out, &spiking_gemm(&tenants[lane], &w));
+            seen[lane] += 1;
+        });
+        assert_eq!(seen, vec![2, 2, 2]);
+        assert_eq!(sched.scheduler_stats().lane_faults, 0);
+    }
+
+    #[test]
+    fn panic_under_the_shard_lock_resets_one_shard_and_serving_continues() {
+        use super::super::faults;
+        faults::silence_injected_panics();
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w), (t, &w)]).collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+        );
+        let guard = faults::install(faults::FaultPlan::shard_panic(0));
+        sched.run(&traces, |lane, _, out| {
+            assert_eq!(
+                out,
+                &spiking_gemm(&tenants[lane], &w),
+                "exact despite reset"
+            );
+        });
+        assert!(guard.fired().shard_panic);
+        drop(guard);
+        // The panic unwound with the shard mutex held: the panicking lane
+        // is quarantined, the poisoned shard was reset, everyone else kept
+        // serving exact results.
+        let stats = sched.scheduler_stats();
+        assert_eq!(stats.lane_faults, 1);
+        assert_eq!(stats.shard_resets, 1);
+        assert_eq!(sched.shared_cache().stats().shard_resets, 1);
+        assert_eq!(sched.shared_cache().shard_resets(), 1);
+    }
+
+    #[test]
+    fn deadline_policy_does_not_score_a_faulted_lane_as_a_miss() {
+        use super::super::faults;
+        faults::silence_injected_panics();
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w); 4]).collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::Deadline {
+                budgets: vec![8, 1, 12],
+            },
+        );
+        // Lane 1 has an infeasible budget but faults at its first step: it
+        // never *completed* late, so it must not count as a miss.
+        let _guard = faults::install(faults::FaultPlan::lane_panic(1, 0));
+        sched.run(&traces, |_, _, _| {});
+        let stats = sched.scheduler_stats();
+        assert_eq!(stats.lane_faults, 1);
+        assert_eq!(stats.deadline_misses, 0);
+        // The global clock never advanced for the faulted attempt: the
+        // survivors complete after 4 and 8 executed steps.
+        assert_eq!(stats.completion_steps[0], 4);
+        assert_eq!(stats.completion_steps[2], 8);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn concurrent_injected_panic_quarantines_without_aborting() {
+        use super::super::faults;
+        use std::sync::Mutex;
+        faults::silence_injected_panics();
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w), (t, &w)]).collect();
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 64),
+            BatchPolicy::RoundRobin,
+        );
+        // Lane 2 panics at its second step: its first step's output must
+        // still have been exact, and the other lanes run to completion.
+        let guard = faults::install(faults::FaultPlan::lane_panic(2, 1));
+        let seen: Mutex<Vec<usize>> = Mutex::new(vec![0; 3]);
+        sched.run_concurrent(&traces, |lane, _, out| {
+            assert_eq!(out, &spiking_gemm(&tenants[lane], &w));
+            seen.lock().unwrap()[lane] += 1;
+        });
+        assert!(guard.fired().lane_panic, "worker thread adopted the plan");
+        drop(guard);
+        assert_eq!(*seen.lock().unwrap(), vec![2, 2, 1]);
+        assert!(sched.is_quarantined(2));
+        assert_eq!(sched.quarantined()[0].step, 1);
+        assert_eq!(sched.scheduler_stats().lane_faults, 1);
+        // The next serial run skips the quarantined lane.
+        let seen2: Mutex<Vec<usize>> = Mutex::new(vec![0; 3]);
+        sched.run(&traces, |lane, _, _| seen2.lock().unwrap()[lane] += 1);
+        assert_eq!(*seen2.lock().unwrap(), vec![2, 2, 0]);
     }
 
     #[cfg(feature = "parallel")]

@@ -5,12 +5,14 @@
 //! |---|---|
 //! | [`cache`] | content-addressed plan LRU + adaptive admission |
 //! | [`shared`] | the sharded concurrent [`SharedPlanCache`], per-tenant admission |
-//! | [`snapshot`] | [`PlanSnapshot`]: persist hot plans across restarts |
+//! | [`snapshot`] | [`PlanSnapshot`]: persist hot plans across restarts (atomic writes) |
+//! | [`store`] | [`SnapshotStore`]: retained, checksum-verified snapshot directory with corrupt-file quarantine |
 //! | `pool` | recycled executor buffers (internal) |
 //! | [`session`] | one stream's state: [`Session`] (= the historical [`Engine`]) |
-//! | [`batch`] | [`BatchScheduler`] interleaving many traces over one shared cache (QoS policies) |
+//! | [`batch`] | [`BatchScheduler`] interleaving many traces over one shared cache (QoS policies, lane quarantine) |
 //! | [`service`] | [`ServingLoop`]: background snapshot export + admission GC cadences |
 //! | [`stats`] | mergeable per-session counters + shared-cache/scheduler aggregates |
+//! | `faults` | deterministic fault injection (tests and the `fault-injection` feature only) |
 //!
 //! [`crate::exec::prosparsity_gemm`] re-plans and re-allocates everything on
 //! every call. That is the right shape for one-shot algorithm studies but
@@ -70,23 +72,35 @@
 //! sessions. Plans are pure functions of tile content, so sharing them can
 //! change *who* plans, never *what* runs. Cache effectiveness is surfaced
 //! through [`EngineStats`] / [`SharedCacheStats`].
+//!
+//! The runtime is additionally **fault tolerant**: a panicking lane is
+//! quarantined ([`LaneFault`]) instead of aborting the batch, a poisoned
+//! shared-cache shard recovers by resetting only its own entries, and
+//! snapshots are written atomically with retention and corrupt-file
+//! quarantine ([`SnapshotStore`]). All of it is exercised by the
+//! deterministic fault-injection harness (`faults`, compiled for tests and
+//! the `fault-injection` feature) and accounted in [`SchedulerStats`].
 
 pub mod batch;
 pub mod cache;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod faults;
 pub(crate) mod pool;
 pub mod service;
 pub mod session;
 pub mod shared;
 pub mod snapshot;
 pub mod stats;
+pub mod store;
 
-pub use batch::{BatchPolicy, BatchScheduler, TraceStep, DEADLINE_STARVATION_GUARD};
+pub use batch::{BatchPolicy, BatchScheduler, LaneFault, TraceStep, DEADLINE_STARVATION_GUARD};
 pub use cache::AdmissionConfig;
 pub use service::{ServiceConfig, ServingLoop};
 pub use session::{Engine, Session};
 pub use shared::SharedPlanCache;
 pub use snapshot::{ImportReport, PlanSnapshot, SnapshotError};
 pub use stats::{EngineStats, SchedulerStats, SharedCacheStats};
+pub use store::SnapshotStore;
 
 use serde::{Deserialize, Serialize};
 use spikemat::gemm::OutputMatrix;

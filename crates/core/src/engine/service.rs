@@ -26,6 +26,15 @@
 //! resident entries), and admission decisions never alter outputs — the
 //! bit-identity property the whole runtime is tested for.
 //!
+//! Attaching a [`SnapshotStore`]
+//! ([`ServingLoop::set_snapshot_store`]) additionally *persists* each
+//! export: the background thread writes the snapshot through the store's
+//! atomic, retried, retention-pruned path before handing it to
+//! [`ServingLoop::take_snapshots`]. Persistence failures never reach the
+//! lanes — an export whose save exhausts its retries is dropped with the
+//! failure visible in [`SchedulerStats::snapshot_io_retries`] /
+//! [`SchedulerStats::snapshots_quarantined`], and serving continues.
+//!
 //! ```
 //! use prosperity_core::engine::{
 //!     BatchPolicy, EngineConfig, ServiceConfig, ServingLoop,
@@ -59,6 +68,7 @@ use super::batch::{BatchPolicy, BatchScheduler, TraceStep};
 use super::shared::SharedPlanCache;
 use super::snapshot::PlanSnapshot;
 use super::stats::SchedulerStats;
+use super::store::SnapshotStore;
 use super::{Element, EngineConfig};
 
 /// Lifecycle cadences of a [`ServingLoop`], in executed steps (GeMMs),
@@ -131,6 +141,9 @@ pub struct ServingLoop<T = i64> {
     /// Finished exports travel back over this channel.
     snapshot_tx: Sender<PlanSnapshot>,
     snapshot_rx: Receiver<PlanSnapshot>,
+    /// When attached, every background export is persisted through this
+    /// store (atomic write, bounded retry, retention prune).
+    store: Option<Arc<SnapshotStore>>,
 }
 
 impl<T: Element> ServingLoop<T> {
@@ -154,7 +167,27 @@ impl<T: Element> ServingLoop<T> {
             export: None,
             snapshot_tx,
             snapshot_rx,
+            store: None,
         }
+    }
+
+    /// Attaches a [`SnapshotStore`]: every background export from now on
+    /// is also persisted through it (crash-safe, retried, pruned to the
+    /// store's retention). The handle is shared so callers can read the
+    /// store's counters and files while the loop serves.
+    pub fn set_snapshot_store(&mut self, store: Arc<SnapshotStore>) {
+        self.store = Some(store);
+    }
+
+    /// Builder form of [`ServingLoop::set_snapshot_store`].
+    pub fn with_snapshot_store(mut self, store: Arc<SnapshotStore>) -> Self {
+        self.set_snapshot_store(store);
+        self
+    }
+
+    /// The attached snapshot store, if any.
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.as_ref()
     }
 
     /// The lifecycle cadences.
@@ -179,12 +212,20 @@ impl<T: Element> ServingLoop<T> {
     }
 
     /// The last run's scheduling record with this loop's lifecycle
-    /// counters filled in (`snapshots_exported`, `gc_evictions` — which a
-    /// bare scheduler always reports as 0).
+    /// counters filled in (`snapshots_exported`, `gc_evictions`, and —
+    /// when a [`SnapshotStore`] is attached — `snapshot_io_retries` /
+    /// `snapshots_quarantined`; a bare scheduler reports all of them as
+    /// 0). `shard_resets` is refreshed from the live cache so resets by
+    /// other holders of the cache since the last run are visible too.
     pub fn stats(&self) -> SchedulerStats {
         let mut stats = self.sched.scheduler_stats().clone();
         stats.snapshots_exported = self.snapshots_exported;
         stats.gc_evictions = self.gc_evictions;
+        stats.shard_resets = self.shared_cache().shard_resets();
+        if let Some(store) = &self.store {
+            stats.snapshot_io_retries = store.io_retries();
+            stats.snapshots_quarantined = store.quarantined();
+        }
         stats
     }
 
@@ -251,6 +292,9 @@ impl<T: Element> ServingLoop<T> {
             .take(traces.len())
             .collect();
         let tx = self.snapshot_tx.clone();
+        let store = self.store.clone();
+        #[cfg(any(test, feature = "fault-injection"))]
+        let fault_state = super::faults::snapshot();
         let mut since_snapshot = self.since_snapshot;
         let mut since_gc = self.since_gc;
         let mut snapshots_exported = 0u64;
@@ -273,10 +317,26 @@ impl<T: Element> ServingLoop<T> {
                         let shared = Arc::clone(&shared);
                         let tx = tx.clone();
                         let plans = service.snapshot_plans;
+                        let store = store.clone();
+                        #[cfg(any(test, feature = "fault-injection"))]
+                        let fault_state = fault_state.clone();
                         export = Some(std::thread::spawn(move || {
+                            // Spawned threads start with an empty fault
+                            // plan; re-adopt the serving thread's so
+                            // injected IO faults reach the store path.
+                            #[cfg(any(test, feature = "fault-injection"))]
+                            let _faults = super::faults::adopt(fault_state);
                             // Locks one shard at a time; lanes keep
                             // planning concurrently.
-                            let _ = tx.send(shared.export_hottest(plans));
+                            let snapshot = shared.export_hottest(plans);
+                            if let Some(store) = &store {
+                                // A save that exhausts its retries is
+                                // dropped here — persistence hygiene must
+                                // never abort serving; the store's
+                                // counters record what happened.
+                                let _ = store.save(&snapshot);
+                            }
+                            let _ = tx.send(snapshot);
                         }));
                         snapshots_exported += 1;
                     }
@@ -398,6 +458,77 @@ mod tests {
             1,
             "the executing tenant's window must survive mid-batch sweeps"
         );
+    }
+
+    #[test]
+    fn attached_store_persists_every_export_crash_safely() {
+        let (spikes, w) = test_traces();
+        let dir = std::env::temp_dir().join("prosperity_service_store_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(SnapshotStore::new(&dir, 2).expect("open store"));
+        let traces = vec![vec![(&spikes, &w); 6], vec![(&spikes, &w); 6]];
+        let service = ServiceConfig::default().with_snapshots(4, 128);
+        let mut serving = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            service,
+        )
+        .with_snapshot_store(Arc::clone(&store));
+        serving.run(&traces, |_, _, out| {
+            assert_eq!(out, &spiking_gemm(&spikes, &w));
+        });
+        let snapshots = serving.take_snapshots();
+        assert!(!snapshots.is_empty());
+        // Every export also landed on disk (bounded by retention) and the
+        // newest loads back valid.
+        let files = store.files().expect("list");
+        assert!(!files.is_empty() && files.len() <= 2, "{files:?}");
+        let loaded = store
+            .load_latest_valid()
+            .expect("walk")
+            .expect("a valid snapshot is retained");
+        assert_eq!(loaded.len(), snapshots.last().unwrap().len());
+        let stats = serving.stats();
+        assert_eq!(stats.snapshot_io_retries, 0);
+        assert_eq!(stats.snapshots_quarantined, 0);
+        drop(serving);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_export_io_failure_retries_without_touching_results() {
+        use super::super::faults;
+        faults::silence_injected_panics();
+        let (spikes, w) = test_traces();
+        let dir = std::env::temp_dir().join("prosperity_service_retry_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(
+            SnapshotStore::new(&dir, 2)
+                .expect("open store")
+                .with_retry(3, std::time::Duration::from_micros(50)),
+        );
+        let traces = vec![vec![(&spikes, &w); 8]];
+        let service = ServiceConfig::default().with_snapshots(3, 64);
+        let mut serving = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            service,
+        )
+        .with_snapshot_store(Arc::clone(&store));
+        // Fail the first store IO op: the export thread (which adopted
+        // the plan) retries and the save lands; serving stays exact.
+        let guard = faults::install(faults::FaultPlan::fail_io(0));
+        serving.run(&traces, |_, _, out| {
+            assert_eq!(out, &spiking_gemm(&spikes, &w));
+        });
+        let snapshots = serving.take_snapshots();
+        assert!(!snapshots.is_empty());
+        assert!(guard.fired().fail_io, "export thread hit the injected op");
+        drop(guard);
+        assert_eq!(serving.stats().snapshot_io_retries, 1);
+        assert!(store.load_latest_valid().expect("walk").is_some());
+        drop(serving);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

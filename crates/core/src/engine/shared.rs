@@ -12,6 +12,18 @@
 //! the shards, keyed by the session's tenant id. Snapshot export locks one
 //! shard at a time and interleaves the per-shard recency lists, so a
 //! serving fleet can checkpoint its hot plans without a global pause.
+//!
+//! **Fault tolerance.** A lane that panics while holding a shard mutex
+//! (the scheduler catches the panic and quarantines the lane — see
+//! [`BatchScheduler`](super::BatchScheduler)) leaves that mutex poisoned.
+//! Rather than propagating the poison to every other tenant, all lock
+//! acquisitions go through recovery helpers: a poisoned *shard* has its
+//! entries dropped (the panicking lane may have left the LRU mid-update)
+//! and the event counted in [`SharedCacheStats::shard_resets`]; poisoned
+//! admission state is adopted as-is, since the sliding-window estimators
+//! are advisory counters that no partial update can corrupt structurally.
+//! Only the affected shard loses its plans — the other shards, and every
+//! surviving tenant, keep serving.
 
 use crate::plan::TileMeta;
 use spikemat::{SpikeMatrix, TileShape};
@@ -22,6 +34,23 @@ use std::sync::{Arc, Mutex};
 use super::cache::{Admission, AdmissionConfig, InsertOutcome, PlanCache};
 use super::snapshot::{ImportReport, PlanSnapshot, SnapshotEntry};
 use super::stats::SharedCacheStats;
+
+/// Locks `m`, adopting the state as-is if a previous holder panicked
+/// (clearing the poison so later acquisitions stay on the fast path).
+///
+/// Correct only for state that stays structurally valid under a partial
+/// update — advisory counters, admission estimators, collected fault
+/// lists. Shard caches instead go through `SharedPlanCache::lock_shard`,
+/// which resets the recovered shard's entries.
+pub(crate) fn lock_recovering<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
 
 /// Per-shard aggregate counters, updated under the shard lock.
 #[derive(Debug, Default, Clone, Copy)]
@@ -99,7 +128,7 @@ impl AdmissionTable {
     /// The tenant's shared admission window, created on first request and
     /// stamped with the current GC generation either way.
     fn handle(&self, tenant: u64) -> Arc<Mutex<Admission>> {
-        let mut states = self.states.lock().expect("admission table poisoned");
+        let mut states = lock_recovering(&self.states);
         // Read the generation under the states lock so the stamp
         // linearizes with concurrent `gc` sweeps (a sweep between load and
         // stamp would otherwise record a one-generation-stale touch).
@@ -118,7 +147,7 @@ impl AdmissionTable {
     /// executing* tenants can never be evicted mid-batch — handle
     /// resolution alone only marks batch starts.
     fn touch(&self, tenant: u64) {
-        let mut states = self.states.lock().expect("admission table poisoned");
+        let mut states = lock_recovering(&self.states);
         let generation = self.generation.load(Ordering::Relaxed);
         if let Some(entry) = states.get_mut(&tenant) {
             entry.last_touch = generation;
@@ -132,7 +161,7 @@ impl AdmissionTable {
     /// ([`handle`](AdmissionTable::handle)/[`touch`](AdmissionTable::touch))
     /// linearize with sweeps.
     fn gc(&self, max_idle: u64) -> usize {
-        let mut states = self.states.lock().expect("admission table poisoned");
+        let mut states = lock_recovering(&self.states);
         let generation = self.generation.load(Ordering::Relaxed);
         let before = states.len();
         states.retain(|_, w| generation.saturating_sub(w.last_touch) <= max_idle);
@@ -143,7 +172,7 @@ impl AdmissionTable {
     }
 
     fn tenant_count(&self) -> usize {
-        self.states.lock().expect("admission table poisoned").len()
+        lock_recovering(&self.states).len()
     }
 }
 
@@ -194,6 +223,8 @@ pub struct SharedPlanCache {
     shard_bits: u32,
     capacity: usize,
     admission: Option<AdmissionTable>,
+    /// Poisoned shards recovered (entries dropped) — see module docs.
+    shard_resets: AtomicU64,
 }
 
 impl SharedPlanCache {
@@ -238,7 +269,34 @@ impl SharedPlanCache {
             shard_bits,
             capacity,
             admission: admission.map(AdmissionTable::new),
+            shard_resets: AtomicU64::new(0),
         }
+    }
+
+    /// Locks a shard, recovering from poison by dropping the shard's
+    /// entries: a lane that panicked under this lock may have left the
+    /// LRU mid-update, so the shard restarts cold (its plans are
+    /// re-planned on demand — deterministically, so results are
+    /// unchanged) rather than serving possibly-torn state. Each recovery
+    /// bumps [`SharedPlanCache::shard_resets`]; counters and the other
+    /// shards are untouched.
+    fn lock_shard<'a>(&self, m: &'a Mutex<Shard>) -> std::sync::MutexGuard<'a, Shard> {
+        match m.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                m.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.cache.clear();
+                self.shard_resets.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
+    /// Poisoned shard mutexes recovered so far (entries dropped, serving
+    /// continued). Also reported as [`SharedCacheStats::shard_resets`].
+    pub fn shard_resets(&self) -> u64 {
+        self.shard_resets.load(Ordering::Relaxed)
     }
 
     /// Number of shards (always a power of two).
@@ -256,7 +314,7 @@ impl SharedPlanCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").cache.len())
+            .map(|s| self.lock_shard(s).cache.len())
             .sum()
     }
 
@@ -269,7 +327,7 @@ impl SharedPlanCache {
     /// all sessions sharing this cache.
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            s.lock().expect("shard poisoned").cache.clear();
+            self.lock_shard(s).cache.clear();
         }
     }
 
@@ -282,7 +340,7 @@ impl SharedPlanCache {
     /// between measurement windows).
     pub fn reset_stats(&self) {
         for s in self.shards.iter() {
-            s.lock().expect("shard poisoned").counters = ShardCounters::default();
+            self.lock_shard(s).counters = ShardCounters::default();
         }
     }
 
@@ -327,7 +385,7 @@ impl SharedPlanCache {
             ..SharedCacheStats::default()
         };
         for s in self.shards.iter() {
-            let s = s.lock().expect("shard poisoned");
+            let s = self.lock_shard(s);
             out.hits += s.counters.hits;
             out.misses += s.counters.misses;
             out.insertions += s.counters.insertions;
@@ -338,6 +396,9 @@ impl SharedPlanCache {
             out.resident += s.cache.len();
             out.restored_resident += s.cache.restored_resident();
         }
+        // Read after the loop: locking every shard above recovers any
+        // still-poisoned shard, so the count is settled by now.
+        out.shard_resets = self.shard_resets.load(Ordering::Relaxed);
         out
     }
 
@@ -355,7 +416,7 @@ impl SharedPlanCache {
         let lens: Vec<usize> = self
             .shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").cache.len())
+            .map(|s| self.lock_shard(s).cache.len())
             .collect();
         let target = n.min(lens.iter().sum());
         // Smallest per-shard depth whose rank interleave covers `target`
@@ -378,8 +439,7 @@ impl SharedPlanCache {
             .iter()
             .zip(&lens)
             .map(|(s, &l)| {
-                s.lock()
-                    .expect("shard poisoned")
+                self.lock_shard(s)
                     .cache
                     .export_hottest(l.min(depth))
                     .into_iter()
@@ -426,7 +486,7 @@ impl SharedPlanCache {
             ..ImportReport::default()
         };
         for (shard, entries) in self.shards.iter().zip(routed) {
-            let delta = shard.lock().expect("shard poisoned").cache.import(entries);
+            let delta = self.lock_shard(shard).cache.import(entries);
             report.merge(&delta);
         }
         report
@@ -467,7 +527,7 @@ impl SharedPlanCache {
         admission: Option<&Mutex<Admission>>,
     ) -> Option<(Arc<TileMeta>, bool)> {
         let found = {
-            let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
+            let mut shard = self.lock_shard(self.shard_of(hash));
             let found = shard.cache.lookup(hash, tile);
             match &found {
                 Some((_, restored)) => {
@@ -481,20 +541,14 @@ impl SharedPlanCache {
         // The shard lock is already released; the tenant's window is its
         // own (brief) lock domain.
         if let Some(a) = admission {
-            a.lock()
-                .expect("admission poisoned")
-                .record(found.is_some());
+            lock_recovering(a).record(found.is_some());
         }
         found
     }
 
     /// Lock-free-of-side-effects residency probe (affinity scheduling).
     pub(crate) fn peek(&self, hash: u64, tile: &SpikeMatrix) -> bool {
-        self.shard_of(hash)
-            .lock()
-            .expect("shard poisoned")
-            .cache
-            .peek(hash, tile)
+        self.lock_shard(self.shard_of(hash)).cache.peek(hash, tile)
     }
 
     /// Offers a freshly planned tile; returns the plan to use plus the
@@ -510,7 +564,11 @@ impl SharedPlanCache {
         meta: Arc<TileMeta>,
         admission: Option<&Mutex<Admission>>,
     ) -> (Arc<TileMeta>, InsertOutcome) {
-        let mut shard = self.shard_of(hash).lock().expect("shard poisoned");
+        let mut shard = self.lock_shard(self.shard_of(hash));
+        // Injected-fault hook: a panic here unwinds with the shard mutex
+        // held, poisoning it — exactly the scenario `lock_shard` recovers.
+        #[cfg(any(test, feature = "fault-injection"))]
+        super::faults::maybe_panic_shard();
         // Dedup check: the offering session already counted its miss in
         // `lookup`, so this probe feeds neither hit/miss counters nor
         // admission; the race is recorded as its own outcome so the ledger
@@ -523,7 +581,7 @@ impl SharedPlanCache {
         // Lock order is always shard → admission window, so the nesting
         // cannot deadlock against `lookup` (which takes them disjointly).
         if let Some(a) = admission {
-            if !a.lock().expect("admission poisoned").should_insert() {
+            if !lock_recovering(a).should_insert() {
                 shard.counters.bypasses += 1;
                 return (meta, InsertOutcome::Bypassed);
             }

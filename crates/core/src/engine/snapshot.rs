@@ -252,9 +252,13 @@ impl PlanSnapshot {
         Ok(Self { entries })
     }
 
-    /// Writes [`PlanSnapshot::encode`]'s bytes to a file.
+    /// Writes [`PlanSnapshot::encode`]'s bytes to a file — atomically: the
+    /// bytes land in `<path>.tmp` (written, then fsynced) and are renamed
+    /// into place, so a crash mid-save can never leave a torn snapshot at
+    /// `path`. Readers see either the previous complete file or the new
+    /// complete one; a failed save cleans up its temp file.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), SnapshotError> {
-        std::fs::write(path, &self.encode()[..]).map_err(|e| SnapshotError::Io(e.to_string()))
+        atomic_write(path.as_ref(), &self.encode()).map_err(|e| SnapshotError::Io(e.to_string()))
     }
 
     /// Reads and decodes a snapshot file written by [`PlanSnapshot::save`].
@@ -267,6 +271,51 @@ impl PlanSnapshot {
 /// Smallest possible encoded entry (all counts zero) — bounds the upfront
 /// `Vec` reservation against a corrupt entry count.
 const MIN_ENTRY_BYTES: usize = 8 + 8 + 4 + 8 + 8 + 4 + 4 + 4 + 4 + 4;
+
+/// Crash-safe file write: `bytes` land in `<path>.tmp` first (written and
+/// fsynced), then rename into place — the POSIX atomic-replace idiom, so a
+/// crash at any point leaves either the previous complete file or the new
+/// complete one at `path`, never a torn mix. A failed write removes its
+/// temp file (best effort). Shared by [`PlanSnapshot::save`] and the
+/// [`SnapshotStore`](super::SnapshotStore); every filesystem operation
+/// passes through the fault-injection [`io_fault`] hook.
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    let result = (|| {
+        io_fault("create temp file")?;
+        let mut file = std::fs::File::create(&tmp)?;
+        io_fault("write temp file")?;
+        file.write_all(bytes)?;
+        io_fault("sync temp file")?;
+        file.sync_all()?;
+        drop(file);
+        io_fault("rename into place")?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// `<path>.tmp`, the staging name [`atomic_write`] renames from.
+fn tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// The injected failure for this IO operation, if a fault plan targets it;
+/// compiles to `Ok(())` outside tests and the `fault-injection` feature.
+#[inline]
+pub(crate) fn io_fault(_op: &'static str) -> std::io::Result<()> {
+    #[cfg(any(test, feature = "fault-injection"))]
+    if let Some(err) = super::faults::maybe_io_error(_op) {
+        return Err(err);
+    }
+    Ok(())
+}
 
 /// FNV-1a over the payload; cheap, order-sensitive, and enough to catch
 /// the accidental corruption this format defends against (bit rot,
@@ -690,6 +739,61 @@ mod tests {
             PlanSnapshot::load(&path),
             Err(SnapshotError::Io(_))
         ));
+    }
+
+    #[test]
+    fn every_file_truncation_point_errors_cleanly() {
+        // The on-disk mirror of the in-memory truncation property: a
+        // partially written file — every possible torn length — must load
+        // as a clean error, never a panic or a silently short snapshot.
+        let (engine, _) = warm_session(0xF2, 64);
+        let bytes = engine.export_snapshot(4).encode();
+        let path = std::env::temp_dir().join("prosperity_snapshot_file_trunc_test.psnp");
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).expect("write truncated file");
+            assert!(
+                PlanSnapshot::load(&path).is_err(),
+                "file cut at {cut}/{} must fail to load",
+                bytes.len()
+            );
+        }
+        std::fs::write(&path, &bytes[..]).expect("write full file");
+        assert!(PlanSnapshot::load(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_a_failed_save_leaves_no_debris() {
+        use crate::engine::faults;
+        let (engine, _) = warm_session(0xF3, 64);
+        let snap = engine.export_snapshot(8);
+        let path = std::env::temp_dir().join("prosperity_snapshot_atomic_test.psnp");
+        let tmp = super::tmp_path(&path);
+        std::fs::remove_file(&path).ok();
+
+        // Fail each of the four IO ops in turn: the save errors, the
+        // destination never appears, and no temp file is left behind.
+        for op in 0..4 {
+            let guard = faults::install(faults::FaultPlan::fail_io(op));
+            let err = snap.save(&path);
+            assert!(guard.fired().fail_io, "op {op} targeted");
+            assert!(matches!(err, Err(SnapshotError::Io(_))), "op {op}");
+            assert!(!path.exists(), "op {op}: destination must not appear");
+            assert!(!tmp.exists(), "op {op}: temp file must be cleaned up");
+        }
+
+        // A clean save lands, leaves no temp file, and loads back.
+        snap.save(&path).expect("save");
+        assert!(!tmp.exists(), "temp renamed away");
+        assert_eq!(PlanSnapshot::load(&path).expect("load").len(), snap.len());
+
+        // Overwrite with a failing save: the previous complete file
+        // survives untouched — the atomic-replace guarantee.
+        let before = std::fs::read(&path).expect("read");
+        let _guard = faults::install(faults::FaultPlan::fail_io(2));
+        assert!(snap.save(&path).is_err());
+        assert_eq!(std::fs::read(&path).expect("read"), before);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -103,6 +103,10 @@ pub struct SharedCacheStats {
     pub shards: usize,
     /// Total plan capacity across all shards.
     pub capacity: usize,
+    /// Shards whose mutex was found poisoned (a lane panicked while
+    /// holding it) and recovered by dropping only that shard's entries —
+    /// see [`SharedPlanCache`](super::SharedPlanCache) fault tolerance.
+    pub shard_resets: u64,
 }
 
 impl SharedCacheStats {
@@ -125,9 +129,11 @@ impl SharedCacheStats {
 /// [`Deadline`](super::BatchPolicy::Deadline) policy, and
 /// [`SchedulerStats::misses_against`] re-derives miss counts for any policy
 /// from the recorded completion steps (how the bench scores round-robin
-/// against the same budgets). `gc_evictions` / `snapshots_exported` stay 0
-/// on a bare scheduler — they are filled in by
-/// [`ServingLoop::stats`](super::ServingLoop::stats).
+/// against the same budgets). `gc_evictions` / `snapshots_exported` /
+/// `snapshot_io_retries` / `snapshots_quarantined` stay 0 on a bare
+/// scheduler — they are filled in by
+/// [`ServingLoop::stats`](super::ServingLoop::stats). The fault counters
+/// (`lane_faults`, `shard_resets`) are maintained by the scheduler itself.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerStats {
     /// Steps executed per lane.
@@ -146,6 +152,24 @@ pub struct SchedulerStats {
     pub gc_evictions: u64,
     /// Background snapshot exports launched by the serving loop.
     pub snapshots_exported: u64,
+    /// Lanes currently quarantined after a caught panic
+    /// ([`BatchScheduler::quarantined`](super::BatchScheduler::quarantined);
+    /// cleared by `begin_batch`). Surviving lanes keep serving — a fault
+    /// never aborts the batch.
+    pub lane_faults: u64,
+    /// Poisoned shared-cache shard mutexes recovered by dropping only that
+    /// shard's entries (mirrors
+    /// [`SharedCacheStats::shard_resets`]).
+    pub shard_resets: u64,
+    /// Snapshot-store IO operations retried after a transient failure
+    /// (filled by [`ServingLoop::stats`](super::ServingLoop::stats) when a
+    /// [`SnapshotStore`](super::SnapshotStore) is attached; 0 on a bare
+    /// scheduler).
+    pub snapshot_io_retries: u64,
+    /// Corrupt snapshot files quarantined to `*.bad` by
+    /// [`SnapshotStore::load_latest_valid`](super::SnapshotStore::load_latest_valid)
+    /// (filled by `ServingLoop::stats`).
+    pub snapshots_quarantined: u64,
 }
 
 impl SchedulerStats {

@@ -22,6 +22,16 @@ use std::fmt;
 const MAGIC: &[u8; 4] = b"PSPT";
 const VERSION: u32 = 1;
 
+/// Smallest possible serialized layer: empty name (4-byte length), kind
+/// byte, and the three u64 shape fields. Used to bound a declared layer
+/// count against the bytes actually present before allocating.
+const MIN_LAYER_BYTES: usize = 4 + 1 + 24;
+
+/// Rows a zero-width (`k == 0`) layer may declare. Such rows occupy zero
+/// bytes on the wire, so the length check cannot bound them; a hostile
+/// header could otherwise demand billions of empty rows.
+const MAX_EMPTY_ROWS: usize = 1 << 20;
+
 /// Errors raised while decoding a serialized trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceIoError {
@@ -100,6 +110,12 @@ pub fn decode_layers(mut buf: Bytes, workload: Workload) -> Result<ModelTrace, T
         return Err(TraceIoError::BadVersion(version));
     }
     let layer_count = buf.get_u32_le() as usize;
+    // Bound the declared count by the bytes actually present before
+    // trusting it with an allocation: a hostile header can declare 2^32
+    // layers in a 12-byte buffer.
+    if layer_count > buf.remaining() / MIN_LAYER_BYTES {
+        return Err(TraceIoError::Truncated);
+    }
     let mut layers = Vec::with_capacity(layer_count);
     for _ in 0..layer_count {
         need(&buf, 4)?;
@@ -119,7 +135,16 @@ pub fn decode_layers(mut buf: Bytes, workload: Workload) -> Result<ModelTrace, T
         let k = buf.get_u64_le() as usize;
         let n = buf.get_u64_le() as usize;
         let limbs_per_row = k.div_ceil(64);
-        need(&buf, m * limbs_per_row * 8)?;
+        // `k == 0` rows are zero bytes on the wire, so the byte-count check
+        // below is vacuous for them; cap the row count explicitly.
+        if limbs_per_row == 0 && m > MAX_EMPTY_ROWS {
+            return Err(TraceIoError::Corrupt("row count"));
+        }
+        let payload = m
+            .checked_mul(limbs_per_row)
+            .and_then(|limbs| limbs.checked_mul(8))
+            .ok_or(TraceIoError::Corrupt("layer geometry"))?;
+        need(&buf, payload)?;
         let mut rows = Vec::with_capacity(m);
         for _ in 0..m {
             let mut row = BitRow::zeros(k);
@@ -278,6 +303,77 @@ mod tests {
             decode_layers(Bytes::from(bytes), trace.workload),
             Err(TraceIoError::Corrupt("layer kind"))
         ));
+    }
+
+    #[test]
+    fn hostile_layer_count_is_rejected_before_allocating() {
+        // A 12-byte header declaring u32::MAX layers must fail fast with
+        // Truncated instead of reserving gigabytes.
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(MAGIC);
+        bytes.put_u32_le(VERSION);
+        bytes.put_u32_le(u32::MAX);
+        let workload = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 3);
+        assert!(matches!(
+            decode_layers(bytes.freeze(), workload),
+            Err(TraceIoError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn hostile_shape_fields_are_rejected_without_overflow_or_oom() {
+        // Encode one layer, then rewrite its m/k fields with hostile
+        // values: (a) m·⌈k/64⌉·8 overflowing usize must surface as Corrupt,
+        // not wrap around and pass the length check; (b) k == 0 with an
+        // enormous m must be capped, because empty rows occupy no payload
+        // bytes and would otherwise allocate unboundedly.
+        let workload = Workload::new(Architecture::LeNet5, Dataset::Mnist, 0.4, 0.1, 4);
+        let trace = ModelTrace {
+            workload,
+            layers: vec![LayerTrace {
+                spec: LayerSpec::new("l0", LayerKind::Linear, GemmShape::new(2, 64, 2)),
+                spikes: SpikeMatrix::zeros(2, 64),
+            }],
+        };
+        let base = encode_layers(&trace).to_vec();
+        // m sits after magic(4)+version(4)+count(4)+name_len(4)+name(2)+kind(1).
+        let m_off = 19;
+        let k_off = m_off + 8;
+
+        let mut overflowing = base.clone();
+        overflowing[m_off..m_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_layers(Bytes::from(overflowing), workload),
+            Err(TraceIoError::Corrupt("layer geometry"))
+        ));
+
+        let mut empty_rows = base.clone();
+        empty_rows[m_off..m_off + 8].copy_from_slice(&(u64::MAX).to_le_bytes());
+        empty_rows[k_off..k_off + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            decode_layers(Bytes::from(empty_rows), workload),
+            Err(TraceIoError::Corrupt("row count"))
+        ));
+    }
+
+    #[test]
+    fn random_header_mutations_never_panic() {
+        // Fuzz-lite: flip bytes all over the serialized form. Any result is
+        // acceptable except a panic or runaway allocation (the harness would
+        // OOM/abort on either).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let trace = sample_trace();
+        let base = encode_layers(&trace).to_vec();
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        for _ in 0..400 {
+            let mut bytes = base.clone();
+            for _ in 0..rng.gen_range(1..4) {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen();
+            }
+            let _ = decode_layers(Bytes::from(bytes), trace.workload);
+        }
     }
 
     #[test]

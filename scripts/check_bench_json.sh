@@ -57,7 +57,7 @@ for name in correlated_trace fig8_spikingbert attention_stream; do
 done
 
 # BENCH_serving.json: the documented scenario set, stats blocks included.
-for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos; do
+for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos resilience; do
     need BENCH_serving.json ".scenarios[] | select(.name == \"$name\")" "serving $name row"
 done
 need BENCH_serving.json \
@@ -70,7 +70,7 @@ need BENCH_serving.json \
       | has("hits") and has("misses") and has("insertions") and has("evictions")
       and has("bypasses") and has("dedups") and has("restored_hits")
       and has("resident") and has("restored_resident") and has("tenants")
-      and has("shards") and has("capacity")] | all' \
+      and has("shards") and has("capacity") and has("shard_resets")] | all' \
     "SharedCacheStats block fields"
 need BENCH_serving.json \
     '.scenarios[] | select(.name == "fig8_admission")
@@ -112,6 +112,28 @@ need BENCH_serving.json \
 need BENCH_serving.json \
     '.scenarios[] | select(.name == "qos") | .deadline.rr_misses >= 1' \
     "qos round-robin misses the tight budget"
+
+# The resilience row: fields, plus its acceptance thresholds — every
+# injected fault left a trace in the counters, and the surviving lanes kept
+# >= 0.9x the throughput of a fault-free fleet doing the same work.
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "resilience")
+     | has("clean_ms") and has("faulted_ms") and has("surviving_throughput_ratio")
+     and has("lane_faults") and has("shard_resets") and has("snapshot_saves")
+     and has("snapshots_quarantined") and has("recovered_plans")' \
+    "resilience fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "resilience") | .lane_faults >= 1' \
+    "resilience records the lane fault"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "resilience") | .snapshots_quarantined >= 1' \
+    "resilience quarantines the rotted snapshot"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "resilience") | .recovered_plans >= 1' \
+    "resilience recovers from the previous good snapshot"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "resilience") | .surviving_throughput_ratio >= 0.9' \
+    "resilience surviving-lane throughput >= 0.9x fault-free"
 
 if [ $status -eq 0 ]; then
     echo "all BENCH_*.json artifacts parse and carry the documented fields"
