@@ -113,15 +113,15 @@ use std::ops::AddAssign;
 /// row-tiles can execute across threads; every integer and float type
 /// qualifies either way.
 #[cfg(feature = "parallel")]
-pub trait Element: Copy + Default + AddAssign + Send + Sync {}
+pub trait Element: Copy + Default + AddAssign + Send + Sync + 'static {}
 #[cfg(feature = "parallel")]
-impl<T: Copy + Default + AddAssign + Send + Sync> Element for T {}
+impl<T: Copy + Default + AddAssign + Send + Sync + 'static> Element for T {}
 
 /// Element types the engine can accumulate (serial build).
 #[cfg(not(feature = "parallel"))]
-pub trait Element: Copy + Default + AddAssign {}
+pub trait Element: Copy + Default + AddAssign + 'static {}
 #[cfg(not(feature = "parallel"))]
-impl<T: Copy + Default + AddAssign> Element for T {}
+impl<T: Copy + Default + AddAssign + 'static> Element for T {}
 
 /// Session construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -214,9 +214,12 @@ impl<T: Element> ServingLoop<T> {
     /// The last run's scheduling record with this loop's lifecycle
     /// counters filled in (`snapshots_exported`, `gc_evictions`, and —
     /// when a [`SnapshotStore`] is attached — `snapshot_io_retries` /
-    /// `snapshots_quarantined`; a bare scheduler reports all of them as
-    /// 0). `shard_resets` is refreshed from the live cache so resets by
-    /// other holders of the cache since the last run are visible too.
+    /// `snapshots_quarantined` plus the encode/load volume counters
+    /// `snapshot_bytes_encoded` / `snapshot_plans_encoded` /
+    /// `snapshot_bytes_loaded` / `snapshot_plans_loaded`; a bare scheduler
+    /// reports all of them as 0). `shard_resets` is refreshed from the
+    /// live cache so resets by other holders of the cache since the last
+    /// run are visible too.
     pub fn stats(&self) -> SchedulerStats {
         let mut stats = self.sched.scheduler_stats().clone();
         stats.snapshots_exported = self.snapshots_exported;
@@ -225,6 +228,10 @@ impl<T: Element> ServingLoop<T> {
         if let Some(store) = &self.store {
             stats.snapshot_io_retries = store.io_retries();
             stats.snapshots_quarantined = store.quarantined();
+            stats.snapshot_bytes_encoded = store.bytes_encoded();
+            stats.snapshot_plans_encoded = store.plans_encoded();
+            stats.snapshot_bytes_loaded = store.bytes_loaded();
+            stats.snapshot_plans_loaded = store.plans_loaded();
         }
         stats
     }

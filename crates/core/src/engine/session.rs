@@ -456,7 +456,7 @@ impl<T: Element> Session<T> {
         out: &mut OutputMatrix<T>,
     ) {
         self.gemm_prepare(spikes, weights, out, true);
-        self.execute_current(weights, out);
+        self.timed_execute(|s| s.execute_current(weights, out));
     }
 
     /// Strictly single-threaded [`Session::gemm_into`]; the oracle the
@@ -469,7 +469,7 @@ impl<T: Element> Session<T> {
         out: &mut OutputMatrix<T>,
     ) {
         self.gemm_prepare(spikes, weights, out, true);
-        self.execute_current_serial(weights, out);
+        self.timed_execute(|s| s.execute_current_serial(weights, out));
     }
 
     /// Convenience [`Session::gemm_into`] allocating a fresh output.
@@ -501,8 +501,18 @@ impl<T: Element> Session<T> {
             debug_assert_eq!(spikes.cols(), weights.rows());
         }
         self.stats.gemms += 1;
+        let planned = std::time::Instant::now();
         self.plan(spikes);
+        self.stats.plan_ns += planned.elapsed().as_nanos() as u64;
         out.reset(spikes.rows(), weights.cols());
+    }
+
+    /// Times one execute closure into [`EngineStats::exec_ns`].
+    #[inline]
+    fn timed_execute(&mut self, run: impl FnOnce(&Self)) {
+        let executed = std::time::Instant::now();
+        run(self);
+        self.stats.exec_ns += executed.elapsed().as_nanos() as u64;
     }
 
     /// Executes the tiles placed by the last `plan` call into `out`.
@@ -618,7 +628,7 @@ impl<T: Element> Session<T> {
             {
                 let src: &SpikeMatrix = if i == 0 { input } else { &ping };
                 self.gemm_prepare(src, weights, &mut acc, false);
-                self.execute_current(weights, &mut acc);
+                self.timed_execute(|s| s.execute_current(weights, &mut acc));
             }
             super::threshold_spikes(&acc, threshold, &mut pong);
             std::mem::swap(&mut ping, &mut pong);

@@ -225,6 +225,9 @@ pub struct SharedPlanCache {
     admission: Option<AdmissionTable>,
     /// Poisoned shards recovered (entries dropped) — see module docs.
     shard_resets: AtomicU64,
+    /// Nanoseconds shard mutexes were held across lookups and insertions
+    /// (acquisition → release), the serving hot path's contention budget.
+    lock_hold_ns: AtomicU64,
 }
 
 impl SharedPlanCache {
@@ -270,6 +273,7 @@ impl SharedPlanCache {
             capacity,
             admission: admission.map(AdmissionTable::new),
             shard_resets: AtomicU64::new(0),
+            lock_hold_ns: AtomicU64::new(0),
         }
     }
 
@@ -342,6 +346,7 @@ impl SharedPlanCache {
         for s in self.shards.iter() {
             self.lock_shard(s).counters = ShardCounters::default();
         }
+        self.lock_hold_ns.store(0, Ordering::Relaxed);
     }
 
     /// One admission-table GC sweep: advances the table's generation clock
@@ -399,6 +404,7 @@ impl SharedPlanCache {
         // Read after the loop: locking every shard above recovers any
         // still-poisoned shard, so the count is settled by now.
         out.shard_resets = self.shard_resets.load(Ordering::Relaxed);
+        out.lock_hold_ns = self.lock_hold_ns.load(Ordering::Relaxed);
         out
     }
 
@@ -528,6 +534,7 @@ impl SharedPlanCache {
     ) -> Option<(Arc<TileMeta>, bool)> {
         let found = {
             let mut shard = self.lock_shard(self.shard_of(hash));
+            let held = std::time::Instant::now();
             let found = shard.cache.lookup(hash, tile);
             match &found {
                 Some((_, restored)) => {
@@ -536,6 +543,8 @@ impl SharedPlanCache {
                 }
                 None => shard.counters.misses += 1,
             }
+            self.lock_hold_ns
+                .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
             found
         };
         // The shard lock is already released; the tenant's window is its
@@ -565,6 +574,7 @@ impl SharedPlanCache {
         admission: Option<&Mutex<Admission>>,
     ) -> (Arc<TileMeta>, InsertOutcome) {
         let mut shard = self.lock_shard(self.shard_of(hash));
+        let held = std::time::Instant::now();
         // Injected-fault hook: a panic here unwinds with the shard mutex
         // held, poisoning it — exactly the scenario `lock_shard` recovers.
         #[cfg(any(test, feature = "fault-injection"))]
@@ -573,30 +583,31 @@ impl SharedPlanCache {
         // `lookup`, so this probe feeds neither hit/miss counters nor
         // admission; the race is recorded as its own outcome so the ledger
         // stays balanced (insertions + bypasses + dedups == misses).
-        if let Some(resident) = shard.cache.get(hash, tile) {
+        let result = if let Some(resident) = shard.cache.get(hash, tile) {
             shard.counters.dedups += 1;
-            return (resident, InsertOutcome::Deduplicated);
-        }
+            (resident, InsertOutcome::Deduplicated)
         // Tenant admission, consulted only for a real (non-dedup) offer.
         // Lock order is always shard → admission window, so the nesting
         // cannot deadlock against `lookup` (which takes them disjointly).
-        if let Some(a) = admission {
-            if !lock_recovering(a).should_insert() {
-                shard.counters.bypasses += 1;
-                return (meta, InsertOutcome::Bypassed);
+        } else if admission.is_some_and(|a| !lock_recovering(a).should_insert()) {
+            shard.counters.bypasses += 1;
+            (meta, InsertOutcome::Bypassed)
+        } else {
+            let outcome = shard.cache.insert(hash, tile, Arc::clone(&meta));
+            match outcome {
+                InsertOutcome::Inserted => shard.counters.insertions += 1,
+                InsertOutcome::Evicted => {
+                    shard.counters.insertions += 1;
+                    shard.counters.evictions += 1;
+                }
+                InsertOutcome::Bypassed => shard.counters.bypasses += 1,
+                InsertOutcome::Deduplicated => unreachable!("PlanCache never dedups"),
             }
-        }
-        let outcome = shard.cache.insert(hash, tile, Arc::clone(&meta));
-        match outcome {
-            InsertOutcome::Inserted => shard.counters.insertions += 1,
-            InsertOutcome::Evicted => {
-                shard.counters.insertions += 1;
-                shard.counters.evictions += 1;
-            }
-            InsertOutcome::Bypassed => shard.counters.bypasses += 1,
-            InsertOutcome::Deduplicated => unreachable!("PlanCache never dedups"),
-        }
-        (meta, outcome)
+            (meta, outcome)
+        };
+        self.lock_hold_ns
+            .fetch_add(held.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
     }
 }
 

@@ -80,6 +80,8 @@ use super::cache::hash_limbs;
 
 const MAGIC: &[u8; 4] = b"PSNP";
 const VERSION: u32 = 1;
+/// Fixed header size: magic (4) + version (4) + count (4) + checksum (8).
+const HEADER_BYTES: usize = 20;
 /// Sentinel for "no prefix" in the on-disk row encoding.
 const NO_PREFIX: u32 = u32::MAX;
 
@@ -206,18 +208,29 @@ impl PlanSnapshot {
     /// Serializes the snapshot into the versioned, checksummed binary
     /// format.
     pub fn encode(&self) -> Bytes {
-        let mut payload = BytesMut::new();
-        for entry in &self.entries {
-            encode_entry(&mut payload, entry);
-        }
-        let payload = payload.freeze();
-        let mut buf = BytesMut::with_capacity(payload.len() + 20);
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serializes into a caller-owned buffer, reusing its capacity.
+    ///
+    /// This is the steady-state encode path: the header is written with a
+    /// placeholder checksum, the payload is appended in place (no side
+    /// buffer), and the checksum bytes are backpatched — so a warm buffer
+    /// makes the whole encode allocation-free. The export thread's
+    /// [`super::SnapshotStore`] holds one such buffer per store.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.clear();
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.entries.len() as u32);
-        buf.put_u64_le(fnv1a(&payload));
-        buf.put_slice(&payload);
-        buf.freeze()
+        buf.put_u64_le(0); // checksum placeholder, backpatched below
+        for entry in &self.entries {
+            encode_entry(buf, entry);
+        }
+        let checksum = fnv1a(&buf[HEADER_BYTES..]);
+        buf[12..HEADER_BYTES].copy_from_slice(&checksum.to_le_bytes());
     }
 
     /// Decodes a snapshot previously written by [`PlanSnapshot::encode`].
@@ -532,6 +545,19 @@ mod tests {
                 assert!(entry_eq(a, b), "seed {seed} entry {i} differs");
             }
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let (engine, _) = warm_session(0x5EED, 256);
+        let snap = engine.export_snapshot(256);
+        let reference = snap.encode();
+        let mut buf = BytesMut::new();
+        snap.encode_into(&mut buf);
+        assert_eq!(&buf[..], &reference[..], "backpatched encode must agree");
+        // A second pass into the same (now warm) buffer is identical too.
+        snap.encode_into(&mut buf);
+        assert_eq!(&buf[..], &reference[..]);
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub struct EngineStats {
     /// through a snapshot import rather than live planning — the measured
     /// payoff of warm-starting (see [`super::snapshot`]).
     pub restored_hits: u64,
+    /// Nanoseconds spent in the planning phase — tiling, cache lookups,
+    /// and (on misses) Detector → Pruner → Dispatcher planning — summed
+    /// over all GeMMs. `plan_ns / tiles` is mean per-tile planning cost.
+    pub plan_ns: u64,
+    /// Nanoseconds spent in plan execution (the weight-accumulate kernel),
+    /// summed over all GeMMs. `exec_ns / tiles` is the steady-state
+    /// per-tile execution cost the perf bench tracks.
+    pub exec_ns: u64,
 }
 
 impl EngineStats {
@@ -57,6 +65,8 @@ impl EngineStats {
         self.cache_evictions += other.cache_evictions;
         self.cache_bypasses += other.cache_bypasses;
         self.restored_hits += other.restored_hits;
+        self.plan_ns += other.plan_ns;
+        self.exec_ns += other.exec_ns;
     }
 
     /// [`EngineStats::merge`] over any number of per-session stats.
@@ -107,6 +117,10 @@ pub struct SharedCacheStats {
     /// holding it) and recovered by dropping only that shard's entries —
     /// see [`SharedPlanCache`](super::SharedPlanCache) fault tolerance.
     pub shard_resets: u64,
+    /// Nanoseconds shard mutexes were held across lookups and insertions —
+    /// the serving hot path's contention budget. Divide by
+    /// `hits + misses + insertions` for mean hold time per operation.
+    pub lock_hold_ns: u64,
 }
 
 impl SharedCacheStats {
@@ -170,6 +184,20 @@ pub struct SchedulerStats {
     /// [`SnapshotStore::load_latest_valid`](super::SnapshotStore::load_latest_valid)
     /// (filled by `ServingLoop::stats`).
     pub snapshots_quarantined: u64,
+    /// Bytes serialized by snapshot-store saves (filled by
+    /// `ServingLoop::stats` from
+    /// [`SnapshotStore::bytes_encoded`](super::SnapshotStore::bytes_encoded)).
+    pub snapshot_bytes_encoded: u64,
+    /// Plan entries serialized by snapshot-store saves (filled by
+    /// `ServingLoop::stats`).
+    pub snapshot_plans_encoded: u64,
+    /// Bytes of successfully decoded snapshots returned by warm-restart
+    /// loads (filled by `ServingLoop::stats` from
+    /// [`SnapshotStore::bytes_loaded`](super::SnapshotStore::bytes_loaded)).
+    pub snapshot_bytes_loaded: u64,
+    /// Plan entries decoded by warm-restart loads (filled by
+    /// `ServingLoop::stats`).
+    pub snapshot_plans_loaded: u64,
 }
 
 impl SchedulerStats {
@@ -202,6 +230,8 @@ mod tests {
             cache_evictions: 2,
             cache_bypasses: 1,
             restored_hits: 3,
+            plan_ns: 100,
+            exec_ns: 200,
         };
         let b = EngineStats {
             gemms: 2,
@@ -211,6 +241,8 @@ mod tests {
             cache_evictions: 0,
             cache_bypasses: 5,
             restored_hits: 1,
+            plan_ns: 11,
+            exec_ns: 22,
         };
         let mut m = a;
         m.merge(&b);
@@ -224,6 +256,8 @@ mod tests {
                 cache_evictions: 2,
                 cache_bypasses: 6,
                 restored_hits: 4,
+                plan_ns: 111,
+                exec_ns: 222,
             }
         );
         assert_eq!(EngineStats::merged([a, b].iter()), m);

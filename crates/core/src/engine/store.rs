@@ -31,7 +31,10 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+use bytes::BytesMut;
 
 use super::snapshot::{atomic_write, io_fault, PlanSnapshot, SnapshotError};
 
@@ -51,6 +54,13 @@ pub struct SnapshotStore {
     next_seq: AtomicU64,
     io_retries: AtomicU64,
     quarantined: AtomicU64,
+    /// Reused encode buffer: after the first save its capacity covers the
+    /// working-set image size, so steady-state exports allocate nothing.
+    encode_buf: Mutex<BytesMut>,
+    bytes_encoded: AtomicU64,
+    plans_encoded: AtomicU64,
+    bytes_loaded: AtomicU64,
+    plans_loaded: AtomicU64,
 }
 
 impl SnapshotStore {
@@ -78,6 +88,11 @@ impl SnapshotStore {
             next_seq: AtomicU64::new(next_seq),
             io_retries: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            encode_buf: Mutex::new(BytesMut::new()),
+            bytes_encoded: AtomicU64::new(0),
+            plans_encoded: AtomicU64::new(0),
+            bytes_loaded: AtomicU64::new(0),
+            plans_loaded: AtomicU64::new(0),
         })
     }
 
@@ -111,6 +126,29 @@ impl SnapshotStore {
         self.quarantined.load(Ordering::Relaxed)
     }
 
+    /// Total bytes serialized by [`SnapshotStore::save`] (pre-write, so
+    /// failed saves still count their encode work).
+    pub fn bytes_encoded(&self) -> u64 {
+        self.bytes_encoded.load(Ordering::Relaxed)
+    }
+
+    /// Total plan entries serialized by [`SnapshotStore::save`].
+    pub fn plans_encoded(&self) -> u64 {
+        self.plans_encoded.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of successfully decoded snapshots returned by
+    /// [`SnapshotStore::load_latest_valid`].
+    pub fn bytes_loaded(&self) -> u64 {
+        self.bytes_loaded.load(Ordering::Relaxed)
+    }
+
+    /// Total plan entries in successfully decoded snapshots returned by
+    /// [`SnapshotStore::load_latest_valid`].
+    pub fn plans_loaded(&self) -> u64 {
+        self.plans_loaded.load(Ordering::Relaxed)
+    }
+
     /// Writes `snapshot` as the next sequence-numbered file, retrying
     /// failed writes under bounded exponential backoff, then prunes to the
     /// retention limit. Returns the path written. The write itself is
@@ -120,8 +158,14 @@ impl SnapshotStore {
     pub fn save(&self, snapshot: &PlanSnapshot) -> Result<PathBuf, SnapshotError> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("{FILE_PREFIX}{seq:08}{FILE_SUFFIX}"));
-        #[allow(unused_mut)]
-        let mut bytes = snapshot.encode().to_vec();
+        // Encode into the store's reusable buffer: zero allocations once
+        // its capacity has warmed up to the image size.
+        let mut bytes = self.encode_buf.lock().unwrap_or_else(|p| p.into_inner());
+        snapshot.encode_into(&mut bytes);
+        self.bytes_encoded
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.plans_encoded
+            .fetch_add(snapshot.len() as u64, Ordering::Relaxed);
         // Injected-fault hook: bit-rot one byte of this image on its way
         // to disk, so tests can drive the quarantine path end to end.
         #[cfg(any(test, feature = "fault-injection"))]
@@ -165,8 +209,22 @@ impl SnapshotStore {
                 Ok(bytes) => bytes,
                 Err(_) => continue,
             };
+            let len = bytes.len();
             match PlanSnapshot::decode(bytes.into()) {
-                Ok(snapshot) => return Ok(Some(snapshot)),
+                Ok(snapshot) => {
+                    self.bytes_loaded.fetch_add(len as u64, Ordering::Relaxed);
+                    self.plans_loaded
+                        .fetch_add(snapshot.len() as u64, Ordering::Relaxed);
+                    if std::env::var_os("PROSPERITY_DEBUG").is_some() {
+                        eprintln!(
+                            "snapshot-store: loaded {} ({} bytes, {} plans)",
+                            path.display(),
+                            len,
+                            snapshot.len()
+                        );
+                    }
+                    return Ok(Some(snapshot));
+                }
                 Err(_) => {
                     let mut bad = path.as_os_str().to_os_string();
                     bad.push(".bad");
@@ -316,6 +374,23 @@ mod tests {
         // The quarantined file no longer participates in later walks.
         assert!(store.load_latest_valid().expect("walk").is_some());
         assert_eq!(store.quarantined(), 1);
+    }
+
+    #[test]
+    fn encode_and_load_volume_counters_accumulate() {
+        let tmp = TempDir::new("volume_counters");
+        let store = SnapshotStore::new(&tmp.0, 4).expect("open");
+        let snap = sample_snapshot();
+        let path = store.save(&snap).expect("save");
+        let on_disk = std::fs::metadata(&path).expect("stat").len();
+        assert_eq!(store.bytes_encoded(), on_disk);
+        assert_eq!(store.plans_encoded(), snap.len() as u64);
+        assert_eq!(store.bytes_loaded(), 0, "nothing loaded yet");
+        let loaded = store.load_latest_valid().expect("walk").expect("valid");
+        assert_eq!(store.bytes_loaded(), on_disk);
+        assert_eq!(store.plans_loaded(), loaded.len() as u64);
+        store.save(&snap).expect("save again");
+        assert_eq!(store.bytes_encoded(), 2 * on_disk, "counters accumulate");
     }
 
     #[test]

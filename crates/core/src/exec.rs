@@ -40,7 +40,7 @@ use std::ops::AddAssign;
 ///
 /// Panics if `spikes.cols() != weights.rows()`.
 #[cfg(feature = "parallel")]
-pub fn prosparsity_gemm<T: Copy + Default + AddAssign + Send + Sync>(
+pub fn prosparsity_gemm<T: Copy + Default + AddAssign + Send + Sync + 'static>(
     spikes: &SpikeMatrix,
     weights: &WeightMatrix<T>,
     shape: TileShape,
@@ -57,7 +57,7 @@ pub fn prosparsity_gemm<T: Copy + Default + AddAssign + Send + Sync>(
 ///
 /// Panics if `spikes.cols() != weights.rows()`.
 #[cfg(not(feature = "parallel"))]
-pub fn prosparsity_gemm<T: Copy + Default + AddAssign>(
+pub fn prosparsity_gemm<T: Copy + Default + AddAssign + 'static>(
     spikes: &SpikeMatrix,
     weights: &WeightMatrix<T>,
     shape: TileShape,
@@ -73,7 +73,7 @@ pub fn prosparsity_gemm<T: Copy + Default + AddAssign>(
 ///
 /// Panics if the plan's source column count differs from `weights.rows()`.
 #[cfg(feature = "parallel")]
-pub fn execute_plan<T: Copy + Default + AddAssign + Send + Sync>(
+pub fn execute_plan<T: Copy + Default + AddAssign + Send + Sync + 'static>(
     plan: &ProSparsityPlan,
     weights: &WeightMatrix<T>,
 ) -> OutputMatrix<T> {
@@ -116,7 +116,7 @@ pub fn execute_plan<T: Copy + Default + AddAssign + Send + Sync>(
 ///
 /// Panics if the plan's source column count differs from `weights.rows()`.
 #[cfg(not(feature = "parallel"))]
-pub fn execute_plan<T: Copy + Default + AddAssign>(
+pub fn execute_plan<T: Copy + Default + AddAssign + 'static>(
     plan: &ProSparsityPlan,
     weights: &WeightMatrix<T>,
 ) -> OutputMatrix<T> {
@@ -130,7 +130,7 @@ pub fn execute_plan<T: Copy + Default + AddAssign>(
 /// # Panics
 ///
 /// Panics if the plan's source column count differs from `weights.rows()`.
-pub fn execute_plan_serial<T: Copy + Default + AddAssign>(
+pub fn execute_plan_serial<T: Copy + Default + AddAssign + 'static>(
     plan: &ProSparsityPlan,
     weights: &WeightMatrix<T>,
 ) -> OutputMatrix<T> {
@@ -160,7 +160,7 @@ pub fn execute_plan_serial<T: Copy + Default + AddAssign>(
 }
 
 /// Allocates the output and checks the plan/weight inner dimension.
-fn new_output<T: Copy + Default + AddAssign>(
+fn new_output<T: Copy + Default + AddAssign + 'static>(
     plan: &ProSparsityPlan,
     weights: &WeightMatrix<T>,
 ) -> OutputMatrix<T> {
@@ -230,7 +230,7 @@ impl TileExec for TileMeta {
 ///   classic tile-major dataflow: parents materialize their tile-local
 ///   partial in the flat `arena` (Step 9's prefix load source), dependents
 ///   start from it, and results fold into the output (Step 12).
-pub(crate) fn execute_row_tile<T: Copy + Default + AddAssign, V: TileExec>(
+pub(crate) fn execute_row_tile<T: Copy + Default + AddAssign + 'static, V: TileExec>(
     k_tiles: &[V],
     weights: &WeightMatrix<T>,
     out_chunk: &mut [T],
@@ -305,9 +305,7 @@ pub(crate) fn execute_row_tile<T: Copy + Default + AddAssign, V: TileExec>(
                 // Step 12 for parents: fold into the global row immediately.
                 if r < tile_valid {
                     let local = &arena[r * n..(r + 1) * n];
-                    for (o, &x) in out_chunk[r * n..(r + 1) * n].iter_mut().zip(local) {
-                        *o += x;
-                    }
+                    add_assign_slice(&mut out_chunk[r * n..(r + 1) * n], local);
                 }
             } else {
                 if r >= tile_valid {
@@ -317,10 +315,7 @@ pub(crate) fn execute_row_tile<T: Copy + Default + AddAssign, V: TileExec>(
                 // rows straight into the global output row.
                 let out_row = &mut out_chunk[r * n..(r + 1) * n];
                 if let Some(p) = row.prefix {
-                    let src = &arena[p * n..(p + 1) * n];
-                    for (o, &x) in out_row.iter_mut().zip(src) {
-                        *o += x;
-                    }
+                    add_assign_slice(out_row, &arena[p * n..(p + 1) * n]);
                 }
                 accumulate_pattern(out_row, pattern, col_start, wdata, wrows, n);
             }
@@ -331,7 +326,7 @@ pub(crate) fn execute_row_tile<T: Copy + Default + AddAssign, V: TileExec>(
 /// Streams the pattern bits of every `k`-tile of row `r` through one
 /// accumulation pass into `acc` (the simple-row fast path).
 #[inline]
-fn accumulate_row_all_tiles<T: Copy + Default + AddAssign, V: TileExec>(
+fn accumulate_row_all_tiles<T: Copy + Default + AddAssign + 'static, V: TileExec>(
     acc: &mut [T],
     k_tiles: &[V],
     r: usize,
@@ -348,10 +343,10 @@ fn accumulate_row_all_tiles<T: Copy + Default + AddAssign, V: TileExec>(
 }
 
 /// Steps 10–11: decode the row's packed pattern limbs by bit-scan-forward
-/// and accumulate the selected weight rows into `acc`. The single-slice zip
-/// keeps the inner loop free of bounds checks so it autovectorizes.
+/// and accumulate the selected weight rows into `acc` via
+/// [`add_assign_slice`].
 #[inline]
-fn accumulate_pattern<T: Copy + Default + AddAssign>(
+fn accumulate_pattern<T: Copy + Default + AddAssign + 'static>(
     acc: &mut [T],
     pattern: &[u64],
     col_start: usize,
@@ -359,6 +354,13 @@ fn accumulate_pattern<T: Copy + Default + AddAssign>(
     wrows: usize,
     n: usize,
 ) {
+    // Dispatch once per row pattern, not once per set bit: the AVX2 body
+    // cannot inline into this (non-AVX2) function, so a per-bit call would
+    // pay the boundary on every short weight-row add.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_accum::try_accumulate_pattern(acc, pattern, col_start, wdata, wrows, n) {
+        return;
+    }
     for (word, &limb) in pattern.iter().enumerate() {
         let mut bits = limb;
         let base = col_start + word * 64;
@@ -368,10 +370,192 @@ fn accumulate_pattern<T: Copy + Default + AddAssign>(
             if wk >= wrows {
                 continue; // zero-padded tile column
             }
-            let w = &wdata[wk * n..wk * n + n];
-            for (a, &x) in acc.iter_mut().zip(w) {
-                *a += x;
+            add_assign_slice(acc, &wdata[wk * n..wk * n + n]);
+        }
+    }
+}
+
+/// Element-wise `dst[i] += src[i]` over equal-length slices — the executor's
+/// popcount-selected weight-row accumulate.
+///
+/// `i64`/`i32` slices route through the AVX2 vector add when the `simd`
+/// feature is compiled in and the CPU reports AVX2; every other element
+/// type, build, and short slice runs the scalar zip loop (bounds-check-free,
+/// so the compiler autovectorizes it where profitable). Both paths produce
+/// identical bits for integer elements.
+#[inline]
+fn add_assign_slice<T: Copy + AddAssign + 'static>(dst: &mut [T], src: &[T]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_accum::try_add_slice(dst, src) {
+        return;
+    }
+    for (a, &x) in dst.iter_mut().zip(src) {
+        *a += x;
+    }
+}
+
+/// AVX2 accumulate kernels, selected by `TypeId` so the generic executor
+/// stays monomorphization-friendly: only the two integer element types the
+/// engine actually serves get vector bodies.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod simd_accum {
+    use std::any::TypeId;
+    use std::arch::x86_64::*;
+
+    /// Limb threshold below which the vector add has no full vector to run.
+    const MIN_SIMD_ELEMS: usize = 8;
+
+    /// Attempts a whole-pattern vector accumulate ([`super::accumulate_pattern`]
+    /// semantics); `false` means the caller must run the scalar loop. The
+    /// bit-scan loop lives *inside* the AVX2 boundary so the per-weight-row
+    /// add inlines instead of paying a cross-feature call per set bit.
+    #[inline]
+    pub(super) fn try_accumulate_pattern<T: Copy + 'static>(
+        acc: &mut [T],
+        pattern: &[u64],
+        col_start: usize,
+        wdata: &[T],
+        wrows: usize,
+        n: usize,
+    ) -> bool {
+        if n < MIN_SIMD_ELEMS || !spikemat::simd::active() {
+            return false;
+        }
+        let t = TypeId::of::<T>();
+        if t == TypeId::of::<i64>() {
+            // SAFETY: T is exactly i64 (TypeId match); AVX2 was verified.
+            unsafe {
+                pattern_i64(
+                    &mut *(std::ptr::from_mut::<[T]>(acc) as *mut [i64]),
+                    pattern,
+                    col_start,
+                    &*(std::ptr::from_ref::<[T]>(wdata) as *const [i64]),
+                    wrows,
+                    n,
+                );
             }
+            true
+        } else if t == TypeId::of::<i32>() {
+            // SAFETY: T is exactly i32 (TypeId match); AVX2 was verified.
+            unsafe {
+                pattern_i32(
+                    &mut *(std::ptr::from_mut::<[T]>(acc) as *mut [i32]),
+                    pattern,
+                    col_start,
+                    &*(std::ptr::from_ref::<[T]>(wdata) as *const [i32]),
+                    wrows,
+                    n,
+                );
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// [`super::accumulate_pattern`] for `i64`, bit scan and adds fused in
+    /// one AVX2 region ([`add_i64`] inlines here — same target feature).
+    #[target_feature(enable = "avx2")]
+    unsafe fn pattern_i64(
+        acc: &mut [i64],
+        pattern: &[u64],
+        col_start: usize,
+        wdata: &[i64],
+        wrows: usize,
+        n: usize,
+    ) {
+        for (word, &limb) in pattern.iter().enumerate() {
+            let mut bits = limb;
+            let base = col_start + word * 64;
+            while bits != 0 {
+                let wk = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if wk >= wrows {
+                    continue; // zero-padded tile column
+                }
+                let src = &wdata[wk * n..wk * n + n];
+                add_i64(acc.as_mut_ptr(), src.as_ptr(), n);
+            }
+        }
+    }
+
+    /// [`super::accumulate_pattern`] for `i32` (see [`pattern_i64`]).
+    #[target_feature(enable = "avx2")]
+    unsafe fn pattern_i32(
+        acc: &mut [i32],
+        pattern: &[u64],
+        col_start: usize,
+        wdata: &[i32],
+        wrows: usize,
+        n: usize,
+    ) {
+        for (word, &limb) in pattern.iter().enumerate() {
+            let mut bits = limb;
+            let base = col_start + word * 64;
+            while bits != 0 {
+                let wk = base + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if wk >= wrows {
+                    continue; // zero-padded tile column
+                }
+                let src = &wdata[wk * n..wk * n + n];
+                add_i32(acc.as_mut_ptr(), src.as_ptr(), n);
+            }
+        }
+    }
+
+    /// Attempts the vector add; `false` means the caller must run the
+    /// scalar loop (non-integer element type, short slice, or no AVX2).
+    #[inline]
+    pub(super) fn try_add_slice<T: Copy + 'static>(dst: &mut [T], src: &[T]) -> bool {
+        let n = dst.len().min(src.len());
+        if n < MIN_SIMD_ELEMS || !spikemat::simd::active() {
+            return false;
+        }
+        let t = TypeId::of::<T>();
+        if t == TypeId::of::<i64>() {
+            // SAFETY: T is exactly i64 (TypeId match); AVX2 was verified.
+            unsafe { add_i64(dst.as_mut_ptr().cast(), src.as_ptr().cast(), n) };
+            true
+        } else if t == TypeId::of::<i32>() {
+            // SAFETY: T is exactly i32 (TypeId match); AVX2 was verified.
+            unsafe { add_i32(dst.as_mut_ptr().cast(), src.as_ptr().cast(), n) };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `dst[i] += src[i]`, four `i64` lanes per instruction. Vector adds
+    /// wrap on overflow, matching release-mode scalar `+=`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_i64(dst: *mut i64, src: *const i64, n: usize) {
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let d = _mm256_loadu_si256(dst.add(i).cast());
+            let s = _mm256_loadu_si256(src.add(i).cast());
+            _mm256_storeu_si256(dst.add(i).cast(), _mm256_add_epi64(d, s));
+            i += 4;
+        }
+        while i < n {
+            *dst.add(i) = (*dst.add(i)).wrapping_add(*src.add(i));
+            i += 1;
+        }
+    }
+
+    /// `dst[i] += src[i]`, eight `i32` lanes per instruction.
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_i32(dst: *mut i32, src: *const i32, n: usize) {
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let d = _mm256_loadu_si256(dst.add(i).cast());
+            let s = _mm256_loadu_si256(src.add(i).cast());
+            _mm256_storeu_si256(dst.add(i).cast(), _mm256_add_epi32(d, s));
+            i += 8;
+        }
+        while i < n {
+            *dst.add(i) = (*dst.add(i)).wrapping_add(*src.add(i));
+            i += 1;
         }
     }
 }

@@ -86,6 +86,27 @@ pub use engine::{
 pub fn parallel_enabled() -> bool {
     cfg!(feature = "parallel")
 }
+
+/// Worker threads the parallel paths will actually use: rayon's pool size
+/// with the `parallel` feature (respects `RAYON_NUM_THREADS`), 1 without.
+/// Benches record this as `threads_effective` so single-core runs are not
+/// held to parallel≥serial expectations.
+pub fn parallel_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Whether this build compiles the AVX2 limb-kernel fast paths *and* the
+/// running CPU supports them (runtime-dispatched; see [`spikemat::simd`]).
+pub fn simd_active() -> bool {
+    spikemat::simd::active()
+}
 pub use forest::ProSparsityForest;
 pub use order::{forest_walk_order, sorted_order};
 pub use plan::{ProSparsityPlan, RowMeta, TileMeta};

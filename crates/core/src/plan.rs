@@ -265,12 +265,7 @@ fn build_tile_meta(
         supersets.extend_from_slice(&col_masks[first * mask_words..(first + 1) * mask_words]);
         for c in ones {
             let mask = &col_masks[c * mask_words..(c + 1) * mask_words];
-            let mut others = 0;
-            for (w, (s, &cm)) in supersets.iter_mut().zip(mask).enumerate() {
-                *s &= cm;
-                others |= if w == self_word { *s & !self_bit } else { *s };
-            }
-            if others == 0 {
+            if spikemat::simd::intersect_fold(supersets, mask, self_word, self_bit) == 0 {
                 break; // only j itself survives; no supersets to scatter to
             }
         }

@@ -22,10 +22,27 @@ pub fn gather_block(rows: &[BitRow], row_block: usize, col_block: usize, block: 
 /// `a[r]` holds row `r`, LSB-first (bit `c` ⇔ column `c`); on return
 /// `a[c]` holds the original column `c` (bit `r` ⇔ original row `r`).
 ///
+/// Dispatches to the AVX2 swap network when the `simd` feature is
+/// compiled in and the CPU supports it ([`crate::simd::active`]);
+/// otherwise — and as the property-tested oracle either way — runs
+/// [`transpose64_scalar`]. Both produce identical bits.
+#[inline]
+pub fn transpose64(a: &mut [u64; 64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::active() {
+        // SAFETY: `active()` verified AVX2 support on this CPU.
+        unsafe { crate::simd::avx2::transpose64(a) };
+        return;
+    }
+    transpose64_scalar(a)
+}
+
+/// Portable scalar transpose — the reference semantics of [`transpose64`].
+///
 /// Classic block-swap network (Hacker's Delight §7-3): log₂64 rounds of
 /// exchanging off-diagonal sub-blocks, so the whole transpose costs
 /// ~6 × 32 word operations instead of 64 × 64 single-bit moves.
-pub fn transpose64(a: &mut [u64; 64]) {
+pub fn transpose64_scalar(a: &mut [u64; 64]) {
     let mut j = 32usize;
     let mut mask = 0x0000_0000_FFFF_FFFFu64;
     while j != 0 {
@@ -80,6 +97,9 @@ mod tests {
             let mut got = case;
             transpose64(&mut got);
             assert_eq!(got, naive_transpose(&case));
+            let mut scalar = case;
+            transpose64_scalar(&mut scalar);
+            assert_eq!(got, scalar, "routed and scalar paths must agree");
         }
     }
 

@@ -1,0 +1,382 @@
+//! Runtime-dispatched SIMD limb kernels with portable scalar oracles.
+//!
+//! The planner and executor hot loops are word-parallel but *scalar-limb*:
+//! each `u64` of a bit row is combined one at a time. On x86-64 with AVX2
+//! the same loops run four limbs per instruction. This module holds the
+//! limb-level kernels those loops funnel through:
+//!
+//! * [`popcount`] — spike counting (the Detector's popcount units);
+//! * [`subset_all`] — the TCAM subset test `a ⊆ b` ⇔ `a & !b == 0`;
+//! * [`intersect_fold`] — one superset-mask intersection step of the fused
+//!   Detector/Pruner, returning the "any other row still qualifies" fold
+//!   that drives its early exit;
+//! * [`crate::bitops::transpose64`] — the 64×64 block bit-transpose
+//!   (vector rounds live here, dispatch lives in `bitops`).
+//!
+//! # Dispatch & oracle contract
+//!
+//! Every kernel has a `_scalar` twin that is **the** reference semantics:
+//! the SIMD path must be bit-identical for all inputs (property-tested in
+//! `tests/simd.rs` across ragged lengths and densities). Dispatch is
+//! decided at runtime by [`active`] — compiled in only under the `simd`
+//! cargo feature on `x86_64`, and taken only when the CPU reports AVX2
+//! (`is_x86_feature_detected!`, cached by `std`). Everywhere else the
+//! scalar code *is* the kernel, so non-x86 targets and `--no-default-
+//! features` builds lose nothing but the speedup.
+//!
+//! The vendored-shim constraint rules out external SIMD crates, so the
+//! vector paths are hand-written `core::arch` intrinsics behind
+//! `#[target_feature(enable = "avx2")]`.
+
+/// Whether the SIMD fast paths are compiled in *and* this CPU supports
+/// them (AVX2). Always `false` without the `simd` feature or off x86-64.
+///
+/// The detection result is cached by `std`, so calling this in a hot loop
+/// costs one relaxed atomic load.
+#[inline]
+pub fn active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Limb count below which dispatch always stays scalar: one AVX2 vector
+/// covers 4 limbs, so shorter slices have no vector body to run.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+const MIN_SIMD_LIMBS: usize = 4;
+
+/// Dispatch threshold specific to [`intersect_fold`]. Its vector body is
+/// short-lived (a few AND/OR per chunk) and `#[target_feature]` functions
+/// cannot inline into non-AVX2 callers, so the call overhead only
+/// amortizes on longer masks — measured crossover is ~32 limbs (2048-row
+/// tiles); below that the scalar loop wins and routing keeps it.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+const MIN_INTERSECT_LIMBS: usize = 32;
+
+/// Total popcount of a limb slice (the paper's "Number of Ones").
+#[inline]
+pub fn popcount(limbs: &[u64]) -> u64 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if limbs.len() >= MIN_SIMD_LIMBS && active() {
+        // SAFETY: `active()` verified AVX2 support on this CPU.
+        return unsafe { avx2::popcount(limbs) };
+    }
+    popcount_scalar(limbs)
+}
+
+/// Scalar oracle of [`popcount`].
+#[inline]
+pub fn popcount_scalar(limbs: &[u64]) -> u64 {
+    limbs.iter().map(|l| u64::from(l.count_ones())).sum()
+}
+
+/// Set-inclusion over raw limbs: `true` iff every 1-bit of `sub` is also
+/// set in `sup` (`sub & !sup == 0` word-wise). The Detector's TCAM subset
+/// search semantics.
+///
+/// Compares `min(sub.len(), sup.len())` words; callers keep lengths equal
+/// (debug-asserted).
+#[inline]
+pub fn subset_all(sub: &[u64], sup: &[u64]) -> bool {
+    debug_assert_eq!(sub.len(), sup.len(), "limb count mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if sub.len() >= MIN_SIMD_LIMBS && active() {
+        // SAFETY: `active()` verified AVX2 support on this CPU.
+        return unsafe { avx2::subset_all(sub, sup) };
+    }
+    subset_all_scalar(sub, sup)
+}
+
+/// Scalar oracle of [`subset_all`].
+#[inline]
+pub fn subset_all_scalar(sub: &[u64], sup: &[u64]) -> bool {
+    sub.iter().zip(sup).all(|(&a, &b)| a & !b == 0)
+}
+
+/// One column step of the fused Detector/Pruner superset intersection:
+/// `acc &= mask` word-wise, returning the OR-fold of the surviving bits
+/// with the candidate's own bit (`acc[self_word] & self_bit`) excluded.
+///
+/// A return of 0 means no row *other than the candidate itself* still
+/// qualifies as a superset — the planner's early exit. `self_word` may be
+/// `>= acc.len()` (no self bit in range), in which case the fold covers
+/// every surviving bit.
+///
+/// Folds `min(acc.len(), mask.len())` words; callers keep lengths equal
+/// (debug-asserted).
+#[inline]
+pub fn intersect_fold(acc: &mut [u64], mask: &[u64], self_word: usize, self_bit: u64) -> u64 {
+    debug_assert_eq!(acc.len(), mask.len(), "limb count mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if acc.len() >= MIN_INTERSECT_LIMBS && active() {
+        // SAFETY: `active()` verified AVX2 support on this CPU.
+        return unsafe { avx2::intersect_fold(acc, mask, self_word, self_bit) };
+    }
+    intersect_fold_scalar(acc, mask, self_word, self_bit)
+}
+
+/// Scalar oracle of [`intersect_fold`].
+#[inline]
+pub fn intersect_fold_scalar(
+    acc: &mut [u64],
+    mask: &[u64],
+    self_word: usize,
+    self_bit: u64,
+) -> u64 {
+    let mut others = 0u64;
+    for (w, (s, &m)) in acc.iter_mut().zip(mask).enumerate() {
+        *s &= m;
+        others |= if w == self_word { *s & !self_bit } else { *s };
+    }
+    others
+}
+
+/// AVX2 vector bodies. Every function here carries
+/// `#[target_feature(enable = "avx2")]` and is reached only through a
+/// successful [`active`] check; the scalar twins above define the
+/// semantics they must reproduce bit-for-bit.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// OR-reduce a 256-bit accumulator to one `u64` without a stack
+    /// round-trip: high half onto low half, then the two 64-bit lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold_or(v: __m256i) -> u64 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256::<1>(v);
+        let pair = _mm_or_si128(lo, hi);
+        let one = _mm_or_si128(pair, _mm_unpackhi_epi64(pair, pair));
+        _mm_cvtsi128_si64(one) as u64
+    }
+
+    /// Vector popcount via the nibble-LUT (`pshufb`) method, accumulated
+    /// with `psadbw` into four 64-bit lanes.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn popcount(limbs: &[u64]) -> u64 {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0F);
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        let mut i = 0usize;
+        while i + 4 <= limbs.len() {
+            let v = _mm256_loadu_si256(limbs.as_ptr().add(i).cast());
+            let lo = _mm256_and_si256(v, low);
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+            let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        while i < limbs.len() {
+            total += u64::from(limbs[i].count_ones());
+            i += 1;
+        }
+        total
+    }
+
+    /// Vector subset test: accumulate `sub & !sup` and test for any
+    /// surviving bit per vector (early exit on the first violation).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn subset_all(sub: &[u64], sup: &[u64]) -> bool {
+        let n = sub.len().min(sup.len());
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let a = _mm256_loadu_si256(sub.as_ptr().add(i).cast());
+            let b = _mm256_loadu_si256(sup.as_ptr().add(i).cast());
+            // andnot(b, a) = !b & a: the bits of `sub` missing from `sup`.
+            let viol = _mm256_andnot_si256(b, a);
+            if _mm256_testz_si256(viol, viol) == 0 {
+                return false;
+            }
+            i += 4;
+        }
+        while i < n {
+            if sub[i] & !sup[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// Vector intersect + fold. The candidate's own bit is excluded
+    /// exactly: the vector chunk containing `self_word` is ANDed with a
+    /// lane mask (built once, all-ones in every other lane) that clears
+    /// only `self_bit` in that lane, so the fold equals the scalar
+    /// oracle's bit-for-bit.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn intersect_fold(
+        acc: &mut [u64],
+        mask: &[u64],
+        self_word: usize,
+        self_bit: u64,
+    ) -> u64 {
+        let n = acc.len().min(mask.len());
+        let mut facc = _mm256_setzero_si256();
+        // First limb index of the vector chunk holding `self_word` (never
+        // matched when self_word is past the vector region or the slice).
+        let self_base = if self_word < n & !3 {
+            self_word & !3
+        } else {
+            usize::MAX
+        };
+        let mut lanes = [!0u64; 4];
+        lanes[self_word & 3] = !self_bit;
+        let vself = _mm256_loadu_si256(lanes.as_ptr().cast());
+        let mut w = 0usize;
+        while w + 4 <= n {
+            let pa = acc.as_mut_ptr().add(w).cast::<__m256i>();
+            let va = _mm256_loadu_si256(pa);
+            let vm = _mm256_loadu_si256(mask.as_ptr().add(w).cast());
+            let vand = _mm256_and_si256(va, vm);
+            _mm256_storeu_si256(pa, vand);
+            let contrib = if w == self_base {
+                _mm256_and_si256(vand, vself)
+            } else {
+                vand
+            };
+            facc = _mm256_or_si256(facc, contrib);
+            w += 4;
+        }
+        let mut others = fold_or(facc);
+        while w < n {
+            acc[w] &= mask[w];
+            others |= if w == self_word {
+                acc[w] & !self_bit
+            } else {
+                acc[w]
+            };
+            w += 1;
+        }
+        others
+    }
+
+    /// Vector rounds of the 64×64 transpose swap network: for swap
+    /// distances `j ∈ {32, 16, 8, 4}` the exchanged index runs are at
+    /// least four limbs long and contiguous, so each exchange processes
+    /// four rows per instruction. The `j ∈ {2, 1}` rounds interleave
+    /// within a vector and stay scalar (see
+    /// [`crate::bitops::transpose64_scalar`] for the reference network).
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn transpose64(a: &mut [u64; 64]) {
+        let mut j = 32usize;
+        let mut m = 0x0000_0000_FFFF_FFFFu64;
+        while j >= 4 {
+            let vmask = _mm256_set1_epi64x(m as i64);
+            let cnt = _mm_cvtsi64_si128(j as i64);
+            let mut base = 0usize;
+            while base < 64 {
+                let mut k = base;
+                while k < base + j {
+                    let pa = a.as_mut_ptr().add(k).cast::<__m256i>();
+                    let pb = a.as_mut_ptr().add(k + j).cast::<__m256i>();
+                    let va = _mm256_loadu_si256(pa);
+                    let vb = _mm256_loadu_si256(pb);
+                    let t =
+                        _mm256_and_si256(_mm256_xor_si256(_mm256_srl_epi64(va, cnt), vb), vmask);
+                    _mm256_storeu_si256(pa, _mm256_xor_si256(va, _mm256_sll_epi64(t, cnt)));
+                    _mm256_storeu_si256(pb, _mm256_xor_si256(vb, t));
+                    k += 4;
+                }
+                base += 2 * j;
+            }
+            j >>= 1;
+            m ^= m << j;
+        }
+        while j != 0 {
+            let mut k = 0usize;
+            while k < 64 {
+                let t = ((a[k] >> j) ^ a[k + j]) & m;
+                a[k] ^= t << j;
+                a[k + j] ^= t;
+                k = (k + j + 1) & !j;
+            }
+            j >>= 1;
+            m ^= m << j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_limbs(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state ^ (state >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routed_popcount_matches_scalar() {
+        for n in [0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 64] {
+            let limbs = rng_limbs(n as u64 + 1, n);
+            assert_eq!(popcount(&limbs), popcount_scalar(&limbs), "n={n}");
+        }
+    }
+
+    #[test]
+    fn routed_subset_matches_scalar() {
+        for n in [1, 3, 4, 7, 8, 16, 33] {
+            let a = rng_limbs(n as u64, n);
+            // sup ⊇ sub by construction; then violate one word.
+            let sup: Vec<u64> = a.iter().map(|&x| x | (x >> 1)).collect();
+            let sub: Vec<u64> = sup.iter().map(|&x| x & a[0]).collect();
+            assert!(subset_all(&sub, &sup), "n={n}");
+            assert_eq!(
+                subset_all(&sub, &sup),
+                subset_all_scalar(&sub, &sup),
+                "n={n}"
+            );
+            let mut bad = sub.clone();
+            bad[n / 2] |= !sup[n / 2];
+            if bad[n / 2] & !sup[n / 2] != 0 {
+                assert!(!subset_all(&bad, &sup), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_intersect_fold_matches_scalar() {
+        for n in [1, 2, 4, 5, 8, 16, 17] {
+            for self_word in 0..n {
+                let mask = rng_limbs(self_word as u64 * 31 + n as u64, n);
+                let init = rng_limbs(self_word as u64 + 7, n);
+                let self_bit = 1u64 << (self_word % 64);
+                let mut a = init.clone();
+                let mut b = init.clone();
+                let got = intersect_fold(&mut a, &mask, self_word, self_bit);
+                let want = intersect_fold_scalar(&mut b, &mask, self_word, self_bit);
+                assert_eq!(got, want, "n={n} self_word={self_word}");
+                assert_eq!(a, b, "n={n} self_word={self_word}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_is_consistent_with_feature() {
+        #[cfg(not(feature = "simd"))]
+        assert!(!active());
+        // With the feature on, active() is a CPU property; just call it.
+        let _ = active();
+    }
+}

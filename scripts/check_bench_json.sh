@@ -22,7 +22,7 @@ need() {
     fi
 }
 
-for f in BENCH_kernels.json BENCH_e2e.json BENCH_serving.json; do
+for f in BENCH_kernels.json BENCH_e2e.json BENCH_serving.json BENCH_perf.json; do
     if [ ! -f "$f" ]; then
         echo "MISSING FILE: $f"
         status=1
@@ -46,6 +46,46 @@ need BENCH_kernels.json \
 need BENCH_kernels.json \
     '.scenarios[] | select(.name | startswith("acceptance"))' \
     "kernels acceptance row"
+need BENCH_kernels.json 'has("threads_effective")' "kernels threads_effective"
+
+# Parallel must not lose to serial — but only when the recording run
+# actually had more than one worker thread; a single-core run records
+# threads_effective == 1 and is exempt (10% tolerance for timer noise).
+need BENCH_kernels.json \
+    '.threads_effective <= 1
+     or ([.scenarios[] | .opt_total_ms <= .opt_serial_total_ms * 1.1] | all)' \
+    "kernels parallel >= serial (threads_effective > 1 only)"
+
+# BENCH_perf.json: SIMD-vs-scalar kernel rows, allocation counts, and the
+# snapshot encode throughput. The speedup thresholds only bind when the
+# recording run actually had AVX2 compiled in and detected (simd_active).
+need BENCH_perf.json \
+    'has("simd_feature") and has("simd_active") and has("threads_effective")' \
+    "perf dispatch provenance fields"
+for name in intersect_popcount transpose64; do
+    need BENCH_perf.json \
+        ".scenarios[] | select(.name == \"$name\")
+         | has(\"scalar_ns\") and has(\"simd_ns\") and has(\"speedup\")" \
+        "perf $name row fields"
+done
+need BENCH_perf.json \
+    '(.simd_active | not)
+     or ([.scenarios[] | select(.name == "intersect_popcount") | .speedup >= 1.2] | all)' \
+    "perf intersect_popcount SIMD >= 1.2x scalar (simd_active only)"
+need BENCH_perf.json \
+    '.scenarios[] | select(.name == "alloc_steady_state")
+     | has("steps") and has("allocs_total") and has("step_ms")' \
+    "perf alloc_steady_state fields"
+need BENCH_perf.json \
+    '.scenarios[] | select(.name == "alloc_steady_state") | .allocs_per_step == 0' \
+    "perf steady-state serving allocations == 0"
+need BENCH_perf.json \
+    '.scenarios[] | select(.name == "snapshot_encode")
+     | has("bytes") and has("plans") and has("encode_ms") and has("mb_per_s")' \
+    "perf snapshot_encode fields"
+need BENCH_perf.json \
+    '.scenarios[] | select(.name == "snapshot_encode") | .allocs_warm == 0' \
+    "perf warm snapshot encode allocations == 0"
 
 # BENCH_e2e.json: naive-vs-engine timings and session stats per scenario.
 need BENCH_e2e.json \

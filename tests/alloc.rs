@@ -1,0 +1,123 @@
+//! Steady-state allocation regression harness.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; once the
+//! serving hot path is warm (plan cache populated, output/scratch/encode
+//! buffers at working-set capacity), repeated GeMM steps and snapshot
+//! encodes must perform **zero** heap allocations. Any allocation smuggled
+//! back into the hot loops fails this test with an exact count.
+//!
+//! One `#[test]` function only: the counter is process-global, so a second
+//! concurrently running test would pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use prosperity::core::engine::{Engine, EngineConfig};
+use prosperity::spikemat::gemm::{OutputMatrix, WeightMatrix};
+use prosperity::spikemat::{SpikeMatrix, TileShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts allocations (alloc, alloc_zeroed, realloc) while armed.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter armed, returning the allocations it made.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_serving_hot_path_is_allocation_free() {
+    // --- GeMM steady state (serial path: the parallel path hands work to
+    // rayon, whose queueing inherently allocates; the serial kernel is the
+    // per-step cost model the paper's executor maps to).
+    let mut rng = StdRng::seed_from_u64(0xA110C);
+    let config = EngineConfig::new(TileShape::new(64, 64), 256);
+    let mut engine = Engine::<i64>::new(config);
+    let weights = WeightMatrix::from_fn(192, 32, |r, c| (r * 7 + c) as i64 - 100);
+    // A small rotation of inputs, all planned and cached during warmup, so
+    // steady-state steps alternate tiles while hitting the cache.
+    let inputs: Vec<SpikeMatrix> = (0..4)
+        .map(|_| SpikeMatrix::random(128, 192, 0.2, &mut rng))
+        .collect();
+    let mut out = OutputMatrix::zeros(0, 0);
+    for s in &inputs {
+        engine.gemm_into_serial(s, &weights, &mut out); // plan + size buffers
+        engine.gemm_into_serial(s, &weights, &mut out); // warm the pools
+    }
+    // The counted loop below ends on the last input of the rotation.
+    let reference = engine.gemm(inputs.last().unwrap(), &weights);
+
+    let gemm_allocs = count_allocs(|| {
+        for _ in 0..8 {
+            for s in &inputs {
+                engine.gemm_into_serial(s, &weights, &mut out);
+            }
+        }
+    });
+    assert_eq!(
+        gemm_allocs, 0,
+        "steady-state serial GeMM steps must not allocate"
+    );
+    assert_eq!(
+        out.as_slice(),
+        reference.as_slice(),
+        "hot path stayed correct while counted"
+    );
+
+    // --- Snapshot encode steady state: `encode_into` reuses the caller's
+    // buffer, so a warm buffer encodes the working set allocation-free.
+    let snapshot = engine.export_snapshot(256);
+    assert!(!snapshot.is_empty(), "warmup must leave cached plans");
+    let mut buf = bytes::BytesMut::new();
+    snapshot.encode_into(&mut buf); // warm the buffer to image size
+    let reference_image = buf.to_vec();
+    let encode_allocs = count_allocs(|| {
+        for _ in 0..8 {
+            snapshot.encode_into(&mut buf);
+        }
+    });
+    assert_eq!(encode_allocs, 0, "warm snapshot encode must not allocate");
+    assert_eq!(
+        &buf[..],
+        &reference_image[..],
+        "encode stayed bit-identical"
+    );
+}

@@ -5,7 +5,7 @@
 //! subset the codec uses, with plain `Vec<u8>` storage instead of the real
 //! crate's refcounted buffers (trace blobs here are small and short-lived).
 
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 
 /// An immutable byte buffer with a read cursor.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -152,12 +152,31 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Clears the buffer, keeping the allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Converts the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes {
             data: self.data,
             pos: 0,
         }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -224,6 +243,20 @@ mod tests {
         let _ = b.get_u8();
         assert_eq!(b.to_vec(), vec![8, 7, 6]);
         assert_eq!(&b.slice(1..3)[..], &[7, 6]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_deref_mut_backpatches() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32_le(0);
+        w.put_slice(b"payload");
+        w[0..4].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(&w[4..], b"payload");
+        let cap_ptr = w.data.as_ptr();
+        w.clear();
+        assert!(w.is_empty());
+        w.put_u8(1);
+        assert_eq!(w.data.as_ptr(), cap_ptr, "clear must keep the allocation");
     }
 
     #[test]
