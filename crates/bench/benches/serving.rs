@@ -28,6 +28,17 @@
 //!   mix (EDF must record zero misses where round-robin misses the tight
 //!   budgets), and a skewed-length round-robin guard (1000:10:10 — the
 //!   live-lane list keeps long-tail batches linear in executed steps).
+//! * `preemption` — the scheduling quantum sliced below the GeMM: a
+//!   1000:10:10 size-skewed mix (one lane of 16-row-tile monster GeMMs,
+//!   two lanes of single-row-tile GeMMs) dispatched whole-GeMM vs in
+//!   row-tile slice quanta {1, 2, 4, 8}. Records wall time until both
+//!   short tenants complete and until the batch drains, per quantum, plus
+//!   the knee of the sweep. Acceptance: ≥ 2× short-tenant completion
+//!   improvement at ≥ 0.95× aggregate throughput.
+//! * `shard_tuning` — the shared cache's measured `lock_hold_ns` and wall
+//!   time across shard counts {1, 2, 4, 8, 16} on the 4-tenant correlated
+//!   workload, plus the capacity/thread-derived default
+//!   (`SharedPlanCache::recommended_shards`) the builders now pick.
 //! * `resilience` — the fault-tolerance layer under load: one lane of a
 //!   3-tenant mix panics on its first step (the panic unwinds out of the
 //!   scheduler's isolation region, quarantining the lane), and the
@@ -53,7 +64,7 @@
 use prosperity_bench::time_ms;
 use prosperity_core::engine::{
     AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, PlanSnapshot,
-    Session, SharedCacheStats, SnapshotStore, TraceStep,
+    Session, SharedCacheStats, SharedPlanCache, SnapshotStore, TraceStep,
 };
 use prosperity_models::tracegen::{TraceGen, TraceGenParams};
 use prosperity_models::Workload;
@@ -697,6 +708,234 @@ fn resilience(smoke: bool, reps: usize) -> ResilienceOut {
     }
 }
 
+/// The `preemption` scenario's measurements: the scheduling quantum sliced
+/// below the GeMM under a size-skewed 1000:10:10 tenant mix.
+struct PreemptionOut {
+    /// Trace lengths: one long monster-GeMM lane, two short small-GeMM lanes.
+    long_steps: usize,
+    short_steps: usize,
+    /// Row-tiles per monster GeMM (how divisible the quantum makes it).
+    monster_row_tiles: usize,
+    /// Whole-GeMM baseline (quantum 0): wall time until both short lanes
+    /// complete, and until the whole batch drains.
+    whole_short_ms: f64,
+    whole_total_ms: f64,
+    /// Quantum sweep: (row-tiles per visit, short-completion ms, total ms).
+    sweep: Vec<(usize, f64, f64)>,
+    /// The knee: the largest (cheapest) quantum still within 10 % of the
+    /// sweep's best short-tenant completion latency.
+    knee_quantum: usize,
+    knee_short_ms: f64,
+    knee_total_ms: f64,
+}
+
+impl PreemptionOut {
+    /// Short-tenant completion speedup of the knee quantum over whole-GeMM
+    /// dispatch.
+    fn latency_improvement(&self) -> f64 {
+        self.whole_short_ms / self.knee_short_ms
+    }
+    /// Aggregate throughput of the knee quantum relative to whole-GeMM
+    /// dispatch (≥ 1 means slicing costs nothing end to end).
+    fn throughput_ratio(&self) -> f64 {
+        self.whole_total_ms / self.knee_total_ms
+    }
+}
+
+fn preemption(smoke: bool, reps: usize) -> PreemptionOut {
+    use std::sync::Arc;
+    let (long_steps, short_steps) = if smoke { (120, 3) } else { (1000, 10) };
+    // A 16-row tile makes the 256-row monster GeMM 16 preemption points
+    // while the 16-row short GeMMs stay single-slice; k = 128 keeps each
+    // row-tile wide enough (8 column-tiles) that per-visit overhead is
+    // amortized over real work.
+    let tile = TileShape::new(16, 16);
+    let config = EngineConfig::new(tile, 4096);
+    let mut rng = StdRng::seed_from_u64(0x9EE3);
+    let monster = SpikeMatrix::random(256, 128, 0.3, &mut rng);
+    let small = SpikeMatrix::random(16, 128, 0.35, &mut rng);
+    let w = WeightMatrix::from_fn(128, 8, |r, c| (r * 17 + c * 3) as i64 % 255 - 127);
+    let monster_row_tiles = monster.rows().div_ceil(tile.m);
+    let traces: Vec<Vec<TraceStep<'_, i64>>> = vec![
+        vec![(&monster, &w); long_steps],
+        vec![(&small, &w); short_steps],
+        vec![(&small, &w); short_steps],
+    ];
+
+    // Correctness gate: whole-GeMM and sliced dispatch are bit-identical
+    // to the serial private-cache oracle at every swept quantum.
+    let want = {
+        let mut engine = Engine::new(config);
+        let mut want_monster = OutputMatrix::zeros(0, 0);
+        engine.gemm_into_serial(&monster, &w, &mut want_monster);
+        let mut want_small = OutputMatrix::zeros(0, 0);
+        engine.gemm_into_serial(&small, &w, &mut want_small);
+        (want_monster, want_small)
+    };
+    let quanta = [1usize, 2, 4, 8];
+    for quantum in std::iter::once(0).chain(quanta) {
+        let mut sched =
+            BatchScheduler::new(config, BatchPolicy::RoundRobin).with_slice_quantum(quantum);
+        let mut count = 0usize;
+        sched.run(&traces, |lane, step, out| {
+            let want = if lane == 0 { &want.0 } else { &want.1 };
+            assert_eq!(
+                out, want,
+                "preemption lost bits: q{quantum} l{lane} s{step}"
+            );
+            count += 1;
+        });
+        assert_eq!(count, long_steps + 2 * short_steps, "q{quantum}");
+    }
+
+    // Timed passes: wall time until *both* short lanes complete (the
+    // latency the quantum exists to shrink) and until the batch drains
+    // (the throughput it must not cost). Preemption is a steady-state
+    // serving property, so every pass plans through one pre-warmed shared
+    // cache (the monster's 128-tile cold plan on its first visit would
+    // otherwise dominate short-lane completion identically in every mode);
+    // fresh scheduler per rep, best of reps per metric.
+    let warm_cache = Arc::new(SharedPlanCache::with_shards(
+        config.cache_capacity,
+        SharedPlanCache::recommended_shards(config.cache_capacity),
+        None,
+    ));
+    {
+        let mut sched =
+            BatchScheduler::with_cache(config, BatchPolicy::RoundRobin, Arc::clone(&warm_cache));
+        let warm_traces: Vec<Vec<TraceStep<'_, i64>>> =
+            vec![vec![(&monster, &w); 1], vec![(&small, &w); 1]];
+        sched.run(&warm_traces, |_, _, _| {});
+    }
+    let measure = |quantum: usize| -> (f64, f64) {
+        let (mut best_short, mut best_total) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let mut sched = BatchScheduler::with_cache(
+                config,
+                BatchPolicy::RoundRobin,
+                Arc::clone(&warm_cache),
+            )
+            .with_slice_quantum(quantum);
+            let mut shorts_done = 0usize;
+            let mut short_ms = None;
+            let start = std::time::Instant::now();
+            sched.run(&traces, |lane, step, _| {
+                if lane > 0 && step + 1 == short_steps {
+                    shorts_done += 1;
+                    if shorts_done == 2 {
+                        short_ms = Some(start.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+            });
+            let total = start.elapsed().as_secs_f64() * 1e3;
+            best_short = best_short.min(short_ms.expect("short lanes complete"));
+            best_total = best_total.min(total);
+        }
+        (best_short, best_total)
+    };
+    let (whole_short_ms, whole_total_ms) = measure(0);
+    let sweep: Vec<(usize, f64, f64)> = quanta
+        .iter()
+        .map(|&q| {
+            let (s, t) = measure(q);
+            (q, s, t)
+        })
+        .collect();
+
+    // The knee: short-tenant latency is flat near its minimum across small
+    // quanta, then climbs toward the whole-GeMM figure; take the largest
+    // quantum still within 10 % of the best latency (fewest preemption
+    // points that still buys the full win).
+    let best_short = sweep
+        .iter()
+        .map(|&(_, s, _)| s)
+        .fold(f64::INFINITY, f64::min);
+    let &(knee_quantum, knee_short_ms, knee_total_ms) = sweep
+        .iter()
+        .rev()
+        .find(|&&(_, s, _)| s <= best_short * 1.10)
+        .expect("sweep is non-empty");
+
+    let out = PreemptionOut {
+        long_steps,
+        short_steps,
+        monster_row_tiles,
+        whole_short_ms,
+        whole_total_ms,
+        sweep,
+        knee_quantum,
+        knee_short_ms,
+        knee_total_ms,
+    };
+    assert!(
+        out.latency_improvement() >= 2.0,
+        "sliced dispatch must at least halve short-tenant completion: \
+         whole {:.3} ms vs knee(q{}) {:.3} ms",
+        out.whole_short_ms,
+        out.knee_quantum,
+        out.knee_short_ms,
+    );
+    assert!(
+        out.throughput_ratio() >= 0.95,
+        "slice overhead must stay within 5 % of whole-GeMM throughput: \
+         whole {:.3} ms vs knee(q{}) {:.3} ms",
+        out.whole_total_ms,
+        out.knee_quantum,
+        out.knee_total_ms,
+    );
+    out
+}
+
+/// The `shard_tuning` row's measurements: wall time and measured lock-hold
+/// time of the 4-tenant correlated workload per shard count, plus what
+/// [`SharedPlanCache::recommended_shards`] would pick (PR 7 left the shard
+/// count "not yet tuned against" this contention counter).
+struct ShardTuningOut {
+    gemms: usize,
+    /// (shards, wall ms, lock_hold_ns of one full gate pass).
+    sweep: Vec<(usize, f64, u64)>,
+    recommended: usize,
+}
+
+fn shard_tuning(smoke: bool, reps: usize) -> ShardTuningOut {
+    use std::sync::Arc;
+    let case = tenant_case(4, smoke);
+    let tile = TileShape::prosperity_default();
+    let capacity = 4096;
+    let config = EngineConfig::new(tile, capacity);
+    let traces = case.traces();
+    let want = oracle(&case, config);
+    let gemms: usize = traces.iter().map(Vec::len).sum();
+    let sweep = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&shards| {
+            // Gate pass: exact results, and the shard-lock hold time of
+            // one cold-cache pass (planning + lookups) for this layout.
+            let cache = Arc::new(SharedPlanCache::with_shards(capacity, shards, None));
+            let mut sched = BatchScheduler::with_cache(config, BatchPolicy::RoundRobin, cache);
+            sched.run(&traces, |t, s, out| {
+                assert_eq!(out, &want[t][s], "shard_tuning lost bits: {shards} shards");
+            });
+            let lock_hold_ns = sched.shared_cache().stats().lock_hold_ns;
+            let ms = time_ms(reps, || {
+                let cache = Arc::new(SharedPlanCache::with_shards(capacity, shards, None));
+                let mut sched = BatchScheduler::with_cache(config, BatchPolicy::RoundRobin, cache);
+                let mut acc = 0i64;
+                sched.run(&traces, |_, _, out| {
+                    acc ^= out.as_slice().first().copied().unwrap_or(0);
+                });
+                acc
+            });
+            (shards, ms, lock_hold_ns)
+        })
+        .collect();
+    ShardTuningOut {
+        gemms,
+        sweep,
+        recommended: SharedPlanCache::recommended_shards(capacity),
+    }
+}
+
 fn json_stats(s: &EngineStats) -> String {
     format!(
         concat!(
@@ -782,6 +1021,58 @@ fn json_qos(q: &QosOut) -> String {
         json_ints(&q.skew_lengths),
         q.skew_gemms,
         q.skew_rr_ms,
+    )
+}
+
+fn json_preemption(p: &PreemptionOut) -> String {
+    let sweep: Vec<String> = p
+        .sweep
+        .iter()
+        .map(|&(q, s, t)| {
+            format!("{{\"quantum\": {q}, \"short_ms\": {s:.3}, \"total_ms\": {t:.3}}}")
+        })
+        .collect();
+    format!(
+        concat!(
+            "    {{\"name\": \"preemption\", \"tenants\": 3, \"gemms\": {}, ",
+            "\"lengths\": {}, \"monster_row_tiles\": {},\n",
+            "     \"whole_short_ms\": {:.3}, \"whole_total_ms\": {:.3},\n",
+            "     \"sweep\": [{}],\n",
+            "     \"knee_quantum\": {}, \"knee_short_ms\": {:.3}, ",
+            "\"knee_total_ms\": {:.3}, \"latency_improvement\": {:.2}, ",
+            "\"throughput_ratio\": {:.3}}}"
+        ),
+        p.long_steps + 2 * p.short_steps,
+        json_ints(&[p.long_steps, p.short_steps, p.short_steps]),
+        p.monster_row_tiles,
+        p.whole_short_ms,
+        p.whole_total_ms,
+        sweep.join(", "),
+        p.knee_quantum,
+        p.knee_short_ms,
+        p.knee_total_ms,
+        p.latency_improvement(),
+        p.throughput_ratio(),
+    )
+}
+
+fn json_shard_tuning(s: &ShardTuningOut) -> String {
+    let sweep: Vec<String> = s
+        .sweep
+        .iter()
+        .map(|&(shards, ms, ns)| {
+            format!("{{\"shards\": {shards}, \"ms\": {ms:.3}, \"lock_hold_ns\": {ns}}}")
+        })
+        .collect();
+    format!(
+        concat!(
+            "    {{\"name\": \"shard_tuning\", \"tenants\": 4, \"gemms\": {}, ",
+            "\"recommended_shards\": {},\n",
+            "     \"sweep\": [{}]}}"
+        ),
+        s.gemms,
+        s.recommended,
+        sweep.join(", "),
     )
 }
 
@@ -923,6 +1214,56 @@ fn main() {
         );
     }
 
+    let pre = wanted("preemption").then(|| preemption(smoke, reps));
+    if let Some(pre) = &pre {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11.2} {:>7.2}x {:>8} {:>9}",
+            "preemption",
+            3,
+            pre.long_steps + 2 * pre.short_steps,
+            pre.whole_short_ms,
+            pre.knee_short_ms,
+            pre.knee_total_ms,
+            pre.latency_improvement(),
+            "-",
+            "-",
+        );
+        let sweep: Vec<String> = pre
+            .sweep
+            .iter()
+            .map(|&(q, s, _)| format!("q{q} {s:.2}"))
+            .collect();
+        println!(
+            "  preemption: {}:{}:{} mix, {}-row-tile monster; short completion \
+             {:.2} ms whole -> {:.2} ms at knee q{} ({:.2}x, throughput {:.2}x); \
+             sweep [{}] ms",
+            pre.long_steps,
+            pre.short_steps,
+            pre.short_steps,
+            pre.monster_row_tiles,
+            pre.whole_short_ms,
+            pre.knee_short_ms,
+            pre.knee_quantum,
+            pre.latency_improvement(),
+            pre.throughput_ratio(),
+            sweep.join(", "),
+        );
+    }
+
+    let st = wanted("shard_tuning").then(|| shard_tuning(smoke, reps));
+    if let Some(st) = &st {
+        let sweep: Vec<String> = st
+            .sweep
+            .iter()
+            .map(|&(s, ms, ns)| format!("{s} shards {ms:.2} ms/{ns} ns"))
+            .collect();
+        println!(
+            "  shard_tuning: recommended {} shards for this host; [{}] lock-hold",
+            st.recommended,
+            sweep.join(", "),
+        );
+    }
+
     let rz = wanted("resilience").then(|| resilience(smoke, reps));
     if let Some(rz) = &rz {
         println!(
@@ -948,10 +1289,12 @@ fn main() {
         println!("\nscenario filter active: not writing {out_path}");
         return;
     }
-    let (adm, ws, q, rz) = (
+    let (adm, ws, q, pre, st, rz) = (
         adm.expect("unfiltered run has fig8_admission"),
         ws.expect("unfiltered run has warm_start"),
         q.expect("unfiltered run has qos"),
+        pre.expect("unfiltered run has preemption"),
+        st.expect("unfiltered run has shard_tuning"),
         rz.expect("unfiltered run has resilience"),
     );
     let mut body: Vec<String> = results.iter().map(json_scenario).collect();
@@ -992,6 +1335,8 @@ fn main() {
         json_stats(&ws.stats_warm),
     ));
     body.push(json_qos(&q));
+    body.push(json_preemption(&pre));
+    body.push(json_shard_tuning(&st));
     body.push(format!(
         concat!(
             "    {{\"name\": \"resilience\", \"tenants\": 3, \"gemms\": {}, ",
@@ -1011,12 +1356,17 @@ fn main() {
         rz.snapshots_quarantined,
         rz.recovered_plans,
     ));
+    // `threads_effective` is what the parallel row-tile paths actually get
+    // (rayon pool size, or 1 without the feature), as in BENCH_kernels.json
+    // — it makes intra-GeMM parallel numbers interpretable on 1-core hosts.
     let json = format!(
         "{{\n  \"bench\": \"serving\",\n  \"unit\": \"ms\",\n  \"timing\": \
          \"best_of_reps\",\n  \"smoke\": {},\n  \"threads\": {},\n  \
+         \"threads_effective\": {},\n  \
          \"parallel_feature\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         smoke,
         threads,
+        prosperity_core::parallel_threads(),
         prosperity_core::parallel_enabled(),
         body.join(",\n")
     );

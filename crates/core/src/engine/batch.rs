@@ -34,6 +34,17 @@
 //! [`SchedulerStats`] (per-lane steps, completion steps, credits, deadline
 //! misses).
 //!
+//! **Scheduling quantum.** By default each scheduler visit executes one
+//! whole GeMM. With [`BatchScheduler::set_slice_quantum`] the quantum
+//! drops below the GeMM: a visit executes at most that many *row-tiles*
+//! via the session's resumable cursor ([`Session::gemm_slice`]), then
+//! yields — so every policy can preempt a monster GeMM mid-flight, and
+//! `Weighted`/`Deadline` charge credits/budgets per slice executed rather
+//! than per whole GeMM. The sink still fires exactly once per GeMM, on
+//! its completing slice. See the `SchedulerStats` docs for how the global
+//! clock (and thus deadlines and completion steps) is denominated in
+//! sliced mode.
+//!
 //! **Fault tolerance.** A panic inside one lane's step (planning,
 //! execution, or the caller's sink) is caught at the step boundary and
 //! *quarantines* that lane — the fault is recorded as a [`LaneFault`],
@@ -53,7 +64,7 @@ use spikemat::gemm::{OutputMatrix, WeightMatrix};
 use spikemat::SpikeMatrix;
 
 use super::cache::hash_tile;
-use super::session::Session;
+use super::session::{Session, SliceRun};
 use super::shared::SharedPlanCache;
 use super::snapshot::{ImportReport, PlanSnapshot};
 use super::stats::{EngineStats, SchedulerStats};
@@ -223,15 +234,21 @@ pub struct BatchScheduler<T = i64> {
     /// Per-lane quarantine slot: `Some` after a caught panic, until
     /// [`BatchScheduler::begin_batch`] retires the lanes.
     quarantine: Vec<Option<LaneFault>>,
+    /// Max row-tiles per scheduler visit; 0 = whole-GeMM quantum.
+    slice_quantum: usize,
 }
 
 impl<T: Element> BatchScheduler<T> {
     /// Creates a scheduler with a fresh shared cache sized by
-    /// `config.cache_capacity` (and `config.admission`, applied per tenant).
+    /// `config.cache_capacity` (and `config.admission`, applied per
+    /// tenant). The cache's shard count is derived from the host's
+    /// parallelism and the capacity ([`SharedPlanCache::recommended_shards`]);
+    /// build the cache explicitly and use [`BatchScheduler::with_cache`] to
+    /// pin a specific shard count.
     pub fn new(config: EngineConfig, policy: BatchPolicy) -> Self {
         let shared = Arc::new(SharedPlanCache::with_shards(
             config.cache_capacity,
-            SharedPlanCache::DEFAULT_SHARDS,
+            SharedPlanCache::recommended_shards(config.cache_capacity),
             config.admission,
         ));
         Self::with_cache(config, policy, shared)
@@ -254,7 +271,38 @@ impl<T: Element> BatchScheduler<T> {
             probe_buf: SpikeMatrix::zeros(0, 0),
             sched_stats: SchedulerStats::default(),
             quarantine: Vec::new(),
+            slice_quantum: 0,
         }
+    }
+
+    /// Builder form of [`BatchScheduler::set_slice_quantum`].
+    #[must_use]
+    pub fn with_slice_quantum(mut self, quantum: usize) -> Self {
+        self.slice_quantum = quantum;
+        self
+    }
+
+    /// The scheduling quantum in row-tiles (0 = whole GeMMs).
+    pub fn slice_quantum(&self) -> usize {
+        self.slice_quantum
+    }
+
+    /// Sets the scheduling quantum: each scheduler visit executes at most
+    /// `quantum` row-tiles of the chosen lane's current GeMM (resuming it
+    /// across visits via the session's [`Session::gemm_slice`] cursor), or
+    /// the whole GeMM when `quantum == 0` (the default).
+    ///
+    /// A sub-GeMM quantum makes preemption tile-granular: round-robin
+    /// interleaves row-tiles instead of whole GeMMs, deficit-round-robin
+    /// shares become fine-grained, and EDF can take a monster GeMM off the
+    /// core between row-tiles. Outputs are bit-identical under any quantum
+    /// — slicing partitions work, never reorders accumulation — but the
+    /// global clock that `Deadline` budgets and
+    /// [`SchedulerStats::completion_steps`] are denominated in counts
+    /// scheduler visits, so with `quantum > 0` those units shrink from
+    /// whole GeMMs to slices. Takes effect at the next scheduler visit.
+    pub fn set_slice_quantum(&mut self, quantum: usize) {
+        self.slice_quantum = quantum;
     }
 
     /// [`BatchScheduler::new`] pre-warmed from a snapshot exported by a
@@ -437,6 +485,7 @@ impl<T: Element> BatchScheduler<T> {
             .collect();
         self.sched_stats = SchedulerStats {
             lane_steps: vec![0; traces.len()],
+            lane_row_tiles: vec![0; traces.len()],
             credit_balances: vec![0; traces.len()],
             completion_steps: vec![0; traces.len()],
             ..SchedulerStats::default()
@@ -516,13 +565,17 @@ impl<T: Element> BatchScheduler<T> {
         self.sched_stats.shard_resets = self.shared.shard_resets();
     }
 
-    /// Executes lane `i`'s next step, advances its cursor and the global
-    /// clock, and records per-lane accounting. Returns whether the lane
-    /// still has steps left — `false` also when the step panicked and the
-    /// lane was quarantined (cursor and clock do not advance; the step is
-    /// recorded as the lane's [`LaneFault`]).
+    /// Executes one scheduler visit of lane `i` — its next whole GeMM, or
+    /// (with a sub-GeMM [`BatchScheduler::slice_quantum`]) the next slice
+    /// of row-tiles of its current GeMM — advances the global clock, and
+    /// records per-lane accounting. The lane's trace cursor advances (and
+    /// `sink` fires) only on a GeMM's completing slice. Returns whether
+    /// the lane still has work left — `false` also when the visit panicked
+    /// and the lane was quarantined (cursors and clock do not advance; the
+    /// step is recorded as the lane's [`LaneFault`], and a partially
+    /// executed GeMM's output is never observed — `sink` had not fired).
     ///
-    /// The step body runs under `catch_unwind`. `AssertUnwindSafe` is a
+    /// The visit body runs under `catch_unwind`. `AssertUnwindSafe` is a
     /// deliberate, audited choice: the states the closure can leave torn
     /// are this lane's session and output buffer — both unreachable after
     /// quarantine except through plain-counter stats reads — and the
@@ -549,22 +602,41 @@ impl<T: Element> BatchScheduler<T> {
         let (spikes, weights) = trace[step];
         let session = &mut self.sessions[lane];
         let out = &mut self.outs[lane];
-        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let quantum = self.slice_quantum;
+        let visited = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             #[cfg(any(test, feature = "fault-injection"))]
             super::faults::maybe_panic_lane(lane, step);
-            session.gemm_into(spikes, weights, out);
-            sink(lane, step, out);
+            let slice = if quantum == 0 {
+                session.gemm_into(spikes, weights, out);
+                SliceRun {
+                    row_tiles: session.planned_row_tiles(),
+                    done: true,
+                }
+            } else {
+                session.gemm_slice(spikes, weights, out, quantum)
+            };
+            if slice.done {
+                sink(lane, step, out);
+            }
+            slice
         }));
-        if let Err(payload) = stepped {
-            self.quarantine[lane] = Some(LaneFault {
-                lane,
-                step,
-                reason: panic_reason(payload.as_ref()),
-            });
-            return false;
+        let slice = match visited {
+            Ok(slice) => slice,
+            Err(payload) => {
+                self.quarantine[lane] = Some(LaneFault {
+                    lane,
+                    step,
+                    reason: panic_reason(payload.as_ref()),
+                });
+                return false;
+            }
+        };
+        *t += 1;
+        self.sched_stats.lane_row_tiles[lane] += slice.row_tiles as u64;
+        if !slice.done {
+            return true;
         }
         cursors[lane] += 1;
-        *t += 1;
         self.sched_stats.lane_steps[lane] += 1;
         if cursors[lane] >= trace.len() {
             self.sched_stats.completion_steps[lane] = *t;
@@ -1124,6 +1196,110 @@ mod tests {
         let seen2: Mutex<Vec<usize>> = Mutex::new(vec![0; 3]);
         sched.run(&traces, |lane, _, _| seen2.lock().unwrap()[lane] += 1);
         assert_eq!(*seen2.lock().unwrap(), vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn sliced_quanta_stay_bit_exact_and_account_row_tiles() {
+        let (tenants, w) = traces_for_test();
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            tenants.iter().map(|t| vec![(t, &w), (t, &w)]).collect();
+        // 32 rows under an 8-row tile: 4 row-tiles per GeMM, so quantum 1
+        // splits each GeMM across 4 visits and quantum 3 across 2 (3 + 1).
+        for quantum in [1usize, 2, 3, 0] {
+            let mut sched = BatchScheduler::new(
+                EngineConfig::new(TileShape::new(8, 8), 128),
+                BatchPolicy::RoundRobin,
+            )
+            .with_slice_quantum(quantum);
+            assert_eq!(sched.slice_quantum(), quantum);
+            let mut seen = vec![0usize; 3];
+            sched.run(&traces, |lane, step, out| {
+                assert_eq!(
+                    out,
+                    &spiking_gemm(&tenants[lane], &w),
+                    "quantum {quantum} lane {lane} step {step}"
+                );
+                seen[lane] += 1;
+            });
+            assert_eq!(seen, vec![2, 2, 2], "quantum {quantum}");
+            let stats = sched.scheduler_stats();
+            // GeMM steps count once, on the completing slice; row-tile
+            // accounting is identical in every mode (2 steps × 4 tiles).
+            assert_eq!(stats.lane_steps, vec![2, 2, 2], "quantum {quantum}");
+            assert_eq!(stats.lane_row_tiles, vec![8, 8, 8], "quantum {quantum}");
+        }
+    }
+
+    #[test]
+    fn slice_quantum_lets_short_lanes_finish_inside_a_monster_gemm() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        // Lane 0 runs a monster GeMM (64 rows = 8 row-tiles under the 8-row
+        // tile); lanes 1 and 2 run single-row-tile GeMMs.
+        let monster = SpikeMatrix::random(64, 16, 0.3, &mut rng);
+        let small = SpikeMatrix::random(8, 16, 0.4, &mut rng);
+        let w = WeightMatrix::from_fn(16, 4, |r, c| (r * 3 + c) as i64 - 5);
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            vec![vec![(&monster, &w)], vec![(&small, &w)], vec![(&small, &w)]];
+        let run = |quantum: usize| {
+            let mut sched = BatchScheduler::new(
+                EngineConfig::new(TileShape::new(8, 8), 128),
+                BatchPolicy::RoundRobin,
+            )
+            .with_slice_quantum(quantum);
+            sched.run(&traces, |lane, _, out| {
+                let want = if lane == 0 { &monster } else { &small };
+                assert_eq!(out, &spiking_gemm(want, &w), "quantum {quantum}");
+            });
+            sched.scheduler_stats().clone()
+        };
+        // Whole-GeMM quantum: the monster monopolizes the first visit.
+        assert_eq!(run(0).completion_steps, vec![1, 2, 3]);
+        // Quantum 1: round robin yields after one row-tile, so the short
+        // lanes complete while the monster is still mid-GeMM — the
+        // tile-granular preemption the bench measures as latency.
+        let sliced = run(1);
+        assert_eq!(sliced.completion_steps, vec![10, 2, 3]);
+        assert_eq!(sliced.lane_row_tiles, vec![8, 1, 1]);
+        assert_eq!(sliced.lane_steps, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn weighted_shares_become_row_tile_granular_under_slicing() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(13);
+        // Both lanes run 4-row-tile GeMMs; with quantum 1 the DRR credits
+        // are charged per visit = per row-tile, so a weight-3 lane gets 3
+        // row-tiles per round while both lanes stay runnable.
+        let t = SpikeMatrix::random(32, 16, 0.3, &mut rng);
+        let w = WeightMatrix::from_fn(16, 4, |r, c| (r * 3 + c) as i64 - 5);
+        let traces: Vec<Vec<TraceStep<'_, i64>>> = vec![vec![(&t, &w); 4], vec![(&t, &w); 4]];
+        let mut sched = BatchScheduler::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::Weighted {
+                weights: vec![1, 3],
+            },
+        )
+        .with_slice_quantum(1);
+        sched.run(&traces, |_, _, out| {
+            assert_eq!(out, &spiking_gemm(&t, &w));
+        });
+        let stats = sched.scheduler_stats();
+        assert_eq!(stats.lane_steps, vec![4, 4]);
+        assert_eq!(stats.lane_row_tiles, vec![16, 16]);
+        // Lane 1 (weight 3, 16 row-tiles) drains while lane 0 still has
+        // work: its completion visit reflects the 3:1 fine-grained share —
+        // strictly earlier than the 1:1 interleave (visit 31) despite the
+        // GeMMs being the same size.
+        assert!(
+            stats.completion_steps[1] < 31,
+            "weight-3 lane must finish ahead of a 1:1 interleave, \
+             completed at visit {}",
+            stats.completion_steps[1]
+        );
+        assert_eq!(stats.completion_steps[0], 32, "all 32 row-tiles executed");
     }
 
     #[cfg(feature = "parallel")]

@@ -37,6 +37,14 @@ use std::sync::Arc;
 pub struct FaultPlan {
     /// Panic when this lane executes this trace-local step.
     pub lane_panic: Option<(usize, usize)>,
+    /// Fire the lane panic on the `n`th (0-based) scheduler *visit* of its
+    /// `(lane, step)` target instead of the first. Under a sub-GeMM
+    /// [`slice_quantum`](super::BatchScheduler::set_slice_quantum) the
+    /// scheduler revisits the same trace step once per slice, so a
+    /// positive `n` lands the panic mid-GeMM — after `n` slices already
+    /// executed. 0 (the default, and the only sensible value for
+    /// whole-GeMM dispatch) fires on the first visit.
+    pub lane_panic_visit: u64,
     /// Panic under the shard lock on the `n`th (0-based) shared-cache
     /// insert offer, poisoning that shard's mutex.
     pub shard_panic: Option<u64>,
@@ -91,6 +99,17 @@ impl FaultPlan {
         }
     }
 
+    /// [`FaultPlan::lane_panic`] firing on the `visit`th (0-based)
+    /// scheduler visit of the target step — with a sub-GeMM slice quantum,
+    /// a crash *mid-GeMM*, after `visit` slices already executed.
+    pub fn lane_panic_at_visit(lane: usize, step: usize, visit: u64) -> Self {
+        Self {
+            lane_panic: Some((lane, step)),
+            lane_panic_visit: visit,
+            ..Self::default()
+        }
+    }
+
     /// Plan with only a panic under the shard lock on the `n`th insert.
     pub fn shard_panic(nth_insert: u64) -> Self {
         Self {
@@ -136,6 +155,9 @@ struct FaultState {
     plan: FaultPlan,
     io_ops: AtomicU64,
     inserts: AtomicU64,
+    /// Scheduler visits of the lane panic's exact `(lane, step)` target
+    /// (the `lane_panic_visit` trigger consumes this).
+    lane_visits: AtomicU64,
     lane_fired: AtomicBool,
     shard_fired: AtomicBool,
     corrupt_fired: AtomicBool,
@@ -155,6 +177,7 @@ pub fn install(plan: FaultPlan) -> FaultGuard {
         plan,
         io_ops: AtomicU64::new(0),
         inserts: AtomicU64::new(0),
+        lane_visits: AtomicU64::new(0),
         lane_fired: AtomicBool::new(false),
         shard_fired: AtomicBool::new(false),
         corrupt_fired: AtomicBool::new(false),
@@ -251,12 +274,17 @@ pub fn silence_injected_panics() {
     });
 }
 
-/// Hook: panic if the installed plan targets `(lane, step)`. Called from
-/// the scheduler's step dispatch, inside its `catch_unwind` region.
+/// Hook: panic if the installed plan targets `(lane, step)` — on the
+/// plan's `lane_panic_visit`th visit of that target (the first, unless a
+/// mid-slice crash was requested). Called from the scheduler's visit
+/// dispatch, inside its `catch_unwind` region, once per visit (so once per
+/// slice under a sub-GeMM quantum).
 pub(crate) fn maybe_panic_lane(lane: usize, step: usize) {
     CURRENT.with(|c| {
         if let Some(s) = c.borrow().as_ref() {
-            if s.plan.lane_panic == Some((lane, step)) && !s.lane_fired.swap(true, Ordering::SeqCst)
+            if s.plan.lane_panic == Some((lane, step))
+                && s.lane_visits.fetch_add(1, Ordering::SeqCst) >= s.plan.lane_panic_visit
+                && !s.lane_fired.swap(true, Ordering::SeqCst)
             {
                 panic!("injected fault: lane {lane} panics at step {step}");
             }

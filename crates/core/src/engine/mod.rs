@@ -96,7 +96,7 @@ pub mod store;
 pub use batch::{BatchPolicy, BatchScheduler, LaneFault, TraceStep, DEADLINE_STARVATION_GUARD};
 pub use cache::AdmissionConfig;
 pub use service::{ServiceConfig, ServingLoop};
-pub use session::{Engine, Session};
+pub use session::{Engine, Session, SliceRun};
 pub use shared::SharedPlanCache;
 pub use snapshot::{ImportReport, PlanSnapshot, SnapshotError};
 pub use stats::{EngineStats, SchedulerStats, SharedCacheStats};

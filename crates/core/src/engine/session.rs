@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use crate::exec::{execute_row_tile, TileExec};
+#[cfg(feature = "parallel")]
+use crate::exec::execute_row_tile;
+use crate::exec::{execute_row_tiles, TileExec};
 use crate::plan::{PlanScratch, TileMeta};
 use spikemat::gemm::{OutputMatrix, WeightMatrix};
 use spikemat::SpikeMatrix;
@@ -34,6 +36,32 @@ impl TileExec for PlacedTile {
     fn valid_rows(&self) -> usize {
         self.valid_rows
     }
+}
+
+/// What one [`Session::gemm_slice`] visit accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceRun {
+    /// Row-tiles executed by this slice (0 only for a degenerate GeMM with
+    /// no planned row-tiles, which completes in one visit).
+    pub row_tiles: usize,
+    /// Whether this slice executed the GeMM's last row-tile. The output is
+    /// complete — and may be observed — only once this is true.
+    pub done: bool,
+}
+
+/// Resumable position inside one planned GeMM: [`Session::gemm_slice`]
+/// plans on its first visit and then walks `next_row_tile` through
+/// `row_tiles` across visits, so a scheduler can preempt the session
+/// between row-tiles. The placed tiles, pooled scratch, and spike-chain
+/// buffers all live on the session, so nothing is re-derived on resume.
+#[derive(Debug, Default)]
+struct StepCursor {
+    /// Next unexecuted row-tile of the in-flight GeMM.
+    next_row_tile: usize,
+    /// Total row-tiles the in-flight GeMM planned.
+    row_tiles: usize,
+    /// Whether a sliced GeMM is in flight (planned but not fully executed).
+    active: bool,
 }
 
 /// The session's plan-cache backend.
@@ -143,6 +171,8 @@ pub struct Session<T = i64> {
     tiles: Vec<PlacedTile>,
     /// k-tiles per row group of the current GeMM.
     gk: usize,
+    /// Sliced-execution position within the current GeMM.
+    cursor: StepCursor,
     pool: BufferPool<T>,
     /// Pooled output recycled by [`Session::run_layers`] / chaining.
     chain_out: OutputMatrix<T>,
@@ -238,6 +268,7 @@ impl<T: Element> Session<T> {
             tile_buf: SpikeMatrix::zeros(0, 0),
             tiles: Vec::new(),
             gk: 0,
+            cursor: StepCursor::default(),
             pool: BufferPool::default(),
             chain_out: OutputMatrix::zeros(0, 0),
             chain_a: SpikeMatrix::zeros(0, 0),
@@ -479,6 +510,122 @@ impl<T: Element> Session<T> {
         out
     }
 
+    /// Executes up to `max_row_tiles` row-tiles of one spiking GeMM and
+    /// yields — the preemptible form of [`Session::gemm_into`].
+    ///
+    /// The first visit plans the whole GeMM (one plan-cache pass, exactly as
+    /// `gemm_into` would) and resets `out`; each visit then executes a
+    /// bounded slice of row-tiles, fanned across rayon workers with the
+    /// `parallel` feature. Keep calling with the *same* `spikes`, `weights`,
+    /// and `out` until the returned [`SliceRun::done`] is true; only then is
+    /// `out` the complete GeMM result. Row-tiles are independent (no output
+    /// element or scratch state crosses a row-group boundary), so any
+    /// partition into slices is bit-identical to the one-shot call.
+    ///
+    /// `max_row_tiles == 0` means "the rest of the GeMM" (one visit behaves
+    /// exactly like `gemm_into`). [`EngineStats`] accounting is identical to
+    /// the unsliced call: `gemms`/`tiles`/`plan_ns` accrue once at plan
+    /// time, `exec_ns` accrues per slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spikes.cols() != weights.rows()` (checked at plan time).
+    pub fn gemm_slice(
+        &mut self,
+        spikes: &SpikeMatrix,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+        max_row_tiles: usize,
+    ) -> SliceRun {
+        self.slice_prepare(spikes, weights, out);
+        let (start, count) = self.slice_bounds(max_row_tiles);
+        self.timed_execute(|s| s.execute_slice(weights, out, start, count));
+        self.slice_advance(count)
+    }
+
+    /// Strictly single-threaded [`Session::gemm_slice`]; the oracle the
+    /// parallel sliced path is property-tested against.
+    pub fn gemm_slice_serial(
+        &mut self,
+        spikes: &SpikeMatrix,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+        max_row_tiles: usize,
+    ) -> SliceRun {
+        self.slice_prepare(spikes, weights, out);
+        let (start, count) = self.slice_bounds(max_row_tiles);
+        self.timed_execute(|s| s.execute_slice_serial(weights, out, start, count));
+        self.slice_advance(count)
+    }
+
+    /// Whether a sliced GeMM is in flight (planned, not yet fully
+    /// executed). While true, the only valid operations are further
+    /// `gemm_slice*` visits for the same GeMM or [`Session::reset_slice`].
+    pub fn slice_in_flight(&self) -> bool {
+        self.cursor.active
+    }
+
+    /// Abandons an in-flight sliced GeMM (its partial output is left as-is
+    /// and must not be observed). The next `gemm_slice*` call plans fresh.
+    pub fn reset_slice(&mut self) {
+        self.cursor = StepCursor::default();
+    }
+
+    /// Row-tiles (row groups) the most recent plan placed.
+    pub(crate) fn planned_row_tiles(&self) -> usize {
+        self.tiles.len().checked_div(self.gk).unwrap_or(0)
+    }
+
+    /// First-visit planning for `gemm_slice*`: plans + resets the output
+    /// and arms the cursor; resumed visits only sanity-check geometry.
+    fn slice_prepare(
+        &mut self,
+        spikes: &SpikeMatrix,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+    ) {
+        if !self.cursor.active {
+            self.gemm_prepare(spikes, weights, out, true);
+            self.cursor = StepCursor {
+                next_row_tile: 0,
+                row_tiles: self.planned_row_tiles(),
+                active: true,
+            };
+        } else {
+            debug_assert_eq!(
+                (out.rows(), out.cols()),
+                (spikes.rows(), weights.cols()),
+                "gemm_slice: GeMM geometry changed mid-flight"
+            );
+        }
+    }
+
+    /// The `[start, start + count)` row-tile range the next slice covers.
+    fn slice_bounds(&self, max_row_tiles: usize) -> (usize, usize) {
+        let start = self.cursor.next_row_tile;
+        let remaining = self.cursor.row_tiles - start;
+        let count = if max_row_tiles == 0 {
+            remaining
+        } else {
+            remaining.min(max_row_tiles)
+        };
+        (start, count)
+    }
+
+    /// Advances the cursor past an executed slice, disarming it on the
+    /// GeMM's last row-tile.
+    fn slice_advance(&mut self, count: usize) -> SliceRun {
+        self.cursor.next_row_tile += count;
+        let done = self.cursor.next_row_tile >= self.cursor.row_tiles;
+        if done {
+            self.cursor.active = false;
+        }
+        SliceRun {
+            row_tiles: count,
+            done,
+        }
+    }
+
     /// Shared plan + output-shape phase of the `gemm_into*` entry points.
     /// `check_dims` is false only on chain-internal calls whose geometry
     /// the cached [`ChainLayout`] already validated.
@@ -500,6 +647,11 @@ impl<T: Element> Session<T> {
         } else {
             debug_assert_eq!(spikes.cols(), weights.rows());
         }
+        debug_assert!(
+            !self.cursor.active,
+            "planning a new GeMM while a sliced GeMM is in flight \
+             (finish the gemm_slice sequence or call reset_slice first)"
+        );
         self.stats.gemms += 1;
         let planned = std::time::Instant::now();
         self.plan(spikes);
@@ -515,12 +667,39 @@ impl<T: Element> Session<T> {
         self.stats.exec_ns += executed.elapsed().as_nanos() as u64;
     }
 
-    /// Executes the tiles placed by the last `plan` call into `out`.
-    #[cfg(feature = "parallel")]
+    /// Executes the tiles placed by the last `plan` call into `out` (the
+    /// whole GeMM is one maximal slice).
     fn execute_current(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
+        self.execute_slice(weights, out, 0, self.planned_row_tiles());
+    }
+
+    /// Serial row-tile sweep over the placed tiles.
+    fn execute_current_serial(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
+        self.execute_slice_serial(weights, out, 0, self.planned_row_tiles());
+    }
+
+    /// Executes `count` row-tiles starting at row group `start` of the last
+    /// plan into their chunks of `out`; the group's ready row-tiles fan out
+    /// across rayon workers.
+    #[cfg(feature = "parallel")]
+    fn execute_slice(
+        &self,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+        start: usize,
+        count: usize,
+    ) {
         use rayon::prelude::*;
         let n = weights.cols();
-        if self.tiles.is_empty() || n == 0 {
+        if count == 0 || n == 0 {
+            return;
+        }
+        // Fan-out has a fixed per-dispatch cost; a single row-tile or a
+        // one-worker pool gains nothing from it, and sub-GeMM quanta
+        // multiply dispatches, so route those straight to the serial
+        // executor (bit-identical either way).
+        if count == 1 || rayon::current_num_threads() == 1 {
+            self.execute_slice_serial(weights, out, start, count);
             return;
         }
         let chunk_elems = self.config.tile.m * n;
@@ -529,6 +708,8 @@ impl<T: Element> Session<T> {
             .as_mut_slice()
             .chunks_mut(chunk_elems)
             .enumerate()
+            .skip(start)
+            .take(count)
             .collect();
         row_chunks.into_par_iter().for_each(|(ti, chunk)| {
             let mut s = self.pool.take_exec();
@@ -545,32 +726,46 @@ impl<T: Element> Session<T> {
         });
     }
 
-    /// Executes the tiles placed by the last `plan` call into `out`.
+    /// Executes `count` row-tiles starting at row group `start` of the last
+    /// plan into their chunks of `out` (serial build).
     #[cfg(not(feature = "parallel"))]
-    fn execute_current(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
-        self.execute_current_serial(weights, out);
+    fn execute_slice(
+        &self,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+        start: usize,
+        count: usize,
+    ) {
+        self.execute_slice_serial(weights, out, start, count);
     }
 
-    /// Serial row-tile sweep over the placed tiles.
-    fn execute_current_serial(&self, weights: &WeightMatrix<T>, out: &mut OutputMatrix<T>) {
+    /// Single-threaded slice executor (shared with the serial whole-GeMM
+    /// path via [`execute_row_tiles`]).
+    fn execute_slice_serial(
+        &self,
+        weights: &WeightMatrix<T>,
+        out: &mut OutputMatrix<T>,
+        start: usize,
+        count: usize,
+    ) {
         let n = weights.cols();
-        if self.tiles.is_empty() || n == 0 {
+        if count == 0 || n == 0 {
             return;
         }
-        let chunk_elems = self.config.tile.m * n;
-        let gk = self.gk;
         let mut s = self.pool.take_exec();
-        for (ti, chunk) in out.as_mut_slice().chunks_mut(chunk_elems).enumerate() {
-            execute_row_tile(
-                &self.tiles[ti * gk..(ti + 1) * gk],
-                weights,
-                chunk,
-                &mut s.arena,
-                &mut s.parents,
-                &mut s.simple,
-                n,
-            );
-        }
+        execute_row_tiles(
+            &self.tiles,
+            self.gk,
+            weights,
+            out.as_mut_slice(),
+            start,
+            count,
+            &mut s.arena,
+            &mut s.parents,
+            &mut s.simple,
+            self.config.tile.m,
+            n,
+        );
         self.pool.put_exec(s);
     }
 

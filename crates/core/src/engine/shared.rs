@@ -71,7 +71,8 @@ struct Shard {
     counters: ShardCounters,
 }
 
-/// Registry of per-tenant sliding-window admission estimators.
+/// Registry of the cache's tenants and (when an admission policy is
+/// configured) their per-tenant sliding-window admission estimators.
 ///
 /// Every tenant gets its own [`Admission`] window behind its own mutex,
 /// created lazily when the first session for that tenant asks for a
@@ -79,6 +80,12 @@ struct Shard {
 /// independent across tenants: one hot tenant's hits cannot hold
 /// insertion open for a cold tenant (the historical per-shard leak), and
 /// one cold tenant's misses cannot close it for a hot one.
+///
+/// The table exists even without an admission policy — entries are then
+/// liveness-only (no window), so [`SharedCacheStats::tenants`] still
+/// reports how many tenants registered sessions and GC still bounds the
+/// registry under churn. (The historical bug: the whole table was gated
+/// on the policy, so every no-admission deployment reported 0 tenants.)
 ///
 /// Admission is consulted on every lookup and every insert, so the hot
 /// path must not funnel through any table-wide lock — that would
@@ -102,22 +109,25 @@ struct Shard {
 /// [`ServingLoop`](super::ServingLoop) schedules sweeps on a step cadence.
 #[derive(Debug)]
 struct AdmissionTable {
-    cfg: AdmissionConfig,
+    /// Admission policy applied per tenant; `None` registers tenants
+    /// without windows (liveness tracking only).
+    cfg: Option<AdmissionConfig>,
     /// GC clock: advanced once per [`AdmissionTable::gc`] sweep.
     generation: AtomicU64,
     states: Mutex<HashMap<u64, TenantWindow>>,
 }
 
-/// One tenant's admission window plus its GC bookkeeping.
+/// One tenant's registry entry: its admission window (when the cache has
+/// an admission policy) plus its GC bookkeeping.
 #[derive(Debug)]
 struct TenantWindow {
-    window: Arc<Mutex<Admission>>,
+    window: Option<Arc<Mutex<Admission>>>,
     /// Generation at which this tenant last resolved its handle.
     last_touch: u64,
 }
 
 impl AdmissionTable {
-    fn new(cfg: AdmissionConfig) -> Self {
+    fn new(cfg: Option<AdmissionConfig>) -> Self {
         Self {
             cfg,
             generation: AtomicU64::new(0),
@@ -125,20 +135,22 @@ impl AdmissionTable {
         }
     }
 
-    /// The tenant's shared admission window, created on first request and
-    /// stamped with the current GC generation either way.
-    fn handle(&self, tenant: u64) -> Arc<Mutex<Admission>> {
+    /// Registers `tenant` (stamping the current GC generation either way)
+    /// and returns its shared admission window — created on first request,
+    /// `None` when the cache has no admission policy.
+    fn handle(&self, tenant: u64) -> Option<Arc<Mutex<Admission>>> {
         let mut states = lock_recovering(&self.states);
         // Read the generation under the states lock so the stamp
         // linearizes with concurrent `gc` sweeps (a sweep between load and
         // stamp would otherwise record a one-generation-stale touch).
         let generation = self.generation.load(Ordering::Relaxed);
+        let cfg = self.cfg;
         let entry = states.entry(tenant).or_insert_with(|| TenantWindow {
-            window: Arc::new(Mutex::new(Admission::new(self.cfg))),
+            window: cfg.map(|c| Arc::new(Mutex::new(Admission::new(c)))),
             last_touch: generation,
         });
         entry.last_touch = generation;
-        Arc::clone(&entry.window)
+        entry.window.clone()
     }
 
     /// Re-stamps `tenant`'s last touch to the current generation, if its
@@ -222,7 +234,9 @@ pub struct SharedPlanCache {
     shards: Box<[Mutex<Shard>]>,
     shard_bits: u32,
     capacity: usize,
-    admission: Option<AdmissionTable>,
+    /// Tenant registry (admission windows when a policy is configured;
+    /// liveness-only entries otherwise).
+    admission: AdmissionTable,
     /// Poisoned shards recovered (entries dropped) — see module docs.
     shard_resets: AtomicU64,
     /// Nanoseconds shard mutexes were held across lookups and insertions
@@ -231,14 +245,38 @@ pub struct SharedPlanCache {
 }
 
 impl SharedPlanCache {
-    /// Default shard count: enough lanes that a handful of concurrent
-    /// sessions rarely collide, without fragmenting small capacities.
+    /// The historical fixed shard count. [`SharedPlanCache::new`] now
+    /// derives its shard count from the host and the capacity instead
+    /// ([`SharedPlanCache::recommended_shards`]); this constant remains
+    /// for callers that want the old layout via
+    /// [`SharedPlanCache::with_shards`].
     pub const DEFAULT_SHARDS: usize = 8;
 
-    /// Creates a shared cache with `capacity` total plans across
-    /// [`SharedPlanCache::DEFAULT_SHARDS`] shards and no admission policy.
+    /// Shard count ceiling for [`SharedPlanCache::recommended_shards`].
+    const MAX_RECOMMENDED_SHARDS: usize = 64;
+
+    /// Creates a shared cache with `capacity` total plans, no admission
+    /// policy, and a shard count derived from the host's parallelism and
+    /// the capacity ([`SharedPlanCache::recommended_shards`]). Use
+    /// [`SharedPlanCache::with_shards`] to pin an explicit shard count.
     pub fn new(capacity: usize) -> Self {
-        Self::with_shards(capacity, Self::DEFAULT_SHARDS, None)
+        Self::with_shards(capacity, Self::recommended_shards(capacity), None)
+    }
+
+    /// The shard count [`SharedPlanCache::new`] would pick for `capacity`:
+    /// about four lock domains per hardware thread — measured
+    /// `lock_hold_ns` per operation is flat from 1 to 4+ threads' worth of
+    /// shards on the serving bench, so the extra headroom costs nothing —
+    /// rounded up to a power of two, capped at 64, and never more than one
+    /// shard per 8 plans of capacity so tiny caches don't fragment into
+    /// single-slot LRUs (a 0-capacity cache gets 1 shard).
+    pub fn recommended_shards(capacity: usize) -> usize {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let by_threads = (threads * 4)
+            .next_power_of_two()
+            .min(Self::MAX_RECOMMENDED_SHARDS);
+        let by_capacity = (capacity / 8).max(1).next_power_of_two();
+        by_threads.min(by_capacity)
     }
 
     /// Creates a shared cache with an explicit shard count (rounded up to a
@@ -271,7 +309,7 @@ impl SharedPlanCache {
             shards,
             shard_bits,
             capacity,
-            admission: admission.map(AdmissionTable::new),
+            admission: AdmissionTable::new(admission),
             shard_resets: AtomicU64::new(0),
             lock_hold_ns: AtomicU64::new(0),
         }
@@ -349,11 +387,12 @@ impl SharedPlanCache {
         self.lock_hold_ns.store(0, Ordering::Relaxed);
     }
 
-    /// One admission-table GC sweep: advances the table's generation clock
-    /// and evicts every tenant window that has not resolved a handle
+    /// One tenant-table GC sweep: advances the table's generation clock
+    /// and evicts every tenant entry that has not resolved a handle
     /// (session construction, [`BatchScheduler::begin_batch_as`]) for more
-    /// than `max_idle` sweeps. Returns the number of windows evicted (0
-    /// when the cache has no admission policy).
+    /// than `max_idle` sweeps. Returns the number of entries evicted.
+    /// Without an admission policy the entries are liveness-only, but GC
+    /// still bounds the registry under tenant churn.
     ///
     /// Sessions still holding an evicted window's handle keep working —
     /// only the registry entry is dropped, bounding the table under
@@ -364,18 +403,16 @@ impl SharedPlanCache {
     ///
     /// [`BatchScheduler::begin_batch_as`]: super::BatchScheduler::begin_batch_as
     pub fn gc_tenants(&self, max_idle: u64) -> usize {
-        self.admission.as_ref().map_or(0, |t| t.gc(max_idle))
+        self.admission.gc(max_idle)
     }
 
-    /// Marks `tenant` as alive *now* for admission-table GC purposes,
-    /// without creating a window (a no-op for unknown tenants or without
-    /// an admission policy). Handle resolution only stamps batch starts;
-    /// the serving loop calls this for its live lanes before each sweep so
-    /// a tenant in the middle of a long batch is never treated as idle.
+    /// Marks `tenant` as alive *now* for tenant-table GC purposes, without
+    /// registering it (a no-op for unknown tenants). Handle resolution
+    /// only stamps batch starts; the serving loop calls this for its live
+    /// lanes before each sweep so a tenant in the middle of a long batch
+    /// is never treated as idle.
     pub fn touch_tenant(&self, tenant: u64) {
-        if let Some(t) = &self.admission {
-            t.touch(tenant);
-        }
+        self.admission.touch(tenant);
     }
 
     /// Aggregate counters summed over shards at this instant.
@@ -383,10 +420,7 @@ impl SharedPlanCache {
         let mut out = SharedCacheStats {
             shards: self.shards.len(),
             capacity: self.capacity,
-            tenants: self
-                .admission
-                .as_ref()
-                .map_or(0, AdmissionTable::tenant_count),
+            tenants: self.admission.tenant_count(),
             ..SharedCacheStats::default()
         };
         for s in self.shards.iter() {
@@ -514,12 +548,14 @@ impl SharedPlanCache {
         &self.shards[self.shard_index(hash)]
     }
 
-    /// The admission window for `tenant`, if this cache has an admission
-    /// policy. Sessions resolve this once at construction and pass it to
+    /// Registers `tenant` in the tenant table and returns its admission
+    /// window (`None` when this cache has no admission policy — the tenant
+    /// is still registered, so it counts in [`SharedCacheStats::tenants`]).
+    /// Sessions resolve this once at construction and pass it to
     /// [`SharedPlanCache::lookup`]/[`SharedPlanCache::insert`], so the per-
     /// tile hot path touches only the tenant's own mutex, never a table.
     pub(crate) fn admission_handle(&self, tenant: u64) -> Option<Arc<Mutex<Admission>>> {
-        self.admission.as_ref().map(|t| t.handle(tenant))
+        self.admission.handle(tenant)
     }
 
     /// Shard-locked lookup; refreshes recency and feeds the caller's

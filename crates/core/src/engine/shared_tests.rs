@@ -157,6 +157,44 @@ fn sharded_export_interleaves_recency_and_respects_n() {
 }
 
 #[test]
+fn tenants_are_counted_even_without_an_admission_policy() {
+    // Regression: the tenant table used to exist only when an admission
+    // policy was configured, so every no-admission deployment reported
+    // `tenants: 0` in its stats no matter how many streams registered.
+    let shared = SharedPlanCache::with_shards(256, 4, None);
+    assert_eq!(shared.stats().tenants, 0);
+    let h0 = shared.admission_handle(7);
+    let h1 = shared.admission_handle(8);
+    let h1_again = shared.admission_handle(8);
+    // No policy means no admission windows — lookups stay un-gated…
+    assert!(h0.is_none() && h1.is_none() && h1_again.is_none());
+    // …but registration is still tracked, de-duplicated per tenant id.
+    assert_eq!(shared.stats().tenants, 2);
+    // And the liveness-only entries still age out under GC.
+    shared.gc_tenants(0);
+    assert_eq!(shared.gc_tenants(0), 2);
+    assert_eq!(shared.stats().tenants, 0);
+}
+
+#[test]
+fn recommended_shards_is_bounded_and_capacity_aware() {
+    // Always a power of two in [1, 64], and never more than one shard per
+    // 8 plans of capacity (tiny caches keep a single lock).
+    for capacity in [0, 1, 7, 8, 64, 1024, 1 << 20] {
+        let s = SharedPlanCache::recommended_shards(capacity);
+        assert!(s.is_power_of_two(), "capacity {capacity}: {s}");
+        assert!((1..=64).contains(&s), "capacity {capacity}: {s}");
+        let by_capacity = (capacity / 8).max(1).next_power_of_two();
+        assert!(s <= by_capacity, "capacity {capacity}: {s}");
+    }
+    assert_eq!(SharedPlanCache::recommended_shards(1), 1);
+    assert_eq!(SharedPlanCache::recommended_shards(8), 1);
+    // The derived default is what `new` actually uses.
+    let c = SharedPlanCache::new(4096);
+    assert_eq!(c.shard_count(), SharedPlanCache::recommended_shards(4096));
+}
+
+#[test]
 fn shard_rounding_is_a_power_of_two() {
     assert_eq!(SharedPlanCache::with_shards(16, 3, None).shard_count(), 4);
     assert_eq!(SharedPlanCache::with_shards(16, 0, None).shard_count(), 1);

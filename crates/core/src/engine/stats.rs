@@ -107,7 +107,11 @@ pub struct SharedCacheStats {
     /// Resident plans that arrived through a snapshot import (and have
     /// not been evicted since).
     pub restored_resident: usize,
-    /// Tenants with live admission windows (0 when admission is off).
+    /// Tenants registered in the cache's tenant table — every tenant id a
+    /// live session was constructed with (minus GC'd idle entries). With
+    /// an admission policy configured each entry also carries that
+    /// tenant's admission window; without one the entries are
+    /// liveness-only, but the count is reported either way.
     pub tenants: usize,
     /// Number of shards the cache is split across.
     pub shards: usize,
@@ -150,14 +154,25 @@ impl SharedCacheStats {
 /// (`lane_faults`, `shard_resets`) are maintained by the scheduler itself.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedulerStats {
-    /// Steps executed per lane.
+    /// GeMM steps completed per lane (a GeMM sliced across several visits
+    /// still counts once, on its completing slice).
     pub lane_steps: Vec<u64>,
+    /// Row-tiles executed per lane — the fine-grained work unit under a
+    /// sub-GeMM
+    /// [`slice_quantum`](super::BatchScheduler::set_slice_quantum). Also
+    /// filled in whole-GeMM mode (each visit adds the GeMM's full row-tile
+    /// count), so share ratios can be audited in identical units under
+    /// either quantum.
+    pub lane_row_tiles: Vec<u64>,
     /// Leftover deficit-round-robin credit per lane
     /// ([`BatchPolicy::Weighted`](super::BatchPolicy::Weighted) only;
     /// zeros under other policies).
     pub credit_balances: Vec<u64>,
-    /// Global step count (1-based, across all lanes) at which each lane
-    /// finished its trace; 0 for a lane whose trace was empty.
+    /// Global scheduler-visit count (1-based, across all lanes) at which
+    /// each lane finished its trace; 0 for a lane whose trace was empty.
+    /// With the default whole-GeMM quantum a visit is one GeMM step; with
+    /// a sub-GeMM `slice_quantum` a visit is one slice, so these (and the
+    /// `Deadline` budgets scored against them) are denominated in slices.
     pub completion_steps: Vec<u64>,
     /// Lanes that completed after their step budget
     /// ([`BatchPolicy::Deadline`](super::BatchPolicy::Deadline) only).

@@ -97,9 +97,10 @@ for name in correlated_trace fig8_spikingbert attention_stream; do
 done
 
 # BENCH_serving.json: the documented scenario set, stats blocks included.
-for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos resilience; do
+for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos preemption shard_tuning resilience; do
     need BENCH_serving.json ".scenarios[] | select(.name == \"$name\")" "serving $name row"
 done
+need BENCH_serving.json 'has("threads_effective")' "serving threads_effective"
 need BENCH_serving.json \
     '[.scenarios[] | select(.name | startswith("shared_cache_"))
       | has("private_ms") and has("shared_rr_ms") and has("shared_aff_ms")
@@ -152,6 +153,38 @@ need BENCH_serving.json \
 need BENCH_serving.json \
     '.scenarios[] | select(.name == "qos") | .deadline.rr_misses >= 1' \
     "qos round-robin misses the tight budget"
+
+# The preemption row: fields, plus its acceptance thresholds — slicing the
+# scheduling quantum below the GeMM must at least halve short-tenant
+# completion latency under the 1000:10:10 size skew while keeping aggregate
+# throughput within 5% of whole-GeMM dispatch.
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "preemption")
+     | has("lengths") and has("monster_row_tiles")
+     and has("whole_short_ms") and has("whole_total_ms") and has("sweep")
+     and has("knee_quantum") and has("knee_short_ms") and has("knee_total_ms")
+     and has("latency_improvement") and has("throughput_ratio")' \
+    "preemption fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "preemption")
+     | ([.sweep[] | has("quantum") and has("short_ms") and has("total_ms")] | all)
+       and (.sweep | length > 0)' \
+    "preemption sweep entries"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "preemption") | .latency_improvement >= 2' \
+    "preemption short-tenant completion >= 2x better than whole-GeMM"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "preemption") | .throughput_ratio >= 0.95' \
+    "preemption throughput within 5% of whole-GeMM dispatch"
+
+# The shard_tuning row: the measured lock-hold sweep behind the derived
+# shard-count default.
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "shard_tuning")
+     | has("recommended_shards")
+     and ([.sweep[] | has("shards") and has("ms") and has("lock_hold_ns")] | all)
+     and (.sweep | length > 0)' \
+    "shard_tuning fields"
 
 # The resilience row: fields, plus its acceptance thresholds — every
 # injected fault left a trace in the counters, and the surviving lanes kept

@@ -184,6 +184,64 @@ fn any_single_injected_fault_leaves_survivors_bit_identical() {
     }
 }
 
+/// Tile-granular preemption under fault: a lane quarantined *mid-slice* —
+/// after some but not all row-tiles of its in-flight GeMM executed — never
+/// surfaces the partial output (the sink fires only on a GeMM's completing
+/// slice), and every surviving lane stays bit-exact under sub-GeMM quanta.
+#[test]
+fn lane_quarantined_mid_slice_leaves_survivors_bit_exact() {
+    use prosperity::core::engine::BatchScheduler;
+    faults::silence_injected_panics();
+    let mut rng = StdRng::seed_from_u64(0x51FA);
+    for trial in 0..6u64 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(8, 8);
+        let config = EngineConfig::new(tile, rng.gen_range(8..64));
+        let oracle = serial_private_oracle(&batch, config);
+        let traces = traces_of(&batch);
+        // Arm the *second* slice visit of lane 1's step-1 GeMM: with 20+
+        // rows under an 8-row tile every GeMM spans ≥ 3 row-tiles, so at
+        // quantum 1 the panic lands genuinely mid-GeMM — one row-tile
+        // executed, the rest never run.
+        let guard = faults::install(FaultPlan::lane_panic_at_visit(1, 1, 1));
+        let mut sched = BatchScheduler::new(config, BatchPolicy::RoundRobin).with_slice_quantum(1);
+        let mut got: Vec<Vec<Option<OutputMatrix<i64>>>> =
+            oracle.iter().map(|outs| vec![None; outs.len()]).collect();
+        sched.run(&traces, |tenant, step, out| {
+            got[tenant][step] = Some(out.clone());
+        });
+        assert!(guard.fired().lane_panic, "trial {trial}");
+        drop(guard);
+        let quarantined = sched.quarantined();
+        assert_eq!(quarantined.len(), 1, "trial {trial}");
+        assert_eq!(
+            (quarantined[0].lane, quarantined[0].step),
+            (1, 1),
+            "trial {trial}"
+        );
+        // Row-tile accounting pins the quarantine mid-GeMM: lane 1 ran all
+        // of step 0 plus exactly one row-tile of step 1 (the panicking
+        // visit itself executed nothing and charged nothing).
+        let gm = batch.streams[1][0].rows().div_ceil(8) as u64;
+        let stats = sched.scheduler_stats();
+        assert_eq!(stats.lane_row_tiles[1], gm + 1, "trial {trial}");
+        assert_eq!(stats.lane_steps[1], 1, "trial {trial}");
+        // The partial GeMM's output was never observed; completed steps
+        // were exact; survivors served every step bit-identically.
+        for (tenant, outs) in oracle.iter().enumerate() {
+            for (step, want) in outs.iter().enumerate() {
+                match &got[tenant][step] {
+                    Some(out) => assert_eq!(out, want, "trial {trial} t{tenant} s{step}"),
+                    None => assert!(
+                        tenant == 1 && step >= 1,
+                        "trial {trial} t{tenant} s{step}: survivor lost a step"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 /// Lifecycle edge: `begin_batch` after a quarantined lane hands the next
 /// batch fresh lanes — the quarantine is lifted, the new run completes on
 /// every lane, and no fault counters leak across the batch boundary.

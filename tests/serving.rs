@@ -118,6 +118,131 @@ fn scheduled_shared_sessions_match_serial_private_oracle() {
     }
 }
 
+/// Tile-granular preemption property: dispatching in sub-GeMM slice quanta
+/// must be bit-identical to the serial private-cache oracle for every
+/// policy and every quantum, across ragged tilings. Row-tiles are
+/// independent, so slicing a GeMM across scheduler visits may change only
+/// *when* row-tiles execute, never what they produce — and the row-tile
+/// accounting must come out identical whatever the quantum.
+#[test]
+fn sliced_scheduling_matches_serial_private_oracle_across_quanta() {
+    let mut rng = StdRng::seed_from_u64(0x51CE);
+    for trial in 0..8 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(rng.gen_range(1..=20), rng.gen_range(1..=20));
+        let config = EngineConfig::new(tile, rng.gen_range(1..32));
+        let oracle = serial_private_oracle(&batch, config);
+        let traces = traces_of(&batch);
+        let policies = [
+            BatchPolicy::RoundRobin,
+            BatchPolicy::CacheAffinity,
+            BatchPolicy::Weighted {
+                weights: (0..batch.streams.len())
+                    .map(|_| rng.gen_range(1..5))
+                    .collect(),
+            },
+            BatchPolicy::Deadline {
+                budgets: (0..batch.streams.len())
+                    .map(|_| rng.gen_range(1..200))
+                    .collect(),
+            },
+        ];
+        for policy in policies {
+            let mut row_tiles_by_quantum = Vec::new();
+            for quantum in [1usize, 3, 0] {
+                let mut sched =
+                    BatchScheduler::new(config, policy.clone()).with_slice_quantum(quantum);
+                let mut executed = 0usize;
+                sched.run(&traces, |tenant, step, out| {
+                    assert_eq!(
+                        out, &oracle[tenant][step],
+                        "trial {trial} {policy:?} quantum {quantum} tenant {tenant} step {step}"
+                    );
+                    executed += 1;
+                });
+                assert_eq!(executed, oracle.iter().map(Vec::len).sum::<usize>());
+                let stats = sched.scheduler_stats();
+                assert_eq!(
+                    stats.lane_steps,
+                    batch
+                        .streams
+                        .iter()
+                        .map(|s| s.len() as u64)
+                        .collect::<Vec<_>>(),
+                    "trial {trial} {policy:?} quantum {quantum}: a sliced GeMM counts once"
+                );
+                row_tiles_by_quantum.push(stats.lane_row_tiles.clone());
+                let merged = sched.merged_stats();
+                assert_eq!(merged.cache_hits + merged.cache_misses, merged.tiles);
+            }
+            // Same per-lane row-tile totals under every quantum (identical
+            // units, so QoS share ratios stay auditable across modes).
+            assert_eq!(row_tiles_by_quantum[0], row_tiles_by_quantum[1]);
+            assert_eq!(row_tiles_by_quantum[0], row_tiles_by_quantum[2]);
+            assert!(row_tiles_by_quantum[0].iter().all(|&t| t > 0));
+        }
+    }
+}
+
+/// Session-level slicing: driving `gemm_slice` by hand — with a different
+/// random bound every visit, including 0 = "the rest" — matches
+/// `gemm_into_serial`, for both the parallel and serial slice entry
+/// points; the cursor state machine reports in-flight correctly and
+/// `reset_slice` abandons a partial GeMM cleanly.
+#[test]
+fn session_gemm_slice_matches_serial_across_mixed_quanta() {
+    let mut rng = StdRng::seed_from_u64(0x717E);
+    for trial in 0..12 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(rng.gen_range(1..=20), rng.gen_range(1..=20));
+        let config = EngineConfig::new(tile, 64);
+        let oracle = serial_private_oracle(&batch, config);
+        let serial_slices = trial % 2 == 0;
+        let mut engine = Engine::new(config);
+        for (tenant, (stream, w)) in batch.streams.iter().zip(&batch.weights).enumerate() {
+            for (step, spikes) in stream.iter().enumerate() {
+                let mut out = OutputMatrix::zeros(0, 0);
+                let mut visits = 0usize;
+                loop {
+                    let max = if rng.gen_bool(0.2) {
+                        0 // finish the GeMM in one go
+                    } else {
+                        rng.gen_range(1..=3)
+                    };
+                    let run = if serial_slices {
+                        engine.gemm_slice_serial(spikes, w, &mut out, max)
+                    } else {
+                        engine.gemm_slice(spikes, w, &mut out, max)
+                    };
+                    visits += 1;
+                    if run.done {
+                        assert!(!engine.slice_in_flight());
+                        break;
+                    }
+                    assert!(engine.slice_in_flight());
+                    assert!(visits < 10_000, "cursor must make progress");
+                }
+                assert_eq!(
+                    out, oracle[tenant][step],
+                    "trial {trial} tenant {tenant} step {step} serial={serial_slices}"
+                );
+            }
+        }
+        // Abandoning a partial GeMM with reset_slice leaves the session
+        // ready to plan fresh work with exact results.
+        let spikes = &batch.streams[0][0];
+        let w = &batch.weights[0];
+        let mut out = OutputMatrix::zeros(0, 0);
+        let run = engine.gemm_slice(spikes, w, &mut out, 1);
+        if !run.done {
+            engine.reset_slice();
+        }
+        assert!(!engine.slice_in_flight());
+        engine.gemm_into(spikes, w, &mut out);
+        assert_eq!(out, oracle[0][0], "trial {trial} after reset_slice");
+    }
+}
+
 /// The same property on real threads: one session per tenant, all planning
 /// through one shared cache concurrently.
 #[test]
