@@ -47,6 +47,16 @@
 //!   [`SnapshotStore`] path — saves, a hand-corrupted newest file, and the
 //!   checksum-verified loader quarantining it and recovering the previous
 //!   good snapshot.
+//! * `fleet` — fleet mode: a cold process joining a warm fleet via
+//!   snapshot gossip ([`ServiceConfig::with_gossip`] over the members'
+//!   [`SnapshotStore`] directories, the layout shared with
+//!   `examples/fleet.rs`). Two members serve correlated tenant streams
+//!   and export; the joiner gossip-bootstraps from their directories and
+//!   serves a fresh tenant. Records per-step hit-rate curves and the
+//!   steps until steady state (hit rate ≥ 0.9) for the warm join vs the
+//!   same process starting alone, plus the cross-process duplicate-plan
+//!   savings (plans the joiner adopted instead of recomputing).
+//!   Acceptance: warm-join steps-to-steady strictly below cold-alone.
 //!
 //! Every scenario gates on bit-identical outputs against the serial
 //! private-cache oracle before timing anything. Per-session stats and the
@@ -63,8 +73,9 @@
 
 use prosperity_bench::time_ms;
 use prosperity_core::engine::{
-    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, PlanSnapshot,
-    Session, SharedCacheStats, SharedPlanCache, SnapshotStore, TraceStep,
+    AdmissionConfig, BatchPolicy, BatchScheduler, Engine, EngineConfig, EngineStats, FleetHarness,
+    PlanSnapshot, ServiceConfig, ServingLoop, Session, SharedCacheStats, SharedPlanCache,
+    SnapshotStore, TraceStep,
 };
 use prosperity_models::tracegen::{TraceGen, TraceGenParams};
 use prosperity_models::Workload;
@@ -708,6 +719,201 @@ fn resilience(smoke: bool, reps: usize) -> ResilienceOut {
     }
 }
 
+/// The `fleet` scenario's measurements: a cold process joining a warm
+/// fleet through snapshot gossip vs the same process starting alone.
+struct FleetOut {
+    /// Warm fleet members (the joiner is on top of these).
+    nodes: usize,
+    /// Timesteps of the joiner's stream.
+    steps: usize,
+    /// The steady-state bar: a step counts as steady when ≥ this fraction
+    /// of its tile lookups hit the cache.
+    steady_hit_rate: f64,
+    /// Steps before the first steady step, starting alone vs joining.
+    cold_alone_steps_to_steady: usize,
+    warm_join_steps_to_steady: usize,
+    /// Per-step hit-rate curves of both passes.
+    cold_curve: Vec<f64>,
+    warm_curve: Vec<f64>,
+    /// Cross-process duplicate-plan savings: plans the cold-alone pass
+    /// computed that the warm join did not (cold misses − warm misses).
+    duplicate_plans_saved: u64,
+    /// Gossip accounting of the warm join.
+    gossip_imports: u64,
+    gossip_plans_adopted: u64,
+    /// Joiner lookups served by plans a *peer* computed.
+    restored_hits: u64,
+    /// Restart-to-served wall time: fresh loop + whole stream, with the
+    /// gossip bootstrap (warm) or without (cold).
+    cold_ms: f64,
+    warm_ms: f64,
+    /// The gossip bootstrap alone (fresh loop, scan + decode + import of
+    /// every peer snapshot, zero steps served) — the one-time price of
+    /// joining warm, paid inside `warm_ms` too. Fleet mode buys hit-rate
+    /// warmth from step 0 and fleet-wide deduplicated planning; on a
+    /// stream this short the bootstrap is not amortized, so `warm_ms` may
+    /// exceed `cold_ms` — the contract metrics are the steady-state steps
+    /// and the duplicate-plan savings.
+    bootstrap_ms: f64,
+}
+
+fn fleet(smoke: bool, reps: usize) -> FleetOut {
+    let (steps, rows, k, n) = if smoke {
+        (4, 512, 128, 8)
+    } else {
+        (6, 1024, 256, 8)
+    };
+    // Same shape as `tenant_case`, but tighter cross-tenant correlation:
+    // 0.99995 per row compounds to ≈ 0.99 of tiles shared tenant-to-tenant
+    // over the 256-row tile height — the fleet's caches cover nearly every
+    // tile the joiner is about to serve, which is the regime fleet mode
+    // exists for (same model replicated across processes).
+    let gen = TraceGen::new(TraceGenParams::uncorrelated(0.30));
+    let mut rng = StdRng::seed_from_u64(0xF1EE7);
+    let streams = gen.generate_tenant_streams(3, steps, rows, k, 0.999, 0.99995, &mut rng);
+    let weights = WeightMatrix::from_fn(k, n, |r, c| (r * 31 + c * 7) as i64 % 255 - 127);
+    let tile = TileShape::prosperity_default();
+    let config = EngineConfig::new(tile, 4096);
+    let steady_hit_rate = 0.9;
+
+    // Serial private-cache oracle for the joiner's stream (the bit gate).
+    let want: Vec<OutputMatrix<i64>> = {
+        let mut engine = Engine::new(config);
+        streams[2]
+            .iter()
+            .map(|s| {
+                let mut out = OutputMatrix::zeros(0, 0);
+                engine.gemm_into_serial(s, &weights, &mut out);
+                out
+            })
+            .collect()
+    };
+
+    // The warm fleet: two members serve their tenants and export their
+    // hottest plans to their store directories (the `node-<id>` layout the
+    // multi-process example shares).
+    let root = std::env::temp_dir().join(format!("prosperity_bench_fleet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let service = ServiceConfig::default().with_gossip(1, Vec::new());
+    let mut fleet: FleetHarness<i64> =
+        FleetHarness::new(&root, config, BatchPolicy::RoundRobin, service);
+    for id in [0u64, 1] {
+        fleet.join(id).expect("join fleet");
+        let traces: Vec<Vec<TraceStep<'_, i64>>> =
+            vec![streams[id as usize].iter().map(|s| (s, &weights)).collect()];
+        fleet.node_mut(id).unwrap().run(&traces, |_, _, _| {});
+        fleet.export_now(id, 4096).expect("export");
+    }
+    let peer_dirs = vec![
+        FleetHarness::<i64>::store_dir(&root, 0),
+        FleetHarness::<i64>::store_dir(&root, 1),
+    ];
+
+    // Per-step hit-rate curve of one serving loop over the joiner stream,
+    // gated bit-identical against the serial oracle.
+    let curve_of = |serving: &mut ServingLoop<i64>| {
+        let mut curve = Vec::with_capacity(steps);
+        let mut misses_total = 0u64;
+        for (s, spikes) in streams[2].iter().enumerate() {
+            let before = serving.shared_cache().stats();
+            let trace: Vec<Vec<TraceStep<'_, i64>>> = vec![vec![(spikes, &weights)]];
+            serving.run(&trace, |_, _, out| {
+                assert_eq!(out, &want[s], "fleet lost bits at step {s}");
+            });
+            let after = serving.shared_cache().stats();
+            let hits = after.hits - before.hits;
+            let misses = after.misses - before.misses;
+            misses_total += misses;
+            curve.push(hits as f64 / (hits + misses).max(1) as f64);
+        }
+        (curve, misses_total)
+    };
+    let steps_to_steady = |curve: &[f64]| {
+        curve
+            .iter()
+            .position(|&r| r >= steady_hit_rate)
+            .unwrap_or(curve.len())
+    };
+
+    // Cold alone: the joiner with no fleet behind it.
+    let mut cold =
+        ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, ServiceConfig::default());
+    let (cold_curve, cold_misses) = curve_of(&mut cold);
+
+    // Warm join: same process shape, but gossip-bootstrapped from the
+    // fleet's directories before its first step.
+    fleet.join(2).expect("join fleet");
+    let joiner = fleet.node_mut(2).unwrap();
+    let (warm_curve, warm_misses) = curve_of(joiner);
+    let stats = joiner.stats();
+    let cache = joiner.shared_cache().stats();
+    assert!(
+        stats.gossip_plans_adopted > 0,
+        "gossip must adopt: {stats:?}"
+    );
+
+    let cold_alone_steps_to_steady = steps_to_steady(&cold_curve);
+    let warm_join_steps_to_steady = steps_to_steady(&warm_curve);
+    assert!(
+        warm_join_steps_to_steady < cold_alone_steps_to_steady,
+        "joining a warm fleet must reach steady state sooner: \
+         warm {warm_curve:?} vs cold {cold_curve:?}"
+    );
+    assert!(
+        warm_misses < cold_misses,
+        "the warm join must recompute fewer plans ({warm_misses} vs {cold_misses})"
+    );
+
+    // Timed restart-to-served passes: fresh loop per rep; the warm pass
+    // pays the gossip bootstrap (scan + decode + import) inside the
+    // measurement.
+    let whole: Vec<Vec<TraceStep<'_, i64>>> =
+        vec![streams[2].iter().map(|s| (s, &weights)).collect()];
+    let cold_ms = time_ms(reps, || {
+        let mut serving =
+            ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, ServiceConfig::default());
+        let mut acc = 0i64;
+        serving.run(&whole, |_, _, out| {
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+    let warm_ms = time_ms(reps, || {
+        let service = ServiceConfig::default().with_gossip(1, peer_dirs.clone());
+        let mut serving = ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, service);
+        let mut acc = 0i64;
+        serving.run(&whole, |_, _, out| {
+            acc ^= out.as_slice().first().copied().unwrap_or(0);
+        });
+        acc
+    });
+    let bootstrap_ms = time_ms(reps, || {
+        let service = ServiceConfig::default().with_gossip(1, peer_dirs.clone());
+        let mut serving = ServingLoop::<i64>::new(config, BatchPolicy::RoundRobin, service);
+        // Zero steps: the run does nothing but the bootstrap sweep.
+        serving.run(&[Vec::<TraceStep<'_, i64>>::new()], |_, _, _| {});
+        serving.shared_cache().stats().resident
+    });
+    let _ = std::fs::remove_dir_all(&root);
+
+    FleetOut {
+        nodes: 2,
+        steps,
+        steady_hit_rate,
+        cold_alone_steps_to_steady,
+        warm_join_steps_to_steady,
+        cold_curve,
+        warm_curve,
+        duplicate_plans_saved: cold_misses - warm_misses,
+        gossip_imports: stats.gossip_imports,
+        gossip_plans_adopted: stats.gossip_plans_adopted,
+        restored_hits: cache.restored_hits,
+        cold_ms,
+        warm_ms,
+        bootstrap_ms,
+    }
+}
+
 /// The `preemption` scenario's measurements: the scheduling quantum sliced
 /// below the GeMM under a size-skewed 1000:10:10 tenant mix.
 struct PreemptionOut {
@@ -1076,6 +1282,35 @@ fn json_shard_tuning(s: &ShardTuningOut) -> String {
     )
 }
 
+fn json_fleet(f: &FleetOut) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"fleet\", \"nodes\": {}, \"tenants\": 3, \"gemms\": {}, ",
+            "\"steady_hit_rate\": {:.2}, ",
+            "\"cold_alone_steps_to_steady\": {}, \"warm_join_steps_to_steady\": {}, ",
+            "\"duplicate_plans_saved\": {}, \"gossip_imports\": {}, ",
+            "\"gossip_plans_adopted\": {}, \"restored_hits\": {}, ",
+            "\"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"bootstrap_ms\": {:.3},\n",
+            "     \"cold_hit_curve\": {},\n",
+            "     \"warm_hit_curve\": {}}}"
+        ),
+        f.nodes,
+        f.steps,
+        f.steady_hit_rate,
+        f.cold_alone_steps_to_steady,
+        f.warm_join_steps_to_steady,
+        f.duplicate_plans_saved,
+        f.gossip_imports,
+        f.gossip_plans_adopted,
+        f.restored_hits,
+        f.cold_ms,
+        f.warm_ms,
+        f.bootstrap_ms,
+        json_curve(&f.cold_curve),
+        json_curve(&f.warm_curve),
+    )
+}
+
 fn json_scenario(r: &ServingOut) -> String {
     let sessions: Vec<String> = r.per_session.iter().map(json_stats).collect();
     format!(
@@ -1282,6 +1517,28 @@ fn main() {
         );
     }
 
+    let fl = wanted("fleet").then(|| fleet(smoke, reps));
+    if let Some(fl) = &fl {
+        println!(
+            "{:<16} {:>7} {:>7} {:>11.2} {:>11.2} {:>11.2} {:>8} {:>8} {:>9}",
+            "fleet", 3, fl.steps, fl.cold_ms, fl.warm_ms, fl.bootstrap_ms, "-", "-", "-",
+        );
+        println!(
+            "  fleet: {} members + joiner; steady (≥{:.0}%) in {} step(s) warm-join \
+             vs {} cold-alone; {} duplicate plans saved, {} adopted over {} import(s), \
+             {} restored hits; {:.2} ms bootstrap",
+            fl.nodes,
+            100.0 * fl.steady_hit_rate,
+            fl.warm_join_steps_to_steady,
+            fl.cold_alone_steps_to_steady,
+            fl.duplicate_plans_saved,
+            fl.gossip_plans_adopted,
+            fl.gossip_imports,
+            fl.restored_hits,
+            fl.bootstrap_ms,
+        );
+    }
+
     let out_path = std::env::var("BENCH_SERVING_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json").to_string()
     });
@@ -1289,13 +1546,14 @@ fn main() {
         println!("\nscenario filter active: not writing {out_path}");
         return;
     }
-    let (adm, ws, q, pre, st, rz) = (
+    let (adm, ws, q, pre, st, rz, fl) = (
         adm.expect("unfiltered run has fig8_admission"),
         ws.expect("unfiltered run has warm_start"),
         q.expect("unfiltered run has qos"),
         pre.expect("unfiltered run has preemption"),
         st.expect("unfiltered run has shard_tuning"),
         rz.expect("unfiltered run has resilience"),
+        fl.expect("unfiltered run has fleet"),
     );
     let mut body: Vec<String> = results.iter().map(json_scenario).collect();
     body.push(format!(
@@ -1356,6 +1614,7 @@ fn main() {
         rz.snapshots_quarantined,
         rz.recovered_plans,
     ));
+    body.push(json_fleet(&fl));
     // `threads_effective` is what the parallel row-tile paths actually get
     // (rayon pool size, or 1 without the feature), as in BENCH_kernels.json
     // — it makes intra-GeMM parallel numbers interpretable on 1-core hosts.

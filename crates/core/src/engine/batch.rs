@@ -322,6 +322,11 @@ impl<T: Element> BatchScheduler<T> {
         (sched, report)
     }
 
+    /// The engine configuration every lane session is built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// The scheduling policy.
     pub fn policy(&self) -> &BatchPolicy {
         &self.policy

@@ -18,7 +18,11 @@
 //!   [`SnapshotStore`](super::SnapshotStore) writes, simulating bit rot
 //!   the checksummed loader must quarantine;
 //! * **IO failure** — fail the `N`th snapshot-store filesystem operation
-//!   with a synthetic error, exercising the bounded-backoff retry path.
+//!   with a synthetic error, exercising the bounded-backoff retry path;
+//! * **peer-file rot** — flip a byte of (or truncate) the next snapshot
+//!   file a store walk is about to read *on disk*, simulating a hostile or
+//!   half-written peer image the gossip import path must quarantine
+//!   instead of adopting.
 //!
 //! Installation is per *thread* so concurrently running tests cannot see
 //! each other's faults; the scheduler's `run_concurrent` lane threads and
@@ -52,6 +56,18 @@ pub struct FaultPlan {
     pub corrupt_snapshot_byte: Option<usize>,
     /// Fail the `n`th (0-based) snapshot-store IO operation.
     pub fail_io_op: Option<u64>,
+    /// Rot the next snapshot file a store walk reads, on disk, before the
+    /// read — the hostile-peer case of the gossip import path.
+    pub rot_peer_file: Option<PeerRot>,
+}
+
+/// How [`FaultPlan::rot_peer_file`] mangles the file on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerRot {
+    /// XOR byte `m % len` of the file.
+    FlipByte(usize),
+    /// Truncate the file to at most `len` bytes (half-written image).
+    Truncate(u64),
 }
 
 impl FaultPlan {
@@ -133,6 +149,39 @@ impl FaultPlan {
             ..Self::default()
         }
     }
+
+    /// Plan that rots the next snapshot file a store walk reads — the
+    /// hostile-peer gossip fault ([`PeerRot`] picks flip vs truncate).
+    pub fn rot_peer(rot: PeerRot) -> Self {
+        Self {
+            rot_peer_file: Some(rot),
+            ..Self::default()
+        }
+    }
+
+    /// A single-fault gossip-era plan derived deterministically from
+    /// `seed`: one of the two [`PeerRot`] kinds with its parameter drawn
+    /// from the seed. Kept separate from [`FaultPlan::seeded`] so the
+    /// historical four-kind seed mapping (and every test pinned to it)
+    /// is unchanged.
+    pub fn seeded_peer_rot(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let rot = if next() % 2 == 0 {
+            PeerRot::FlipByte((next() % 8192) as usize)
+        } else {
+            // Keep at least the header-sized prefix sometimes, sometimes
+            // almost nothing — both must decode-fail cleanly.
+            PeerRot::Truncate(next() % 64)
+        };
+        Self::rot_peer(rot)
+    }
 }
 
 /// Which faults of an installed [`FaultPlan`] actually fired.
@@ -146,6 +195,8 @@ pub struct FiredReport {
     pub corrupt_snapshot: bool,
     /// A snapshot-store IO operation was failed.
     pub fail_io: bool,
+    /// A snapshot file was rotted on disk ahead of a store-walk read.
+    pub rot_peer: bool,
 }
 
 /// Shared state of one installed plan: the plan plus fire-once latches and
@@ -162,6 +213,7 @@ struct FaultState {
     shard_fired: AtomicBool,
     corrupt_fired: AtomicBool,
     io_fired: AtomicBool,
+    rot_fired: AtomicBool,
 }
 
 thread_local! {
@@ -182,6 +234,7 @@ pub fn install(plan: FaultPlan) -> FaultGuard {
         shard_fired: AtomicBool::new(false),
         corrupt_fired: AtomicBool::new(false),
         io_fired: AtomicBool::new(false),
+        rot_fired: AtomicBool::new(false),
     });
     let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(&state)));
     FaultGuard {
@@ -235,6 +288,7 @@ impl FaultGuard {
                 shard_panic: s.shard_fired.load(Ordering::SeqCst),
                 corrupt_snapshot: s.corrupt_fired.load(Ordering::SeqCst),
                 fail_io: s.io_fired.load(Ordering::SeqCst),
+                rot_peer: s.rot_fired.load(Ordering::SeqCst),
             })
             .unwrap_or_default()
     }
@@ -314,6 +368,42 @@ pub(crate) fn maybe_corrupt_snapshot(bytes: &mut [u8]) {
             if let Some(m) = s.plan.corrupt_snapshot_byte {
                 if !bytes.is_empty() && !s.corrupt_fired.swap(true, Ordering::SeqCst) {
                     bytes[m % bytes.len()] ^= 0x40;
+                }
+            }
+        }
+    });
+}
+
+/// Hook: rot the file at `path` on disk — flip one byte or truncate,
+/// per the plan — immediately before a store walk reads it. Called from
+/// [`SnapshotStore::load_newer_than`](super::SnapshotStore::load_newer_than)
+/// once per candidate file; fires at most once. Best effort: a file that
+/// cannot be rewritten is left alone (the latch stays unfired so a test
+/// can tell).
+pub(crate) fn maybe_rot_peer_file(path: &std::path::Path) {
+    CURRENT.with(|c| {
+        if let Some(s) = c.borrow().as_ref() {
+            if let Some(rot) = s.plan.rot_peer_file {
+                if s.rot_fired.load(Ordering::SeqCst) {
+                    return;
+                }
+                let rotted = match rot {
+                    PeerRot::FlipByte(m) => std::fs::read(path).is_ok_and(|mut bytes| {
+                        if bytes.is_empty() {
+                            return false;
+                        }
+                        let i = m % bytes.len();
+                        bytes[i] ^= 0x40;
+                        std::fs::write(path, &bytes).is_ok()
+                    }),
+                    PeerRot::Truncate(len) => std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .and_then(|f| f.set_len(len))
+                        .is_ok(),
+                };
+                if rotted {
+                    s.rot_fired.store(true, Ordering::SeqCst);
                 }
             }
         }
@@ -400,6 +490,43 @@ mod tests {
             });
         });
         assert!(guard.fired().fail_io);
+    }
+
+    #[test]
+    fn peer_rot_mangles_a_file_once() {
+        let dir = std::env::temp_dir().join(format!("prosperity_rot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("peer.psnp");
+        let clean = vec![7u8; 16];
+        std::fs::write(&path, &clean).expect("seed file");
+        {
+            let guard = install(FaultPlan::rot_peer(PeerRot::FlipByte(3)));
+            maybe_rot_peer_file(&path);
+            assert!(guard.fired().rot_peer);
+            let mut want = clean.clone();
+            want[3] ^= 0x40;
+            assert_eq!(std::fs::read(&path).expect("read"), want);
+            // Fire-once: a second walk leaves the file alone.
+            maybe_rot_peer_file(&path);
+            assert_eq!(std::fs::read(&path).expect("read"), want);
+        }
+        std::fs::write(&path, &clean).expect("reset");
+        {
+            let guard = install(FaultPlan::rot_peer(PeerRot::Truncate(5)));
+            maybe_rot_peer_file(&path);
+            assert!(guard.fired().rot_peer);
+            assert_eq!(std::fs::read(&path).expect("read").len(), 5);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seeded_peer_rot_is_deterministic() {
+        for seed in 0..32 {
+            let a = FaultPlan::seeded_peer_rot(seed);
+            assert_eq!(a, FaultPlan::seeded_peer_rot(seed), "seed {seed}");
+            assert!(a.rot_peer_file.is_some());
+        }
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod batch;
 pub mod cache;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod faults;
+pub mod fleet;
 pub(crate) mod pool;
 pub mod service;
 pub mod session;
@@ -95,6 +96,7 @@ pub mod store;
 
 pub use batch::{BatchPolicy, BatchScheduler, LaneFault, TraceStep, DEADLINE_STARVATION_GUARD};
 pub use cache::AdmissionConfig;
+pub use fleet::{FleetHarness, Ring};
 pub use service::{ServiceConfig, ServingLoop};
 pub use session::{Engine, Session, SliceRun};
 pub use shared::SharedPlanCache;

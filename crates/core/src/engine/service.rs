@@ -35,6 +35,24 @@
 //! failure visible in [`SchedulerStats::snapshot_io_retries`] /
 //! [`SchedulerStats::snapshots_quarantined`], and serving continues.
 //!
+//! **Snapshot gossip** ([`ServiceConfig::with_gossip`]) closes the loop
+//! in the other direction: on a step cadence — plus one bootstrap sweep
+//! the first time the loop runs, so a process *joining* a fleet warms up
+//! before serving its first step — the loop scans its peers' store
+//! directories, decodes each peer's newest snapshot
+//! ([`SnapshotStore::load_newer_than`]: corrupt files are quarantined to
+//! `*.bad` exactly as in a warm restart, and a peer that has produced
+//! nothing new since the last sweep is skipped from the directory listing
+//! alone), and imports it capacity-respecting through
+//! [`SharedPlanCache::import`]. Plans are pure functions of tile content,
+//! so gossip can change *who* plans a tile, never *what* runs — warmth
+//! moves between processes, results cannot. The sweeps are accounted in
+//! [`SchedulerStats::gossip_imports`] /
+//! [`SchedulerStats::gossip_plans_adopted`] /
+//! [`SchedulerStats::gossip_skipped_stale`]. See
+//! [`fleet`](super::fleet) for the placement ring and the multi-process
+//! harness built on top of this cadence.
+//!
 //! ```
 //! use prosperity_core::engine::{
 //!     BatchPolicy, EngineConfig, ServiceConfig, ServingLoop,
@@ -58,11 +76,13 @@
 //! assert_eq!(serving.stats().snapshots_exported, snapshots.len() as u64);
 //! ```
 
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use spikemat::gemm::OutputMatrix;
+use spikemat::TileShape;
 
 use super::batch::{BatchPolicy, BatchScheduler, TraceStep};
 use super::shared::SharedPlanCache;
@@ -72,9 +92,9 @@ use super::store::SnapshotStore;
 use super::{Element, EngineConfig};
 
 /// Lifecycle cadences of a [`ServingLoop`], in executed steps (GeMMs),
-/// counted across every run the loop serves. The default disables both
-/// jobs; enable them with the builders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// counted across every run the loop serves. The default disables every
+/// job; enable them with the builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Executed steps between background snapshot exports; 0 disables.
     pub snapshot_every: usize,
@@ -85,10 +105,17 @@ pub struct ServiceConfig {
     /// Sweeps a tenant window may sit idle (no handle resolution) before a
     /// sweep evicts it.
     pub gc_max_idle: u64,
+    /// Executed steps between gossip import sweeps over
+    /// [`ServiceConfig::gossip_peers`]; 0 disables gossip (including the
+    /// bootstrap sweep).
+    pub gossip_every: usize,
+    /// Peer snapshot-store directories each gossip sweep scans (one
+    /// [`SnapshotStore`] layout per peer process).
+    pub gossip_peers: Vec<PathBuf>,
 }
 
 impl Default for ServiceConfig {
-    /// Both jobs off; `snapshot_plans` 1024 and `gc_max_idle` 2 as the
+    /// Every job off; `snapshot_plans` 1024 and `gc_max_idle` 2 as the
     /// starting points the builders inherit.
     fn default() -> Self {
         Self {
@@ -96,6 +123,8 @@ impl Default for ServiceConfig {
             snapshot_plans: 1024,
             gc_every: 0,
             gc_max_idle: 2,
+            gossip_every: 0,
+            gossip_peers: Vec::new(),
         }
     }
 }
@@ -116,6 +145,63 @@ impl ServiceConfig {
         self.gc_max_idle = max_idle;
         self
     }
+
+    /// Enables snapshot gossip: every `every` executed steps (plus one
+    /// bootstrap sweep before the loop's first run), scan each peer store
+    /// directory in `peers` and import its newest not-yet-seen snapshot
+    /// into the shared cache. Peers are other processes' [`SnapshotStore`]
+    /// directories; a peer directory that does not exist yet is simply
+    /// empty until its process starts exporting.
+    pub fn with_gossip(mut self, every: usize, peers: Vec<PathBuf>) -> Self {
+        self.gossip_every = every;
+        self.gossip_peers = peers;
+        self
+    }
+}
+
+/// One gossip peer's import state: the peer's store directory, the store
+/// handle once it opened, and the staleness cutoff (newest sequence number
+/// already imported from this peer).
+#[derive(Debug)]
+struct GossipPeer {
+    dir: PathBuf,
+    store: Option<SnapshotStore>,
+    last_seq: Option<u64>,
+}
+
+impl GossipPeer {
+    fn new(dir: PathBuf) -> Self {
+        Self {
+            dir,
+            store: None,
+            last_seq: None,
+        }
+    }
+
+    /// One import attempt from this peer: `(imported, adopted, stale)`.
+    /// Opening the store is retried on every sweep until it succeeds; IO
+    /// and decode failures never escape (corrupt files are quarantined by
+    /// the walk, unreadable ones retried next sweep).
+    fn sweep(&mut self, shared: &SharedPlanCache, tile: TileShape) -> (u64, u64, u64) {
+        if self.store.is_none() {
+            self.store = SnapshotStore::new(&self.dir, 1).ok();
+        }
+        let Some(store) = &self.store else {
+            return (0, 0, 0);
+        };
+        match store.load_newer_than(self.last_seq) {
+            Ok(Some((seq, snapshot))) => {
+                let report = shared.import(&snapshot, tile);
+                self.last_seq = Some(seq);
+                (1, report.restored as u64, 0)
+            }
+            // Nothing strictly newer than what we already imported: a
+            // stale skip when we had imported before, plain emptiness
+            // otherwise (new peer that has not exported yet).
+            Ok(None) => (0, 0, u64::from(self.last_seq.is_some())),
+            Err(_) => (0, 0, 0),
+        }
+    }
 }
 
 /// A [`BatchScheduler`] wrapped with the long-running-process jobs:
@@ -133,9 +219,19 @@ pub struct ServingLoop<T = i64> {
     /// Executed steps since the last export / sweep (across runs).
     since_snapshot: usize,
     since_gc: usize,
+    since_gossip: usize,
     /// Lifecycle counters surfaced through [`ServingLoop::stats`].
     snapshots_exported: u64,
     gc_evictions: u64,
+    gossip_imports: u64,
+    gossip_plans_adopted: u64,
+    gossip_skipped_stale: u64,
+    /// Per-peer import state, built from
+    /// [`ServiceConfig::gossip_peers`] (and refreshed by
+    /// [`ServingLoop::set_gossip_peers`]).
+    gossip: Vec<GossipPeer>,
+    /// The bootstrap sweep runs once, before the loop's first run.
+    gossip_bootstrapped: bool,
     /// The in-flight export thread, if any.
     export: Option<JoinHandle<()>>,
     /// Finished exports travel back over this channel.
@@ -157,18 +253,48 @@ impl<T: Element> ServingLoop<T> {
     /// [`BatchScheduler::warm_start`] or over a shared cache).
     pub fn with_scheduler(sched: BatchScheduler<T>, service: ServiceConfig) -> Self {
         let (snapshot_tx, snapshot_rx) = channel();
+        let gossip = service
+            .gossip_peers
+            .iter()
+            .map(|dir| GossipPeer::new(dir.clone()))
+            .collect();
         Self {
             sched,
             service,
             since_snapshot: 0,
             since_gc: 0,
+            since_gossip: 0,
             snapshots_exported: 0,
             gc_evictions: 0,
+            gossip_imports: 0,
+            gossip_plans_adopted: 0,
+            gossip_skipped_stale: 0,
+            gossip,
+            gossip_bootstrapped: false,
             export: None,
             snapshot_tx,
             snapshot_rx,
             store: None,
         }
+    }
+
+    /// Replaces the gossip peer set (fleet membership change: a node
+    /// joined or left). Import state is preserved for directories present
+    /// in both the old and new set, so an unchanged peer is not
+    /// re-imported from scratch; genuinely new peers start cold and are
+    /// picked up by the next sweep.
+    pub fn set_gossip_peers(&mut self, peers: Vec<PathBuf>) {
+        let mut old: Vec<GossipPeer> = std::mem::take(&mut self.gossip);
+        self.gossip = peers
+            .iter()
+            .map(|dir| {
+                old.iter()
+                    .position(|p| p.dir == *dir)
+                    .map(|i| old.swap_remove(i))
+                    .unwrap_or_else(|| GossipPeer::new(dir.clone()))
+            })
+            .collect();
+        self.service.gossip_peers = peers;
     }
 
     /// Attaches a [`SnapshotStore`]: every background export from now on
@@ -212,7 +338,9 @@ impl<T: Element> ServingLoop<T> {
     }
 
     /// The last run's scheduling record with this loop's lifecycle
-    /// counters filled in (`snapshots_exported`, `gc_evictions`, and —
+    /// counters filled in (`snapshots_exported`, `gc_evictions`, the
+    /// gossip trio `gossip_imports` / `gossip_plans_adopted` /
+    /// `gossip_skipped_stale`, and —
     /// when a [`SnapshotStore`] is attached — `snapshot_io_retries` /
     /// `snapshots_quarantined` plus the encode/load volume counters
     /// `snapshot_bytes_encoded` / `snapshot_plans_encoded` /
@@ -224,6 +352,9 @@ impl<T: Element> ServingLoop<T> {
         let mut stats = self.sched.scheduler_stats().clone();
         stats.snapshots_exported = self.snapshots_exported;
         stats.gc_evictions = self.gc_evictions;
+        stats.gossip_imports = self.gossip_imports;
+        stats.gossip_plans_adopted = self.gossip_plans_adopted;
+        stats.gossip_skipped_stale = self.gossip_skipped_stale;
         stats.shard_resets = self.shared_cache().shard_resets();
         if let Some(store) = &self.store {
             stats.snapshot_io_retries = store.io_retries();
@@ -284,8 +415,26 @@ impl<T: Element> ServingLoop<T> {
         // The scheduler is mutably borrowed for the whole run, so the
         // cadence jobs work through locals + the cache's `Arc` and are
         // written back after.
-        let service = self.service;
+        let service = self.service.clone();
         let shared = Arc::clone(self.sched.shared_cache());
+        let tile = self.sched.config().tile;
+        // Gossip bootstrap: a process joining a fleet sweeps its peers
+        // once *before* serving its first step, so it starts warm instead
+        // of rediscovering plans its peers already hold.
+        if service.gossip_every > 0 && !self.gossip_bootstrapped {
+            self.gossip_bootstrapped = true;
+            for peer in &mut self.gossip {
+                let (imports, adopted, stale) = peer.sweep(&shared, tile);
+                self.gossip_imports += imports;
+                self.gossip_plans_adopted += adopted;
+                self.gossip_skipped_stale += stale;
+            }
+        }
+        let mut gossip = std::mem::take(&mut self.gossip);
+        let mut since_gossip = self.since_gossip;
+        let mut gossip_imports = 0u64;
+        let mut gossip_plans_adopted = 0u64;
+        let mut gossip_skipped_stale = 0u64;
         // Materialize the lanes now so this run's tenant set is known:
         // before every GC sweep the live tenants are re-stamped, so a
         // tenant in the middle of a batch longer than the GC horizon is
@@ -359,11 +508,33 @@ impl<T: Element> ServingLoop<T> {
                     gc_evictions += shared.gc_tenants(service.gc_max_idle) as u64;
                 }
             }
+            if service.gossip_every > 0 {
+                since_gossip += 1;
+                if since_gossip >= service.gossip_every {
+                    since_gossip = 0;
+                    // Synchronous by design: one bounded directory scan
+                    // (plus at most one snapshot decode) per peer, and a
+                    // deterministic import order — the fleet tests pin
+                    // bit-identity against a no-gossip oracle, which a
+                    // racing import thread could not.
+                    for peer in &mut gossip {
+                        let (imports, adopted, stale) = peer.sweep(&shared, tile);
+                        gossip_imports += imports;
+                        gossip_plans_adopted += adopted;
+                        gossip_skipped_stale += stale;
+                    }
+                }
+            }
         });
         self.since_snapshot = since_snapshot;
         self.since_gc = since_gc;
+        self.since_gossip = since_gossip;
         self.snapshots_exported += snapshots_exported;
         self.gc_evictions += gc_evictions;
+        self.gossip_imports += gossip_imports;
+        self.gossip_plans_adopted += gossip_plans_adopted;
+        self.gossip_skipped_stale += gossip_skipped_stale;
+        self.gossip = gossip;
         self.export = export;
     }
 
@@ -536,6 +707,108 @@ mod tests {
         assert!(store.load_latest_valid().expect("walk").is_some());
         drop(serving);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gossip_bootstrap_imports_a_peer_snapshot_then_skips_stale() {
+        let (spikes, w) = test_traces();
+        let traces = vec![vec![(&spikes, &w); 8]];
+        let dir = std::env::temp_dir().join(format!(
+            "prosperity_service_gossip_test_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        // A donor process's store directory holding one warm snapshot.
+        let store = SnapshotStore::new(&dir, 4).expect("open store");
+        let mut donor = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            ServiceConfig::default(),
+        );
+        donor.run(&traces, |_, _, _| {});
+        let exported = donor.shared_cache().export_hottest(128);
+        assert!(!exported.is_empty());
+        store.save(&exported).expect("save");
+
+        // A joiner gossiping on that directory warms up on its bootstrap
+        // sweep (before step 0) and serves bit-exact results.
+        let service = ServiceConfig::default().with_gossip(4, vec![dir.clone()]);
+        let mut joiner = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            service,
+        );
+        joiner.run(&traces, |_, _, out| {
+            assert_eq!(out, &spiking_gemm(&spikes, &w));
+        });
+        let stats = joiner.stats();
+        assert!(stats.gossip_imports >= 1, "{stats:?}");
+        assert!(stats.gossip_plans_adopted > 0, "{stats:?}");
+        // Nothing new in the peer directory: every further sweep is a
+        // stale skip resolved from the listing alone.
+        let before = joiner.stats().gossip_skipped_stale;
+        joiner.run(&traces, |_, _, _| {});
+        let after = joiner.stats();
+        assert!(after.gossip_skipped_stale > before, "{after:?}");
+        assert_eq!(after.gossip_plans_adopted, stats.gossip_plans_adopted);
+        drop(joiner);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gossip_disabled_keeps_counters_zero() {
+        let (spikes, w) = test_traces();
+        let traces = vec![vec![(&spikes, &w); 8]];
+        let mut serving = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            ServiceConfig::default(),
+        );
+        serving.run(&traces, |_, _, _| {});
+        let stats = serving.stats();
+        assert_eq!(stats.gossip_imports, 0);
+        assert_eq!(stats.gossip_plans_adopted, 0);
+        assert_eq!(stats.gossip_skipped_stale, 0);
+    }
+
+    #[test]
+    fn set_gossip_peers_preserves_state_for_kept_directories() {
+        let (spikes, w) = test_traces();
+        let traces = vec![vec![(&spikes, &w); 4]];
+        let base = std::env::temp_dir().join(format!(
+            "prosperity_service_peerset_test_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&base).ok();
+        let kept = base.join("kept");
+        let fresh = base.join("fresh");
+        let store = SnapshotStore::new(&kept, 4).expect("open store");
+        let mut donor = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            ServiceConfig::default(),
+        );
+        donor.run(&traces, |_, _, _| {});
+        store
+            .save(&donor.shared_cache().export_hottest(128))
+            .expect("save");
+
+        let service = ServiceConfig::default().with_gossip(2, vec![kept.clone()]);
+        let mut joiner = ServingLoop::new(
+            EngineConfig::new(TileShape::new(8, 8), 128),
+            BatchPolicy::RoundRobin,
+            service,
+        );
+        joiner.run(&traces, |_, _, _| {});
+        let imported = joiner.stats().gossip_imports;
+        assert!(imported >= 1);
+        // Membership change keeping the old peer: its staleness cutoff
+        // survives, so the kept directory is not re-imported.
+        joiner.set_gossip_peers(vec![kept.clone(), fresh.clone()]);
+        joiner.run(&traces, |_, _, _| {});
+        assert_eq!(joiner.stats().gossip_imports, imported);
+        drop(joiner);
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

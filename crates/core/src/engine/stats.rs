@@ -213,6 +213,21 @@ pub struct SchedulerStats {
     /// Plan entries decoded by warm-restart loads (filled by
     /// `ServingLoop::stats`).
     pub snapshot_plans_loaded: u64,
+    /// Gossip sweeps that imported a peer snapshot (filled by
+    /// `ServingLoop::stats` when
+    /// [`ServiceConfig::with_gossip`](super::ServiceConfig::with_gossip)
+    /// is enabled; one count per peer snapshot decoded and offered to the
+    /// cache).
+    pub gossip_imports: u64,
+    /// Plan entries a gossip import actually restored into the shared
+    /// cache (the capacity-respecting subset of what peers offered —
+    /// [`ImportReport::restored`](super::ImportReport) summed over every
+    /// gossip import).
+    pub gossip_plans_adopted: u64,
+    /// Gossip peer sweeps skipped without reading because the peer's
+    /// newest snapshot had already been imported (sequence number not
+    /// newer than the last import from that peer).
+    pub gossip_skipped_stale: u64,
 }
 
 impl SchedulerStats {

@@ -54,6 +54,7 @@ pub struct SnapshotStore {
     next_seq: AtomicU64,
     io_retries: AtomicU64,
     quarantined: AtomicU64,
+    files_scanned: AtomicU64,
     /// Reused encode buffer: after the first save its capacity covers the
     /// working-set image size, so steady-state exports allocate nothing.
     encode_buf: Mutex<BytesMut>,
@@ -88,6 +89,7 @@ impl SnapshotStore {
             next_seq: AtomicU64::new(next_seq),
             io_retries: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            files_scanned: AtomicU64::new(0),
             encode_buf: Mutex::new(BytesMut::new()),
             bytes_encoded: AtomicU64::new(0),
             plans_encoded: AtomicU64::new(0),
@@ -124,6 +126,16 @@ impl SnapshotStore {
     /// [`SnapshotStore::load_latest_valid`].
     pub fn quarantined(&self) -> u64 {
         self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files examined (read + verified) by the load walks — the
+    /// one-pass guarantee's audit counter: a single
+    /// [`SnapshotStore::load_latest_valid`] call over a directory of `K`
+    /// rotted files advances this by exactly `K` (+1 if an older good file
+    /// is then decoded), never `O(K²)` — quarantining a newer bad file
+    /// must not restart the walk or re-read the survivors.
+    pub fn files_scanned(&self) -> u64 {
+        self.files_scanned.load(Ordering::Relaxed)
     }
 
     /// Total bytes serialized by [`SnapshotStore::save`] (pre-write, so
@@ -200,8 +212,40 @@ impl SnapshotStore {
     /// Unreadable files (IO errors) are skipped without quarantine: the
     /// bytes on disk may be fine and a later load may succeed.
     pub fn load_latest_valid(&self) -> Result<Option<PlanSnapshot>, SnapshotError> {
+        Ok(self.load_newer_than(None)?.map(|(_, snapshot)| snapshot))
+    }
+
+    /// [`SnapshotStore::load_latest_valid`] with a staleness cutoff: the
+    /// walk considers only files whose sequence number is strictly greater
+    /// than `newer_than` (everything at or below it was already consumed),
+    /// and returns the decoded snapshot *with* its sequence number so the
+    /// caller can advance its cutoff. This is the gossip import primitive:
+    /// a peer whose store has produced nothing new since the last sweep is
+    /// detected from the directory listing alone — no file is re-read, no
+    /// image re-verified.
+    ///
+    /// The walk is **one pass**: the directory is listed once, each
+    /// candidate file is read and verified at most once, and quarantining
+    /// a newer bad file continues with the already-listed older files —
+    /// it never restarts the walk ([`SnapshotStore::files_scanned`] is
+    /// the regression counter pinning this).
+    pub fn load_newer_than(
+        &self,
+        newer_than: Option<u64>,
+    ) -> Result<Option<(u64, PlanSnapshot)>, SnapshotError> {
         let files = Self::list_files(&self.dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
-        for (_, path) in files.iter().rev() {
+        for (seq, path) in files.iter().rev() {
+            if newer_than.is_some_and(|cutoff| *seq <= cutoff) {
+                // Files are sorted by sequence: everything from here on is
+                // at least as stale. Stop without touching the bytes.
+                return Ok(None);
+            }
+            self.files_scanned.fetch_add(1, Ordering::Relaxed);
+            // Injected-fault hook: a hostile peer rots this file on disk
+            // right before the read, so tests can drive the gossip
+            // quarantine path end to end.
+            #[cfg(any(test, feature = "fault-injection"))]
+            super::faults::maybe_rot_peer_file(path);
             if io_fault("read snapshot").is_err() {
                 continue;
             }
@@ -223,7 +267,7 @@ impl SnapshotStore {
                             snapshot.len()
                         );
                     }
-                    return Ok(Some(snapshot));
+                    return Ok(Some((*seq, snapshot)));
                 }
                 Err(_) => {
                     let mut bad = path.as_os_str().to_os_string();
@@ -374,6 +418,65 @@ mod tests {
         // The quarantined file no longer participates in later walks.
         assert!(store.load_latest_valid().expect("walk").is_some());
         assert_eq!(store.quarantined(), 1);
+    }
+
+    #[test]
+    fn k_rotted_files_quarantine_in_one_pass() {
+        let tmp = TempDir::new("one_pass");
+        let store = SnapshotStore::new(&tmp.0, 16).expect("open");
+        let snap = sample_snapshot();
+        // One good oldest file, then K rotted newer ones.
+        const K: usize = 5;
+        store.save(&snap).expect("good save");
+        for _ in 0..K {
+            let path = store.save(&snap).expect("save to rot");
+            let mut bytes = std::fs::read(&path).expect("read");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).expect("rot");
+        }
+        let loaded = store
+            .load_latest_valid()
+            .expect("walk terminates")
+            .expect("the oldest good file survives");
+        assert_eq!(loaded.len(), snap.len());
+        assert_eq!(store.quarantined(), K as u64, "all K quarantined");
+        // The one-pass guarantee: K bad files + 1 good file were each
+        // read and verified exactly once. A walk that restarted after
+        // every quarantine would have scanned O(K^2) files.
+        assert_eq!(store.files_scanned(), K as u64 + 1);
+        // And the quarantined files no longer participate at all.
+        let again = store.load_latest_valid().expect("walk").expect("good");
+        assert_eq!(again.len(), snap.len());
+        assert_eq!(store.files_scanned(), K as u64 + 2, "one more read only");
+        assert_eq!(store.quarantined(), K as u64);
+    }
+
+    #[test]
+    fn load_newer_than_skips_stale_without_reading() {
+        let tmp = TempDir::new("newer_than");
+        let store = SnapshotStore::new(&tmp.0, 8).expect("open");
+        let snap = sample_snapshot();
+        store.save(&snap).expect("save 0");
+        store.save(&snap).expect("save 1");
+        let (seq, loaded) = store
+            .load_newer_than(None)
+            .expect("walk")
+            .expect("newest decodes");
+        assert_eq!(seq, 1);
+        assert_eq!(loaded.len(), snap.len());
+        assert_eq!(store.files_scanned(), 1);
+        // Nothing newer than seq 1: the sweep ends at the listing, with
+        // zero file reads.
+        assert!(store.load_newer_than(Some(seq)).expect("walk").is_none());
+        assert_eq!(store.files_scanned(), 1, "stale sweep reads nothing");
+        // A new save is picked up again.
+        store.save(&snap).expect("save 2");
+        let (seq2, _) = store
+            .load_newer_than(Some(seq))
+            .expect("walk")
+            .expect("fresh file");
+        assert_eq!(seq2, 2);
     }
 
     #[test]

@@ -97,7 +97,7 @@ for name in correlated_trace fig8_spikingbert attention_stream; do
 done
 
 # BENCH_serving.json: the documented scenario set, stats blocks included.
-for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos preemption shard_tuning resilience; do
+for name in shared_cache_2 shared_cache_4 shared_cache_8 fig8_admission warm_start qos preemption shard_tuning resilience fleet; do
     need BENCH_serving.json ".scenarios[] | select(.name == \"$name\")" "serving $name row"
 done
 need BENCH_serving.json 'has("threads_effective")' "serving threads_effective"
@@ -207,6 +207,32 @@ need BENCH_serving.json \
 need BENCH_serving.json \
     '.scenarios[] | select(.name == "resilience") | .surviving_throughput_ratio >= 0.9' \
     "resilience surviving-lane throughput >= 0.9x fault-free"
+
+# The fleet row: fields, plus its acceptance thresholds — a cold process
+# joining a warm fleet must reach steady-state hit rate in strictly fewer
+# steps than starting alone, and the cross-process duplicate-plan savings
+# must be recorded and real (gossip adopted plans the joiner never
+# computed).
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "fleet")
+     | has("nodes") and has("steady_hit_rate")
+     and has("cold_alone_steps_to_steady") and has("warm_join_steps_to_steady")
+     and has("duplicate_plans_saved") and has("gossip_imports")
+     and has("gossip_plans_adopted") and has("restored_hits")
+     and has("cold_ms") and has("warm_ms") and has("bootstrap_ms")
+     and has("cold_hit_curve") and has("warm_hit_curve")' \
+    "fleet fields"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "fleet")
+     | .warm_join_steps_to_steady < .cold_alone_steps_to_steady' \
+    "fleet warm join reaches steady state in strictly fewer steps"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "fleet") | .duplicate_plans_saved >= 1' \
+    "fleet records cross-process duplicate-plan savings"
+need BENCH_serving.json \
+    '.scenarios[] | select(.name == "fleet")
+     | .gossip_plans_adopted >= 1 and .gossip_imports >= 1' \
+    "fleet gossip adopted peer plans"
 
 if [ $status -eq 0 ]; then
     echo "all BENCH_*.json artifacts parse and carry the documented fields"

@@ -2,10 +2,11 @@
 //! deterministic fault-injection harness (`--features fault-injection`).
 //!
 //! The acceptance property: under **any** injected single fault — a lane
-//! panic, a panic under a shard lock, snapshot bit rot, or a snapshot-store
-//! IO error — the serving loop never aborts, every surviving lane's output
-//! stays bit-identical to the serial private-cache oracle, and the fault is
-//! visible in the scheduler's counters.
+//! panic, a panic under a shard lock, snapshot bit rot, a snapshot-store
+//! IO error, or a rotted gossip peer file — the serving loop never aborts,
+//! every surviving lane's output stays bit-identical to the serial
+//! private-cache oracle, and the fault is visible in the scheduler's
+//! counters.
 #![cfg(feature = "fault-injection")]
 
 use prosperity::core::engine::faults::{self, FaultPlan};
@@ -323,6 +324,130 @@ fn snapshot_export_races_a_shard_reset() {
         assert_eq!(stats.lane_faults, 1, "{stats:?}");
         assert!(stats.shard_resets >= 1, "{stats:?}");
     }
+}
+
+/// Fleet-mode acceptance property: a **hostile peer snapshot** — rotted by
+/// a flipped byte or a truncation, [`FaultPlan::seeded_peer_rot`] picks —
+/// is quarantined to `*.bad` by the gossip sweep and never poisons the
+/// importing node's warm cache: every output of the gossiping node stays
+/// bit-identical to the no-gossip serial oracle, and nothing from the
+/// rotted file is adopted.
+#[test]
+fn rotted_peer_snapshot_is_quarantined_and_never_poisons_serving() {
+    faults::silence_injected_panics();
+    let dir = TempDir::new("peer_rot");
+    let mut rng = StdRng::seed_from_u64(0x60A7);
+    for seed in 0..12u64 {
+        let batch = random_batch(&mut rng);
+        let tile = TileShape::new(8, 8);
+        let config = EngineConfig::new(tile, 256);
+        let oracle = serial_private_oracle(&batch, config);
+        let traces = traces_of(&batch);
+
+        // The peer: a warm donor whose store directory holds one valid
+        // snapshot, which the joiner gossips in cleanly first.
+        let peer_dir = dir.0.join(format!("seed{seed}"));
+        let peer_store = SnapshotStore::new(&peer_dir, 16).expect("peer store");
+        let mut donor = ServingLoop::new(config, BatchPolicy::RoundRobin, ServiceConfig::default());
+        donor.run(&traces, |_, _, _| {});
+        let exported = donor.shared_cache().export_hottest(256);
+        assert!(!exported.is_empty(), "seed {seed}: donor must be warm");
+        peer_store.save(&exported).expect("save");
+
+        let service = ServiceConfig::default().with_gossip(1, vec![peer_dir.clone()]);
+        let mut joiner = ServingLoop::new(config, BatchPolicy::RoundRobin, service);
+        joiner.run(&traces, |tenant, step, out| {
+            assert_eq!(out, &oracle[tenant][step], "seed {seed} t{tenant} s{step}");
+        });
+        let warm = joiner.stats();
+        assert!(warm.gossip_plans_adopted > 0, "seed {seed}: {warm:?}");
+
+        // The donor exports again, but this time the file the sweep reads
+        // is rotted in flight. The joiner's cache is warm now; the rot
+        // must be caught by decode, quarantined, and change nothing.
+        peer_store
+            .save(&donor.shared_cache().export_hottest(256))
+            .expect("save");
+        let guard = faults::install(FaultPlan::seeded_peer_rot(seed));
+        joiner.run(&traces, |tenant, step, out| {
+            assert_eq!(out, &oracle[tenant][step], "seed {seed} t{tenant} s{step}");
+        });
+        let fired = guard.fired().rot_peer;
+        drop(guard);
+        assert!(
+            fired,
+            "seed {seed}: every-step sweeps must read the new file"
+        );
+
+        let stats = joiner.stats();
+        assert_eq!(
+            stats.gossip_plans_adopted, warm.gossip_plans_adopted,
+            "seed {seed}: nothing from the rotted file may be adopted"
+        );
+        let bad: Vec<_> = std::fs::read_dir(&peer_dir)
+            .expect("list peer dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "bad"))
+            .collect();
+        assert_eq!(
+            bad.len(),
+            1,
+            "seed {seed}: rotted file quarantined to *.bad"
+        );
+        // The first (valid) snapshot is still on disk and still loads —
+        // quarantine is surgical, not a directory wipe.
+        assert!(
+            peer_store.load_latest_valid().expect("walk").is_some(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Fleet-mode lifecycle edge: a gossip import racing the node's **own**
+/// background export — the peer directory under the sweep is the store the
+/// export thread is writing into. Saves are atomic (temp file + rename),
+/// so the sweep must never observe a torn file: no quarantine, no decode
+/// failure, outputs bit-identical throughout.
+#[test]
+fn self_gossip_import_races_local_export() {
+    faults::silence_injected_panics();
+    let dir = TempDir::new("self_gossip");
+    let mut rng = StdRng::seed_from_u64(0x5E1F);
+    let batch = random_batch(&mut rng);
+    let tile = TileShape::new(8, 8);
+    let config = EngineConfig::new(tile, 256);
+    let oracle = serial_private_oracle(&batch, config);
+    let traces = traces_of(&batch);
+    let store = Arc::new(SnapshotStore::new(&dir.0, 4).expect("store"));
+    // Export every 2 steps from the background thread, sweep the same
+    // directory every step from the serving thread.
+    let service = ServiceConfig::default()
+        .with_snapshots(2, 256)
+        .with_gossip(1, vec![dir.0.clone()]);
+    let mut serving = ServingLoop::new(config, BatchPolicy::RoundRobin, service)
+        .with_snapshot_store(Arc::clone(&store));
+    for round in 0..3 {
+        serving.run(&traces, |tenant, step, out| {
+            assert_eq!(
+                out, &oracle[tenant][step],
+                "round {round} t{tenant} s{step}"
+            );
+        });
+        let _ = serving.take_snapshots();
+    }
+    let stats = serving.stats();
+    assert!(stats.snapshots_exported > 0, "{stats:?}");
+    assert!(
+        stats.gossip_imports > 0,
+        "sweeps must see the local exports: {stats:?}"
+    );
+    assert_eq!(
+        store.quarantined(),
+        0,
+        "atomic saves must never surface a torn read: {stats:?}"
+    );
+    assert_eq!(stats.lane_faults, 0, "{stats:?}");
 }
 
 /// Lifecycle edge: admission-table GC keeps sweeping while a lane sits in
