@@ -1,0 +1,240 @@
+//! The checked-in finding baseline (`analyze.toml`) and its ratchet.
+//!
+//! Grandfathered findings live in a TOML file of `[[allow]]` tables. Two
+//! properties make the baseline a one-way ratchet:
+//!
+//! * a finding not covered by any entry fails the run (no silent growth);
+//! * an entry that no longer suppresses anything *also* fails the run
+//!   (stale entries must be deleted, so the baseline only shrinks).
+//!
+//! The parser is a hand-rolled subset of TOML — `[[allow]]` array tables
+//! with string/integer scalar keys and `#` comments — matching the repo's
+//! no-external-deps constraint. Entries match on `file` + `rule`, and
+//! optionally pin an exact `line`; a `reason` documents why the site is
+//! grandfathered.
+
+use crate::report::{Finding, Rule};
+
+/// One `[[allow]]` table.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub file: String,
+    pub rule: Rule,
+    /// When present, only a finding on exactly this line matches.
+    pub line: Option<u32>,
+    pub reason: String,
+    /// The line of `analyze.toml` this entry starts on (for stale reports).
+    pub at_line: u32,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// The outcome of filtering findings through the allowlist.
+#[derive(Debug)]
+pub struct Screened {
+    /// Findings no entry covered — each one fails the run.
+    pub unallowed: Vec<Finding>,
+    /// Findings an entry suppressed (reported only in verbose mode).
+    pub suppressed: Vec<Finding>,
+    /// Entries that suppressed nothing — each one fails the run (ratchet).
+    pub stale: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the `analyze.toml` format. Unknown keys are ignored;
+    /// structural errors (an entry without `file`/`rule`, an unknown rule
+    /// name) are reported with their line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        // Pending entry state: (file, rule, line, reason, at_line).
+        let mut cur: Option<PendingEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut cur, &mut entries)?;
+                cur = Some((None, None, None, String::new(), lineno));
+                continue;
+            }
+            if line.starts_with('[') {
+                // Some other table: close any open entry, then skip keys
+                // until the next [[allow]].
+                finish(&mut cur, &mut entries)?;
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("analyze.toml:{lineno}: expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(entry) = cur.as_mut() else {
+                continue; // key outside any [[allow]] table — ignore
+            };
+            match key {
+                "file" => entry.0 = Some(unquote(value, lineno)?),
+                "rule" => {
+                    let name = unquote(value, lineno)?;
+                    entry.1 =
+                        Some(Rule::parse(&name).ok_or_else(|| {
+                            format!("analyze.toml:{lineno}: unknown rule {name:?}")
+                        })?);
+                }
+                "line" => {
+                    entry.2 =
+                        Some(value.parse().map_err(|_| {
+                            format!("analyze.toml:{lineno}: line must be an integer")
+                        })?);
+                }
+                "reason" => entry.3 = unquote(value, lineno)?,
+                _ => {} // forward-compatible: ignore unknown keys
+            }
+        }
+        finish(&mut cur, &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+
+    /// Splits `findings` into unallowed / suppressed and reports entries
+    /// that matched nothing as stale.
+    pub fn screen(&self, findings: Vec<Finding>) -> Screened {
+        let mut used = vec![false; self.entries.len()];
+        let mut unallowed = Vec::new();
+        let mut suppressed = Vec::new();
+        for f in findings {
+            let mut hit = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.rule == f.rule && e.file == f.file && e.line.is_none_or(|l| l == f.line) {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            if hit {
+                suppressed.push(f);
+            } else {
+                unallowed.push(f);
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|&(_, &u)| !u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        Screened {
+            unallowed,
+            suppressed,
+            stale,
+        }
+    }
+}
+
+type PendingEntry = (Option<String>, Option<Rule>, Option<u32>, String, u32);
+
+fn finish(cur: &mut Option<PendingEntry>, out: &mut Vec<AllowEntry>) -> Result<(), String> {
+    if let Some((file, rule, line, reason, at_line)) = cur.take() {
+        let file =
+            file.ok_or_else(|| format!("analyze.toml:{at_line}: [[allow]] entry needs `file`"))?;
+        let rule =
+            rule.ok_or_else(|| format!("analyze.toml:{at_line}: [[allow]] entry needs `rule`"))?;
+        out.push(AllowEntry {
+            file,
+            rule,
+            line,
+            reason,
+            at_line,
+        });
+    }
+    Ok(())
+}
+
+/// Drops a `#` comment, respecting (simple, non-escaped) quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unquote(value: &str, lineno: u32) -> Result<String, String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("analyze.toml:{lineno}: expected a quoted string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: Rule) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            msg: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_screens() {
+        let toml = r#"
+            # baseline
+            [[allow]]
+            file = "tests/alloc.rs"
+            rule = "unsafe-hygiene"
+            reason = "counting allocator"
+
+            [[allow]]
+            file = "src/x.rs"
+            line = 10
+            rule = "hot-path-panic"
+            reason = "cold path"
+        "#;
+        let list = Allowlist::parse(toml).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        let screened = list.screen(vec![
+            finding("tests/alloc.rs", 5, Rule::UnsafeHygiene),
+            finding("tests/alloc.rs", 9, Rule::UnsafeHygiene),
+            finding("src/x.rs", 10, Rule::HotPathPanic),
+            finding("src/x.rs", 11, Rule::HotPathPanic),
+        ]);
+        assert_eq!(screened.suppressed.len(), 3);
+        assert_eq!(screened.unallowed.len(), 1);
+        assert_eq!(screened.unallowed[0].line, 11);
+        assert!(screened.stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let toml = "[[allow]]\nfile = \"a.rs\"\nrule = \"cfg-feature\"\n";
+        let list = Allowlist::parse(toml).unwrap();
+        let screened = list.screen(vec![]);
+        assert_eq!(screened.stale.len(), 1);
+        assert_eq!(screened.stale[0].file, "a.rs");
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let toml = "[[allow]]\nfile = \"a.rs\"\nrule = \"bogus\"\n";
+        assert!(Allowlist::parse(toml).is_err());
+    }
+
+    #[test]
+    fn entry_missing_file_is_an_error() {
+        let toml = "[[allow]]\nrule = \"cfg-feature\"\n";
+        assert!(Allowlist::parse(toml).is_err());
+    }
+}

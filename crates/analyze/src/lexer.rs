@@ -1,0 +1,421 @@
+//! A hand-rolled Rust lexer: comment-, string-, and char-literal-aware.
+//!
+//! The analyzer's rules are token-shape patterns ("`lock_shard` followed by
+//! `(`", "`.unwrap()` inside a region"), so the lexer's one job is to
+//! classify source bytes well enough that **prose never masquerades as
+//! code**: identifiers inside comments, strings, raw strings, byte strings,
+//! and char literals must come out as [`TokKind::Comment`] / [`TokKind::Str`]
+//! / [`TokKind::Char`] tokens, never as [`TokKind::Ident`]s. In the same
+//! spirit as the repo's `trace_io` codec, there are no dependencies — the
+//! grammar subset implemented here is exactly what the rules consume.
+//!
+//! The lexer is *lossless enough*: every non-whitespace byte lands in some
+//! token, each token carries its 1-based source line, and comments keep
+//! their text so marker comments (`// analyze: hot-path`, `// SAFETY:`) can
+//! be recognized downstream.
+
+/// Token classes the rule passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `lock_shard`, ...).
+    Ident,
+    /// Numeric literal (`12`, `0x0F`, `1.5`, `64usize`).
+    Num,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Life,
+    /// Single punctuation byte (`{`, `.`, `#`, ...).
+    Punct,
+    /// Non-doc comment (`// ...`, `/* ... */`), text preserved.
+    Comment,
+    /// Doc comment (`/// ...`, `//! ...`, `/** ... */`), text preserved.
+    DocComment,
+}
+
+/// One lexed token: kind, raw text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment | TokKind::DocComment)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation byte `p`.
+    pub fn is_punct(&self, p: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == p as u8
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// simply consume to end-of-input (the analyzer lints real, compiling
+/// code; graceful degradation beats erroring on fixtures).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        s: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.s.len() {
+            let b = self.s[self.i];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct, self.i, self.i + 1, self.line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        self.out.push(Tok {
+            kind,
+            text: String::from_utf8_lossy(&self.s[start..end]).into_owned(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        // Doc: `///` (but not `////`) or `//!`.
+        let doc = (self.peek(2) == Some(b'/') && self.peek(3) != Some(b'/'))
+            || self.peek(2) == Some(b'!');
+        while self.i < self.s.len() && self.s[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let kind = if doc {
+            TokKind::DocComment
+        } else {
+            TokKind::Comment
+        };
+        self.push(kind, start, self.i, line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let doc = (self.peek(2) == Some(b'*') && self.peek(3) != Some(b'*'))
+            || self.peek(2) == Some(b'!');
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.s.len() && depth > 0 {
+            if self.s[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if self.s[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.s[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        let kind = if doc {
+            TokKind::DocComment
+        } else {
+            TokKind::Comment
+        };
+        self.push(kind, start, self.i, line);
+    }
+
+    /// Ordinary (or byte) string starting at the `"`; `start` marks where
+    /// the token text begins (before a `b` prefix, if any).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\\' => self.i += 2, // escape: skip the escaped byte
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Str, start, self.i.min(self.s.len()), line);
+    }
+
+    /// Raw string starting at the first `#` or `"` after the `r` prefix;
+    /// `start` marks the token text start.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while self.i < self.s.len() {
+            if self.s[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if self.s[self.i] == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.s.get(self.i + 1 + h) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                self.i += 1;
+                if ok {
+                    self.i += hashes;
+                    break;
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+        self.push(TokKind::Str, start, self.i.min(self.s.len()), line);
+    }
+
+    /// Handles `r"`, `r#"`, `br"`, `b"`, `b'`, and raw identifiers
+    /// (`r#ident`). Returns false when the `r`/`b` is a plain identifier
+    /// start, leaving the position untouched.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let start = self.i;
+        let b0 = self.s[self.i];
+        match (b0, self.peek(1), self.peek(2)) {
+            (b'r', Some(b'"'), _) => {
+                self.i += 1;
+                self.raw_string(start);
+                true
+            }
+            (b'r', Some(b'#'), Some(n)) if n == b'"' || n == b'#' => {
+                self.i += 1;
+                self.raw_string(start);
+                true
+            }
+            // Raw identifier `r#name`: lex as the identifier itself.
+            (b'r', Some(b'#'), Some(n)) if is_ident_start(n) => {
+                self.i += 2;
+                self.ident();
+                true
+            }
+            (b'b', Some(b'"'), _) => {
+                self.i += 1;
+                self.string(start);
+                true
+            }
+            (b'b', Some(b'r'), Some(n)) if n == b'"' || n == b'#' => {
+                self.i += 2;
+                self.raw_string(start);
+                true
+            }
+            (b'b', Some(b'\''), _) => {
+                self.i += 1;
+                self.char_lit(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A `'` begins either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        match (self.peek(1), self.peek(2)) {
+            // Escape: definitely a char literal.
+            (Some(b'\\'), _) => self.char_lit(start),
+            // 'x' (identifier byte then closing quote): char literal.
+            (Some(c), Some(b'\'')) if is_ident_byte(c) => self.char_lit(start),
+            // 'ident with no closing quote: lifetime.
+            (Some(c), _) if is_ident_start(c) => {
+                let line = self.line;
+                self.i += 1;
+                while self.i < self.s.len() && is_ident_byte(self.s[self.i]) {
+                    self.i += 1;
+                }
+                self.push(TokKind::Life, start, self.i, line);
+            }
+            // Anything else ('{', '∆', ...) is a char literal.
+            _ => self.char_lit(start),
+        }
+    }
+
+    fn char_lit(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => break, // unterminated; don't eat the file
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Char, start, self.i.min(self.s.len()), line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.s.len() {
+            let b = self.s[self.i];
+            if is_ident_byte(b) {
+                self.i += 1;
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                && !self.s[start..self.i].contains(&b'.')
+            {
+                self.i += 1; // 1.5, but never 1..5 and only one dot
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, self.i, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while self.i < self.s.len() && is_ident_byte(self.s[self.i]) {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident, start, self.i, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_in_strings_and_comments_never_leak() {
+        let toks = kinds(
+            r##"
+            // unwrap in a comment
+            let s = "unwrap()";
+            let r = r#"lock_shard("x")"#;
+            let c = 'u';
+            /* build_tiled */
+            "##,
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "unwrap" || t.contains("lock_shard"))));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Comment && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Life && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "str"));
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let toks = kinds(r"let a = '\''; let b = '\u{1F600}'; let c = '{';");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+        // The code after each literal still lexes.
+        assert_eq!(toks.iter().filter(|(_, t)| t == "let").count(), 3);
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let toks = lex("/// # Safety\n//! inner\n// plain\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::DocComment);
+        assert!(toks[0].text.contains("# Safety"));
+        assert_eq!(toks[1].kind, TokKind::DocComment);
+        assert_eq!(toks[2].kind, TokKind::Comment);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("a[1..HEADER_BYTES]; x = 1.5; y = 0x0F;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0x0F"));
+        // The range dots survive as punctuation.
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ fn f() {}");
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+    }
+}

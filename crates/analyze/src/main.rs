@@ -1,0 +1,125 @@
+//! CLI for `prosperity-analyze`.
+//!
+//! ```text
+//! prosperity-analyze [--workspace | --root DIR] [--allowlist FILE] [--verbose]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` non-allowlisted findings or stale allowlist
+//! entries, `2` usage or IO error.
+
+use prosperity_analyze::allowlist::Allowlist;
+use prosperity_analyze::{analyze_root, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    workspace: bool,
+    allowlist: Option<PathBuf>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        workspace: false,
+        allowlist: None,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist needs a file argument")?;
+                args.allowlist = Some(PathBuf::from(v));
+            }
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: prosperity-analyze [--workspace | --root DIR] \
+                     [--allowlist FILE] [--verbose]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match (&args.root, args.workspace) {
+        (Some(r), _) => r.clone(),
+        (None, _) => {
+            // --workspace is also the default: find the enclosing workspace.
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no enclosing Cargo workspace found (try --root DIR)")?
+        }
+    };
+
+    let allowlist_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| root.join("analyze.toml"));
+    let allowlist = if allowlist_path.exists() {
+        let text = std::fs::read_to_string(&allowlist_path)
+            .map_err(|e| format!("{}: {e}", allowlist_path.display()))?;
+        Allowlist::parse(&text)?
+    } else if args.allowlist.is_some() {
+        return Err(format!("{}: not found", allowlist_path.display()));
+    } else {
+        Allowlist::default()
+    };
+
+    let findings = analyze_root(&root)?;
+    let screened = allowlist.screen(findings);
+
+    if args.verbose {
+        for f in &screened.suppressed {
+            println!("allowed: {f}");
+        }
+    }
+    for f in &screened.unallowed {
+        println!("{f}");
+    }
+    for e in &screened.stale {
+        println!(
+            "analyze.toml:{}: stale allowlist entry ({}, {}) no longer fires; delete it",
+            e.at_line,
+            e.file,
+            e.rule.name()
+        );
+    }
+
+    let clean = screened.unallowed.is_empty() && screened.stale.is_empty();
+    println!(
+        "prosperity-analyze: {} finding(s), {} allowlisted, {} stale allowlist entr{}",
+        screened.unallowed.len(),
+        screened.suppressed.len(),
+        screened.stale.len(),
+        if screened.stale.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("prosperity-analyze: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

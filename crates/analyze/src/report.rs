@@ -1,0 +1,86 @@
+//! Findings and diagnostic rendering.
+
+use std::fmt;
+
+/// The five rule passes, used as stable diagnostic identifiers (these are
+/// the `rule = "..."` names `analyze.toml` entries reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Planning, snapshot codec, or file IO under a shard/recovery lock.
+    LockDiscipline,
+    /// `unwrap`/`expect`/`panic!`/non-literal indexing in an
+    /// `// analyze: hot-path` region.
+    HotPathPanic,
+    /// `unsafe` without a `// SAFETY:` comment / `# Safety` doc section,
+    /// or outside the allowlisted files.
+    UnsafeHygiene,
+    /// A stats-struct counter field never read by any test or the bench
+    /// JSON contract script.
+    CounterCoverage,
+    /// `#[cfg(feature = "...")]` naming a feature the owning crate's
+    /// `Cargo.toml` does not declare.
+    CfgFeature,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::LockDiscipline,
+        Rule::HotPathPanic,
+        Rule::UnsafeHygiene,
+        Rule::CounterCoverage,
+        Rule::CfgFeature,
+    ];
+
+    /// The stable name used in diagnostics and allowlist entries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::HotPathPanic => "hot-path-panic",
+            Rule::UnsafeHygiene => "unsafe-hygiene",
+            Rule::CounterCoverage => "counter-coverage",
+            Rule::CfgFeature => "cfg-feature",
+        }
+    }
+
+    /// Parses an allowlist `rule = "..."` name.
+    pub fn parse(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: `file:line:rule` plus a human explanation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the analyzed root, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub rule: Rule,
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+/// Sorts findings for stable output: by file, then line, then rule name.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
+}

@@ -1,0 +1,210 @@
+//! Brace-matched scope tracking over a lexed token stream.
+//!
+//! [`Scoped`] wraps one file's tokens with the structural indices every
+//! rule pass needs: matching `()`/`[]`/`{}` pairs, the innermost enclosing
+//! brace of each token, and comment-skipping neighbor lookups. Matching is
+//! purely token-based — the lexer already guaranteed that delimiters inside
+//! comments, strings, and char literals are not tokens — so an unbalanced
+//! file degrades gracefully (unmatched delimiters simply have no partner)
+//! instead of derailing the pass.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A lexed file plus its delimiter structure.
+pub struct Scoped {
+    pub toks: Vec<Tok>,
+    /// `match_of[i]` = index of the partner delimiter for an open or close
+    /// delimiter at `i`; `usize::MAX` for non-delimiters and unmatched ones.
+    match_of: Vec<usize>,
+    /// `encl[i]` = token index of the innermost `{` strictly containing
+    /// token `i`; `usize::MAX` at top level.
+    encl: Vec<usize>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl Scoped {
+    pub fn new(toks: Vec<Tok>) -> Self {
+        let mut match_of = vec![NONE; toks.len()];
+        let mut encl = vec![NONE; toks.len()];
+        // One stack per delimiter family, so a stray `)` cannot unbalance
+        // brace tracking.
+        let mut parens = Vec::new();
+        let mut brackets = Vec::new();
+        let mut braces = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            encl[i] = braces.last().copied().unwrap_or(NONE);
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_bytes().first() {
+                Some(b'(') => parens.push(i),
+                Some(b'[') => brackets.push(i),
+                Some(b'{') => braces.push(i),
+                Some(b')') => {
+                    if let Some(o) = parens.pop() {
+                        match_of[o] = i;
+                        match_of[i] = o;
+                    }
+                }
+                Some(b']') => {
+                    if let Some(o) = brackets.pop() {
+                        match_of[o] = i;
+                        match_of[i] = o;
+                    }
+                }
+                Some(b'}') => {
+                    if let Some(o) = braces.pop() {
+                        match_of[o] = i;
+                        match_of[i] = o;
+                        // The close brace belongs to the outer scope.
+                        encl[i] = braces.last().copied().unwrap_or(NONE);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self {
+            toks,
+            match_of,
+            encl,
+        }
+    }
+
+    /// Partner index of the delimiter at `i`, if matched.
+    pub fn matching(&self, i: usize) -> Option<usize> {
+        let m = *self.match_of.get(i)?;
+        (m != NONE).then_some(m)
+    }
+
+    /// Index of the innermost `{` strictly containing token `i`.
+    pub fn enclosing_brace(&self, i: usize) -> Option<usize> {
+        let e = *self.encl.get(i)?;
+        (e != NONE).then_some(e)
+    }
+
+    /// Next non-comment token at or after `i`.
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        while let Some(t) = self.toks.get(i) {
+            if !t.is_comment() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Previous non-comment token at or before `i`.
+    pub fn prev_code(&self, mut i: usize) -> Option<usize> {
+        loop {
+            let t = self.toks.get(i)?;
+            if !t.is_comment() {
+                return Some(i);
+            }
+            i = i.checked_sub(1)?;
+        }
+    }
+
+    /// End (exclusive) of the statement containing token `i`: scans forward
+    /// for a `;` at the same delimiter nesting, stopping early at a `}`
+    /// that closes the enclosing scope. Used to bound the lifetime of a
+    /// temporary (un-bound) lock guard.
+    pub fn statement_end(&self, i: usize) -> usize {
+        let mut depth = 0isize;
+        for (j, t) in self.toks.iter().enumerate().skip(i) {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_bytes().first() {
+                Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                Some(b')') | Some(b']') => depth -= 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return j;
+                    }
+                }
+                Some(b';') if depth <= 0 => return j + 1,
+                _ => {}
+            }
+        }
+        self.toks.len()
+    }
+
+    /// First code token of the statement containing `i`: walks back to the
+    /// nearest `;`, `{`, or `}` at the same nesting and returns the index
+    /// just after it.
+    pub fn statement_start(&self, i: usize) -> usize {
+        let mut depth = 0isize;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = &self.toks[j];
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_bytes().first() {
+                Some(b')') | Some(b']') | Some(b'}') => depth += 1,
+                Some(b'(') | Some(b'[') => depth -= 1,
+                Some(b'{') => {
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                    depth -= 1;
+                }
+                Some(b';') if depth == 0 => return j + 1,
+                _ => {}
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scoped(src: &str) -> Scoped {
+        Scoped::new(lex(src))
+    }
+
+    #[test]
+    fn braces_match_and_enclose() {
+        let s = scoped("fn f() { if x { y(); } }");
+        let opens: Vec<usize> = s
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_punct('{'))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(opens.len(), 2);
+        let outer_close = s.matching(opens[0]).unwrap();
+        let inner_close = s.matching(opens[1]).unwrap();
+        assert!(inner_close < outer_close);
+        // `y` is enclosed by the inner brace.
+        let y = s.toks.iter().position(|t| t.is_ident("y")).unwrap();
+        assert_eq!(s.enclosing_brace(y), Some(opens[1]));
+    }
+
+    #[test]
+    fn statement_bounds() {
+        let s = scoped("{ let a = f(b, c); g(); }");
+        let f = s.toks.iter().position(|t| t.is_ident("f")).unwrap();
+        let start = s.statement_start(f);
+        assert!(s.toks[start].is_ident("let"));
+        let end = s.statement_end(f);
+        assert!(s.toks[end - 1].is_punct(';'));
+        // The statement ends before `g`.
+        let g = s.toks.iter().position(|t| t.is_ident("g")).unwrap();
+        assert!(end <= g);
+    }
+
+    #[test]
+    fn stray_close_paren_does_not_unbalance_braces() {
+        let s = scoped("fn f() { ) let x = 1; }");
+        let open = s.toks.iter().position(|t| t.is_punct('{')).unwrap();
+        assert!(s.matching(open).is_some());
+    }
+}

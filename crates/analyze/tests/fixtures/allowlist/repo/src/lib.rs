@@ -1,0 +1,7 @@
+//! Fixture: one unsafe-hygiene finding (unsafe outside the allowlisted
+//! files) for the allowlist tests to suppress.
+
+fn peek(byte: &u8) -> u8 {
+    // SAFETY: `byte` is a live reference, so the pointer is valid.
+    unsafe { *(byte as *const u8) }
+}

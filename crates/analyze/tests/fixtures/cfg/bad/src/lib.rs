@@ -1,0 +1,8 @@
+//! Fixture: `#[cfg(feature = "simd")]` names a feature the manifest does
+//! not declare.
+
+#[cfg(feature = "parallel")]
+pub fn par() {}
+
+#[cfg(feature = "simd")]
+pub fn simd() {}

@@ -1,0 +1,13 @@
+//! Fixture twin of cfg/bad: both gated features are declared.
+
+#[cfg(feature = "parallel")]
+pub fn par() {}
+
+#[cfg(feature = "simd")]
+pub fn simd() {}
+
+#[cfg(feature = "rayon")]
+pub fn via_optional_dep() {}
+
+#[cfg(target_arch = "x86_64")]
+pub fn not_a_feature_gate() {}

@@ -1,0 +1,7 @@
+//! Observes only `lane_steps`; `deadline_misses` is left to rot.
+
+#[test]
+fn observes_lane_steps() {
+    let stats = SchedulerStats::default();
+    assert_eq!(stats.lane_steps, 0);
+}

@@ -1,0 +1,10 @@
+//! Fixture twin: every field of the stats struct is observed by a test.
+
+/// Scheduler counters (fixture twin of the real struct).
+#[derive(Debug, Default)]
+pub struct SchedulerStats {
+    /// Steps executed across all lanes.
+    pub lane_steps: u64,
+    /// Quanta that overran their deadline.
+    pub deadline_misses: u64,
+}

@@ -1,0 +1,8 @@
+//! Observes every counter: one by field access, one via a JSON key string.
+
+#[test]
+fn observes_every_counter() {
+    let stats = SchedulerStats::default();
+    assert_eq!(stats.lane_steps, 0);
+    assert!(to_json(&stats).contains("\"deadline_misses\""));
+}

@@ -1,0 +1,10 @@
+//! Fixture: panic paths inside a hot-path region.
+
+// analyze: hot-path
+fn accumulate(acc: &mut [i64], src: &[i64], idx: usize) {
+    let v = src.get(idx).unwrap();
+    acc[idx] += *v;
+    if idx >= acc.len() {
+        panic!("index out of range");
+    }
+}

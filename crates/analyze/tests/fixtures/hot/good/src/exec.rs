@@ -1,0 +1,21 @@
+//! Fixture twin: the same region written with infallible patterns. Literal
+//! and SCREAMING_CASE-const indices are allowed; code outside the marked
+//! region is not patrolled.
+
+const HEADER_WORDS: usize = 2;
+
+// analyze: hot-path
+fn accumulate(acc: &mut [i64], src: &[i64], idx: usize) {
+    let Some(v) = src.get(idx) else {
+        return;
+    };
+    if let Some(slot) = acc.get_mut(idx) {
+        *slot += *v;
+    }
+    let header = &acc[0..HEADER_WORDS];
+    let _ = header;
+}
+
+fn cold(v: &[i64], i: usize) -> i64 {
+    v[i]
+}

@@ -1,0 +1,15 @@
+//! Fixture: planning and file IO performed inside guard scopes.
+
+impl Engine {
+    fn refresh(&self) {
+        let mut shard = self.lock_shard(0);
+        let plan = self.build_tiled_plan(&self.matrix);
+        shard.install(plan);
+    }
+
+    fn persist(&self) {
+        let guard = self.lock_recovering();
+        let bytes = std::fs::read(&self.path);
+        guard.absorb(bytes);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture twin: planning and IO happen before the lock is taken, and a
+//! temporary guard's scope ends with its statement.
+
+impl Engine {
+    fn refresh(&self) {
+        let plan = self.build_tiled_plan(&self.matrix);
+        let bytes = std::fs::read(&self.path);
+        let mut shard = self.lock_shard(0);
+        shard.install(plan);
+        shard.absorb(bytes);
+    }
+
+    fn count(&self) -> usize {
+        let n = self.lock_shard(0).cache.len();
+        self.build_tiled_plan(&self.matrix);
+        n
+    }
+}

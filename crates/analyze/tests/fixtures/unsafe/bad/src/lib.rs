@@ -1,0 +1,9 @@
+//! Fixture: `unsafe` in a file outside the allowlisted set.
+
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}
+
+fn caller(p: *const u8) -> u8 {
+    unsafe { read_raw(p) }
+}

@@ -182,6 +182,7 @@ impl GossipPeer {
     /// Opening the store is retried on every sweep until it succeeds; IO
     /// and decode failures never escape (corrupt files are quarantined by
     /// the walk, unreadable ones retried next sweep).
+    // analyze: hot-path
     fn sweep(&mut self, shared: &SharedPlanCache, tile: TileShape) -> (u64, u64, u64) {
         if self.store.is_none() {
             self.store = SnapshotStore::new(&self.dir, 1).ok();

@@ -530,6 +530,7 @@ impl<T: Element> Session<T> {
     /// # Panics
     ///
     /// Panics if `spikes.cols() != weights.rows()` (checked at plan time).
+    // analyze: hot-path
     pub fn gemm_slice(
         &mut self,
         spikes: &SpikeMatrix,
@@ -545,6 +546,7 @@ impl<T: Element> Session<T> {
 
     /// Strictly single-threaded [`Session::gemm_slice`]; the oracle the
     /// parallel sliced path is property-tested against.
+    // analyze: hot-path
     pub fn gemm_slice_serial(
         &mut self,
         spikes: &SpikeMatrix,
@@ -601,6 +603,7 @@ impl<T: Element> Session<T> {
     }
 
     /// The `[start, start + count)` row-tile range the next slice covers.
+    // analyze: hot-path
     fn slice_bounds(&self, max_row_tiles: usize) -> (usize, usize) {
         let start = self.cursor.next_row_tile;
         let remaining = self.cursor.row_tiles - start;
@@ -614,6 +617,7 @@ impl<T: Element> Session<T> {
 
     /// Advances the cursor past an executed slice, disarming it on the
     /// GeMM's last row-tile.
+    // analyze: hot-path
     fn slice_advance(&mut self, count: usize) -> SliceRun {
         self.cursor.next_row_tile += count;
         let done = self.cursor.next_row_tile >= self.cursor.row_tiles;
@@ -681,6 +685,7 @@ impl<T: Element> Session<T> {
     /// Executes `count` row-tiles starting at row group `start` of the last
     /// plan into their chunks of `out`; the group's ready row-tiles fan out
     /// across rayon workers.
+    // analyze: hot-path
     #[cfg(feature = "parallel")]
     fn execute_slice(
         &self,
@@ -712,9 +717,15 @@ impl<T: Element> Session<T> {
             .take(count)
             .collect();
         row_chunks.into_par_iter().for_each(|(ti, chunk)| {
+            // chunks_mut sizing guarantees ti indexes a planned row group,
+            // so the range is always valid; `get` keeps the warm dispatch
+            // loop free of panic paths.
+            let Some(tiles) = self.tiles.get(ti * gk..(ti + 1) * gk) else {
+                return;
+            };
             let mut s = self.pool.take_exec();
             execute_row_tile(
-                &self.tiles[ti * gk..(ti + 1) * gk],
+                tiles,
                 weights,
                 chunk,
                 &mut s.arena,
@@ -728,6 +739,7 @@ impl<T: Element> Session<T> {
 
     /// Executes `count` row-tiles starting at row group `start` of the last
     /// plan into their chunks of `out` (serial build).
+    // analyze: hot-path
     #[cfg(not(feature = "parallel"))]
     fn execute_slice(
         &self,
@@ -741,6 +753,7 @@ impl<T: Element> Session<T> {
 
     /// Single-threaded slice executor (shared with the serial whole-GeMM
     /// path via [`execute_row_tiles`]).
+    // analyze: hot-path
     fn execute_slice_serial(
         &self,
         weights: &WeightMatrix<T>,

@@ -220,6 +220,7 @@ impl PlanSnapshot {
     /// buffer), and the checksum bytes are backpatched — so a warm buffer
     /// makes the whole encode allocation-free. The export thread's
     /// [`super::SnapshotStore`] holds one such buffer per store.
+    // analyze: hot-path
     pub fn encode_into(&self, buf: &mut BytesMut) {
         buf.clear();
         buf.put_slice(MAGIC);
@@ -350,6 +351,7 @@ fn need(buf: &Bytes, n: usize) -> Result<(), SnapshotError> {
     }
 }
 
+// analyze: hot-path
 fn encode_entry(buf: &mut BytesMut, entry: &SnapshotEntry) {
     buf.put_u64_le(entry.hash);
     buf.put_u64_le(entry.hits);

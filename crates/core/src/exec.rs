@@ -366,6 +366,7 @@ pub(crate) fn execute_row_tiles<T: Copy + Default + AddAssign + 'static, V: Tile
 
 /// Streams the pattern bits of every `k`-tile of row `r` through one
 /// accumulation pass into `acc` (the simple-row fast path).
+// analyze: hot-path
 #[inline]
 fn accumulate_row_all_tiles<T: Copy + Default + AddAssign + 'static, V: TileExec>(
     acc: &mut [T],
@@ -378,7 +379,11 @@ fn accumulate_row_all_tiles<T: Copy + Default + AddAssign + 'static, V: TileExec
     for tile in k_tiles {
         let meta = tile.meta();
         let wpr = meta.pattern_words();
-        let pattern = &meta.pattern_limbs[r * wpr..(r + 1) * wpr];
+        // The planner sizes pattern_limbs to rows * wpr, so the range is
+        // always valid; `get` keeps the warm loop free of panic paths.
+        let Some(pattern) = meta.pattern_limbs.get(r * wpr..(r + 1) * wpr) else {
+            continue;
+        };
         accumulate_pattern(acc, pattern, tile.col_start(), wdata, wrows, n);
     }
 }
@@ -386,6 +391,7 @@ fn accumulate_row_all_tiles<T: Copy + Default + AddAssign + 'static, V: TileExec
 /// Steps 10–11: decode the row's packed pattern limbs by bit-scan-forward
 /// and accumulate the selected weight rows into `acc` via
 /// [`add_assign_slice`].
+// analyze: hot-path
 #[inline]
 fn accumulate_pattern<T: Copy + Default + AddAssign + 'static>(
     acc: &mut [T],
@@ -411,7 +417,12 @@ fn accumulate_pattern<T: Copy + Default + AddAssign + 'static>(
             if wk >= wrows {
                 continue; // zero-padded tile column
             }
-            add_assign_slice(acc, &wdata[wk * n..wk * n + n]);
+            // wk < wrows and wdata holds wrows * n elements, so the range
+            // is always valid; `get` keeps this loop free of panic paths.
+            let Some(src) = wdata.get(wk * n..wk * n + n) else {
+                continue;
+            };
+            add_assign_slice(acc, src);
         }
     }
 }
@@ -424,6 +435,7 @@ fn accumulate_pattern<T: Copy + Default + AddAssign + 'static>(
 /// type, build, and short slice runs the scalar zip loop (bounds-check-free,
 /// so the compiler autovectorizes it where profitable). Both paths produce
 /// identical bits for integer elements.
+// analyze: hot-path
 #[inline]
 fn add_assign_slice<T: Copy + AddAssign + 'static>(dst: &mut [T], src: &[T]) {
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
@@ -496,6 +508,13 @@ mod simd_accum {
 
     /// [`super::accumulate_pattern`] for `i64`, bit scan and adds fused in
     /// one AVX2 region ([`add_i64`] inlines here — same target feature).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support
+    /// (`spikemat::simd::active()`), and `acc` must hold at least `n`
+    /// elements.
+    // analyze: hot-path
     #[target_feature(enable = "avx2")]
     unsafe fn pattern_i64(
         acc: &mut [i64],
@@ -514,13 +533,22 @@ mod simd_accum {
                 if wk >= wrows {
                     continue; // zero-padded tile column
                 }
-                let src = &wdata[wk * n..wk * n + n];
-                add_i64(acc.as_mut_ptr(), src.as_ptr(), n);
+                let Some(src) = wdata.get(wk * n..wk * n + n) else {
+                    continue; // wk < wrows makes the range valid
+                };
+                // SAFETY: AVX2 already verified by the caller; src has
+                // exactly n elements and acc at least n.
+                unsafe { add_i64(acc.as_mut_ptr(), src.as_ptr(), n) };
             }
         }
     }
 
     /// [`super::accumulate_pattern`] for `i32` (see [`pattern_i64`]).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`pattern_i64`].
+    // analyze: hot-path
     #[target_feature(enable = "avx2")]
     unsafe fn pattern_i32(
         acc: &mut [i32],
@@ -539,8 +567,12 @@ mod simd_accum {
                 if wk >= wrows {
                     continue; // zero-padded tile column
                 }
-                let src = &wdata[wk * n..wk * n + n];
-                add_i32(acc.as_mut_ptr(), src.as_ptr(), n);
+                let Some(src) = wdata.get(wk * n..wk * n + n) else {
+                    continue; // wk < wrows makes the range valid
+                };
+                // SAFETY: AVX2 already verified by the caller; src has
+                // exactly n elements and acc at least n.
+                unsafe { add_i32(acc.as_mut_ptr(), src.as_ptr(), n) };
             }
         }
     }
@@ -569,33 +601,52 @@ mod simd_accum {
 
     /// `dst[i] += src[i]`, four `i64` lanes per instruction. Vector adds
     /// wrap on overflow, matching release-mode scalar `+=`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support, and `dst`/`src` must
+    /// each be valid for `n` elements.
+    // analyze: hot-path
     #[target_feature(enable = "avx2")]
     unsafe fn add_i64(dst: *mut i64, src: *const i64, n: usize) {
         let mut i = 0usize;
         while i + 4 <= n {
-            let d = _mm256_loadu_si256(dst.add(i).cast());
-            let s = _mm256_loadu_si256(src.add(i).cast());
-            _mm256_storeu_si256(dst.add(i).cast(), _mm256_add_epi64(d, s));
+            // SAFETY: i + 4 <= n keeps every unaligned lane in bounds.
+            unsafe {
+                let d = _mm256_loadu_si256(dst.add(i).cast());
+                let s = _mm256_loadu_si256(src.add(i).cast());
+                _mm256_storeu_si256(dst.add(i).cast(), _mm256_add_epi64(d, s));
+            }
             i += 4;
         }
         while i < n {
-            *dst.add(i) = (*dst.add(i)).wrapping_add(*src.add(i));
+            // SAFETY: i < n, so both element reads and the write are valid.
+            unsafe { *dst.add(i) = (*dst.add(i)).wrapping_add(*src.add(i)) };
             i += 1;
         }
     }
 
     /// `dst[i] += src[i]`, eight `i32` lanes per instruction.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`add_i64`].
+    // analyze: hot-path
     #[target_feature(enable = "avx2")]
     unsafe fn add_i32(dst: *mut i32, src: *const i32, n: usize) {
         let mut i = 0usize;
         while i + 8 <= n {
-            let d = _mm256_loadu_si256(dst.add(i).cast());
-            let s = _mm256_loadu_si256(src.add(i).cast());
-            _mm256_storeu_si256(dst.add(i).cast(), _mm256_add_epi32(d, s));
+            // SAFETY: i + 8 <= n keeps every unaligned lane in bounds.
+            unsafe {
+                let d = _mm256_loadu_si256(dst.add(i).cast());
+                let s = _mm256_loadu_si256(src.add(i).cast());
+                _mm256_storeu_si256(dst.add(i).cast(), _mm256_add_epi32(d, s));
+            }
             i += 8;
         }
         while i < n {
-            *dst.add(i) = (*dst.add(i)).wrapping_add(*src.add(i));
+            // SAFETY: i < n, so both element reads and the write are valid.
+            unsafe { *dst.add(i) = (*dst.add(i)).wrapping_add(*src.add(i)) };
             i += 1;
         }
     }

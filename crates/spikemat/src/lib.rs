@@ -22,6 +22,7 @@
 //!   feature, with the portable scalar code kept as the property-tested
 //!   oracle.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -146,6 +146,10 @@ pub(crate) mod avx2 {
 
     /// OR-reduce a 256-bit accumulator to one `u64` without a stack
     /// round-trip: high half onto low half, then the two 64-bit lanes.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support ([`super::active`]).
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn fold_or(v: __m256i) -> u64 {
@@ -158,6 +162,10 @@ pub(crate) mod avx2 {
 
     /// Vector popcount via the nibble-LUT (`pshufb`) method, accumulated
     /// with `psadbw` into four 64-bit lanes.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support ([`super::active`]).
     #[target_feature(enable = "avx2")]
     pub(crate) unsafe fn popcount(limbs: &[u64]) -> u64 {
         #[rustfmt::skip]
@@ -170,7 +178,8 @@ pub(crate) mod avx2 {
         let mut acc = zero;
         let mut i = 0usize;
         while i + 4 <= limbs.len() {
-            let v = _mm256_loadu_si256(limbs.as_ptr().add(i).cast());
+            // SAFETY: i + 4 <= len keeps the unaligned load in bounds.
+            let v = unsafe { _mm256_loadu_si256(limbs.as_ptr().add(i).cast()) };
             let lo = _mm256_and_si256(v, low);
             let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
             let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
@@ -178,7 +187,8 @@ pub(crate) mod avx2 {
             i += 4;
         }
         let mut lanes = [0u64; 4];
-        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        // SAFETY: `lanes` is exactly the store's 32-byte width.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc) };
         let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
         while i < limbs.len() {
             total += u64::from(limbs[i].count_ones());
@@ -189,13 +199,22 @@ pub(crate) mod avx2 {
 
     /// Vector subset test: accumulate `sub & !sup` and test for any
     /// surviving bit per vector (early exit on the first violation).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support ([`super::active`]).
     #[target_feature(enable = "avx2")]
     pub(crate) unsafe fn subset_all(sub: &[u64], sup: &[u64]) -> bool {
         let n = sub.len().min(sup.len());
         let mut i = 0usize;
         while i + 4 <= n {
-            let a = _mm256_loadu_si256(sub.as_ptr().add(i).cast());
-            let b = _mm256_loadu_si256(sup.as_ptr().add(i).cast());
+            // SAFETY: i + 4 <= n keeps both unaligned loads in bounds.
+            let (a, b) = unsafe {
+                (
+                    _mm256_loadu_si256(sub.as_ptr().add(i).cast()),
+                    _mm256_loadu_si256(sup.as_ptr().add(i).cast()),
+                )
+            };
             // andnot(b, a) = !b & a: the bits of `sub` missing from `sup`.
             let viol = _mm256_andnot_si256(b, a);
             if _mm256_testz_si256(viol, viol) == 0 {
@@ -217,6 +236,10 @@ pub(crate) mod avx2 {
     /// lane mask (built once, all-ones in every other lane) that clears
     /// only `self_bit` in that lane, so the fold equals the scalar
     /// oracle's bit-for-bit.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support ([`super::active`]).
     #[target_feature(enable = "avx2")]
     pub(crate) unsafe fn intersect_fold(
         acc: &mut [u64],
@@ -235,14 +258,19 @@ pub(crate) mod avx2 {
         };
         let mut lanes = [!0u64; 4];
         lanes[self_word & 3] = !self_bit;
-        let vself = _mm256_loadu_si256(lanes.as_ptr().cast());
+        // SAFETY: `lanes` is exactly the load's 32-byte width.
+        let vself = unsafe { _mm256_loadu_si256(lanes.as_ptr().cast()) };
         let mut w = 0usize;
         while w + 4 <= n {
-            let pa = acc.as_mut_ptr().add(w).cast::<__m256i>();
-            let va = _mm256_loadu_si256(pa);
-            let vm = _mm256_loadu_si256(mask.as_ptr().add(w).cast());
-            let vand = _mm256_and_si256(va, vm);
-            _mm256_storeu_si256(pa, vand);
+            // SAFETY: w + 4 <= n keeps the loads and the store in bounds.
+            let vand = unsafe {
+                let pa = acc.as_mut_ptr().add(w).cast::<__m256i>();
+                let va = _mm256_loadu_si256(pa);
+                let vm = _mm256_loadu_si256(mask.as_ptr().add(w).cast());
+                let vand = _mm256_and_si256(va, vm);
+                _mm256_storeu_si256(pa, vand);
+                vand
+            };
             let contrib = if w == self_base {
                 _mm256_and_si256(vand, vself)
             } else {
@@ -251,7 +279,8 @@ pub(crate) mod avx2 {
             facc = _mm256_or_si256(facc, contrib);
             w += 4;
         }
-        let mut others = fold_or(facc);
+        // SAFETY: same AVX2 requirement as this function.
+        let mut others = unsafe { fold_or(facc) };
         while w < n {
             acc[w] &= mask[w];
             others |= if w == self_word {
@@ -270,6 +299,10 @@ pub(crate) mod avx2 {
     /// four rows per instruction. The `j ∈ {2, 1}` rounds interleave
     /// within a vector and stay scalar (see
     /// [`crate::bitops::transpose64_scalar`] for the reference network).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support ([`super::active`]).
     #[target_feature(enable = "avx2")]
     pub(crate) unsafe fn transpose64(a: &mut [u64; 64]) {
         let mut j = 32usize;
@@ -281,14 +314,21 @@ pub(crate) mod avx2 {
             while base < 64 {
                 let mut k = base;
                 while k < base + j {
-                    let pa = a.as_mut_ptr().add(k).cast::<__m256i>();
-                    let pb = a.as_mut_ptr().add(k + j).cast::<__m256i>();
-                    let va = _mm256_loadu_si256(pa);
-                    let vb = _mm256_loadu_si256(pb);
-                    let t =
-                        _mm256_and_si256(_mm256_xor_si256(_mm256_srl_epi64(va, cnt), vb), vmask);
-                    _mm256_storeu_si256(pa, _mm256_xor_si256(va, _mm256_sll_epi64(t, cnt)));
-                    _mm256_storeu_si256(pb, _mm256_xor_si256(vb, t));
+                    // SAFETY: k + j + 3 < 64 in every swap round (j >= 4 and
+                    // k < base + j), so both 4-limb accesses stay inside
+                    // the 64-limb block.
+                    unsafe {
+                        let pa = a.as_mut_ptr().add(k).cast::<__m256i>();
+                        let pb = a.as_mut_ptr().add(k + j).cast::<__m256i>();
+                        let va = _mm256_loadu_si256(pa);
+                        let vb = _mm256_loadu_si256(pb);
+                        let t = _mm256_and_si256(
+                            _mm256_xor_si256(_mm256_srl_epi64(va, cnt), vb),
+                            vmask,
+                        );
+                        _mm256_storeu_si256(pa, _mm256_xor_si256(va, _mm256_sll_epi64(t, cnt)));
+                        _mm256_storeu_si256(pb, _mm256_xor_si256(vb, t));
+                    }
                     k += 4;
                 }
                 base += 2 * j;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the repo's static analyzer (prosperity-analyze) against the
+# workspace with the checked-in analyze.toml baseline, then its own rule
+# fixture tests. CI's `analyze` job runs exactly this; run it locally
+# before pushing anything that touches engine/, spikemat/, or the stats
+# structs.
+#
+# Exit codes: 0 clean; nonzero on any non-allowlisted finding, stale
+# allowlist entry, or fixture-test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== prosperity-analyze: workspace scan =="
+cargo run -p prosperity-analyze --release --quiet -- --workspace
+
+echo "== prosperity-analyze: rule fixtures =="
+cargo test -q -p prosperity-analyze
+
+echo "static analysis: OK"

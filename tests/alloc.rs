@@ -24,7 +24,10 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static ARMED: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: pure pass-through to `System`; the wrapper adds only atomic
+// counter updates and upholds `GlobalAlloc`'s contract by delegation.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System::alloc` with the caller's layout.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -32,6 +35,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System::alloc_zeroed` with the caller's layout.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -39,6 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: delegates to `System::realloc`; ptr/layout come from `alloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -46,6 +51,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: delegates to `System::dealloc`; ptr/layout come from `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

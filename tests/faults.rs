@@ -319,6 +319,15 @@ fn snapshot_export_races_a_shard_reset() {
     }
     let loaded = store.load_latest_valid().expect("load");
     assert!(loaded.is_some(), "persisted exports survive the reset");
+    // The store-level codec counters surface through the serving stats:
+    // exports encoded bytes/plans, and the load above read some back.
+    let stats = serving.stats();
+    assert!(stats.snapshot_bytes_encoded > 0, "{stats:?}");
+    assert!(stats.snapshot_bytes_loaded > 0, "{stats:?}");
+    assert!(
+        stats.snapshot_plans_encoded >= stats.snapshot_plans_loaded,
+        "a load can only see plans some export encoded: {stats:?}"
+    );
     if fired {
         let stats = serving.stats();
         assert_eq!(stats.lane_faults, 1, "{stats:?}");

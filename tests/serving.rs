@@ -114,6 +114,13 @@ fn scheduled_shared_sessions_match_serial_private_oracle() {
             // inserted or bypassed by admission (none configured here).
             assert_eq!(cs.insertions, cs.misses);
             assert_eq!(cs.bypasses, 0);
+            // Every lane settles a credit balance, whatever the policy
+            // (non-Weighted policies settle all-zero balances).
+            let ss = sched.scheduler_stats();
+            assert_eq!(ss.credit_balances.len(), traces.len(), "{policy:?}");
+            if !matches!(policy, BatchPolicy::Weighted { .. }) {
+                assert!(ss.credit_balances.iter().all(|&c| c == 0), "{policy:?}");
+            }
         }
     }
 }
